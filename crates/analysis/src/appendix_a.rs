@@ -1,0 +1,198 @@
+//! Appendix A of the paper: the per-message acceptance probabilities
+//! `p_u` (non-attacked process) and `p_a` (attacked process).
+//!
+//! Model: process `p_i` sends a message to `p_j`; every other process
+//! independently includes `p_j` in its view with probability
+//! `q = F/(n-1)`. Let `Y` be the number of valid messages `p_j` receives in
+//! the round (including `p_i`'s); `p_j` accepts a uniformly random `F`-sized
+//! subset when more than `F` arrive. An attacked process additionally
+//! receives `x` fabricated messages that compete for the same slots.
+//!
+//! Key facts proved in the paper and checked by the unit tests here:
+//! `p_u > 0.6` for every `F ≥ 1` (Lemma 8 and Figure 1(a)), and
+//! `p_a < F/x` (used throughout §6).
+
+use crate::logmath::LogFactorial;
+
+/// Distribution of `Y` given that `p_i` sent to `p_j`:
+/// `Y - 1 ~ Binomial(n-2, F/(n-1))`.
+///
+/// Returns `Pr(Y = y)` for `y = 1..=n-1` at index `y-1`.
+fn y_distribution(lf: &LogFactorial, n: usize, fan_out: usize) -> Vec<f64> {
+    let q = fan_out as f64 / (n - 1) as f64;
+    (1..n).map(|y| lf.binom_pmf(n - 2, y - 1, q)).collect()
+}
+
+/// `p_u(n, F)`: probability that a non-attacked process accepts a given
+/// valid incoming message (Eq. 8 of the paper).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `fan_out == 0`.
+pub fn p_u(n: usize, fan_out: usize) -> f64 {
+    assert!(n >= 2, "need at least two processes, got {n}");
+    assert!(fan_out >= 1, "fan-out must be positive");
+    let lf = LogFactorial::up_to(n);
+    let dist = y_distribution(&lf, n, fan_out);
+    let f = fan_out as f64;
+    let mut acc = 0.0;
+    for (idx, pr) in dist.iter().enumerate() {
+        let y = (idx + 1) as f64;
+        let accept = if y <= f { 1.0 } else { f / y };
+        acc += accept * pr;
+    }
+    acc
+}
+
+/// `p_a(n, F, x)`: probability that a process attacked with `x` fabricated
+/// messages per round accepts a given valid incoming message.
+///
+/// The paper derives the closed form for `x ≥ F`
+/// (`p_a = Σ_y F/(y+x) · Pr(Y=y)`); for smaller `x` the acceptance
+/// probability is clamped at 1, so `p_a(n, F, 0) = p_u`-like behaviour is
+/// preserved continuously.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `fan_out == 0`.
+pub fn p_a(n: usize, fan_out: usize, x: u64) -> f64 {
+    assert!(n >= 2, "need at least two processes, got {n}");
+    assert!(fan_out >= 1, "fan-out must be positive");
+    let lf = LogFactorial::up_to(n);
+    let dist = y_distribution(&lf, n, fan_out);
+    let f = fan_out as f64;
+    let mut acc = 0.0;
+    for (idx, pr) in dist.iter().enumerate() {
+        let y = (idx + 1) as f64;
+        let accept = (f / (y + x as f64)).min(1.0);
+        acc += accept * pr;
+    }
+    acc
+}
+
+/// The coarse upper bound `p_a < F/x` used by the asymptotic analysis.
+pub fn p_a_upper_bound(fan_out: usize, x: u64) -> f64 {
+    fan_out as f64 / x as f64
+}
+
+/// `dp_a/dx` (Lemma 7): always negative, bounded below by `-F/x²` term-wise;
+/// the paper uses `dp_a/dα < F/(αx)` derived from it.
+pub fn dp_a_dx(n: usize, fan_out: usize, x: u64) -> f64 {
+    assert!(n >= 2);
+    let lf = LogFactorial::up_to(n);
+    let dist = y_distribution(&lf, n, fan_out);
+    let f = fan_out as f64;
+    let mut acc = 0.0;
+    for (idx, pr) in dist.iter().enumerate() {
+        let y = (idx + 1) as f64;
+        let t = y + x as f64;
+        acc += -f / (t * t) * pr;
+    }
+    acc
+}
+
+/// Series for Figure 1(a): `p_u` as a function of `F` for fixed `n`.
+pub fn figure_1a(n: usize, fan_outs: &[usize]) -> Vec<(usize, f64)> {
+    fan_outs.iter().map(|&f| (f, p_u(n, f))).collect()
+}
+
+/// Series for Figure 1(b): `p_a` vs. the bound `F/x` for fixed `n`, `F`.
+pub fn figure_1b(n: usize, fan_out: usize, xs: &[u64]) -> Vec<(u64, f64, f64)> {
+    xs.iter()
+        .map(|&x| (x, p_a(n, fan_out, x), p_a_upper_bound(fan_out, x)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn y_distribution_sums_to_one() {
+        let lf = LogFactorial::up_to(200);
+        let dist = y_distribution(&lf, 200, 4);
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_u_exceeds_0_6_for_all_fan_outs() {
+        // Paper: exact calculation shows p_u > 0.6 for all F >= 1 (Fig 1(a)).
+        for f in 1..=16 {
+            let v = p_u(1000, f);
+            assert!(v > 0.6, "p_u(1000, {f}) = {v}");
+            assert!(v < 1.0);
+        }
+    }
+
+    #[test]
+    fn p_u_for_paper_settings() {
+        // For F=4, n=1000, p_u is roughly 0.8 (Figure 1(a)).
+        let v = p_u(1000, 4);
+        assert!((0.70..0.90).contains(&v), "p_u = {v}");
+    }
+
+    #[test]
+    fn p_a_below_coarse_bound() {
+        for &x in &[4u64, 8, 32, 128, 512] {
+            let pa = p_a(1000, 4, x);
+            assert!(pa < p_a_upper_bound(4, x), "x = {x}");
+            assert!(pa > 0.0);
+        }
+    }
+
+    #[test]
+    fn p_a_decreases_with_attack_strength() {
+        let mut prev = 1.0;
+        for &x in &[0u64, 4, 8, 16, 64, 256, 1024] {
+            let pa = p_a(120, 4, x);
+            assert!(pa < prev, "p_a not decreasing at x = {x}");
+            prev = pa;
+        }
+    }
+
+    #[test]
+    fn p_a_at_zero_close_to_p_u() {
+        // Without fabricated messages the clamped p_a formula is close to
+        // p_u (it differs only in the sub-F acceptance accounting, where
+        // p_u takes min(1, F/y) = 1 as well).
+        let pa0 = p_a(500, 4, 0);
+        let pu = p_u(500, 4);
+        assert!((pa0 - pu).abs() < 1e-9, "pa0 = {pa0}, pu = {pu}");
+    }
+
+    #[test]
+    fn derivative_is_negative_and_matches_finite_difference() {
+        let x = 64u64;
+        let d = dp_a_dx(120, 4, x);
+        assert!(d < 0.0);
+        let fd = p_a(120, 4, x + 1) - p_a(120, 4, x);
+        assert!((d - fd).abs() < 5e-4, "analytic {d} vs finite diff {fd}");
+    }
+
+    #[test]
+    fn lemma7_bound_on_derivative() {
+        // |dp_a/dx| < F/x^2 term-wise implies the Lemma 7 chain.
+        for &x in &[8u64, 32, 128] {
+            let d = dp_a_dx(120, 4, x).abs();
+            assert!(d < 4.0 / (x as f64 * x as f64) * 10.0, "slack check x={x}");
+        }
+    }
+
+    #[test]
+    fn figure_series_shapes() {
+        let a = figure_1a(1000, &[1, 2, 4, 8]);
+        assert_eq!(a.len(), 4);
+        let b = figure_1b(1000, 4, &[8, 16, 32]);
+        assert_eq!(b.len(), 3);
+        for (_, pa, bound) in b {
+            assert!(pa < bound);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_tiny_group() {
+        p_u(1, 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! Appendix B of the paper: `p̃` — the probability that message `M`
+//! propagates beyond its (attacked) source in one round of **Pull**.
+//!
+//! In Pull, `M` leaves the source only when some valid pull-request survives
+//! the flood of `x` fabricated requests on the source's pull port. The
+//! number of rounds until that happens is geometric with parameter `p̃`,
+//! which explains both Pull's long delays (Figure 5 discussion) and its
+//! large standard deviation (Figure 4).
+
+use crate::logmath::LogFactorial;
+
+/// `p̃(n, F, x)`: probability that at least one valid pull-request is read
+/// at the source in a round, when the source is attacked with `x ≥ F`
+/// fabricated pull-requests.
+///
+/// `Y ~ Binomial(n-1, F/(n-1))` valid requests arrive; the source reads `F`
+/// of the `Y + x` total, so the probability that *none* of the `Y` valid
+/// ones is read is `x!(Y+x-F)! / ((x-F)!(Y+x)!)` (Appendix B).
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `fan_out == 0`, or `x < fan_out` (the closed form
+/// requires `x ≥ F`; for weaker attacks use `p_tilde_weak`).
+pub fn p_tilde(n: usize, fan_out: usize, x: u64) -> f64 {
+    assert!(n >= 2, "need at least two processes");
+    assert!(fan_out >= 1, "fan-out must be positive");
+    assert!(x >= fan_out as u64, "closed form requires x >= F");
+    let f = fan_out;
+    let x = x as usize;
+    let lf = LogFactorial::up_to(n + x);
+    let q = f as f64 / (n - 1) as f64;
+    let mut acc = 0.0;
+    for y in 0..n {
+        let pr_y = lf.binom_pmf(n - 1, y, q);
+        if pr_y == 0.0 {
+            continue;
+        }
+        // ln [ x! (y+x-F)! / ((x-F)! (y+x)!) ]
+        let ln_none = lf.ln_factorial(x) + lf.ln_factorial(y + x - f)
+            - lf.ln_factorial(x - f)
+            - lf.ln_factorial(y + x);
+        let p_read = 1.0 - ln_none.exp();
+        acc += p_read * pr_y;
+    }
+    acc
+}
+
+/// `p̃` for attacks weaker than `F` (including none): every valid request
+/// is read whenever `Y + x ≤ F`; otherwise `F` of `Y + x` are read.
+pub fn p_tilde_weak(n: usize, fan_out: usize, x: u64) -> f64 {
+    assert!(n >= 2);
+    assert!(fan_out >= 1);
+    if x >= fan_out as u64 {
+        return p_tilde(n, fan_out, x);
+    }
+    let f = fan_out;
+    let x = x as usize;
+    let lf = LogFactorial::up_to(n + x + f);
+    let q = f as f64 / (n - 1) as f64;
+    let mut acc = 0.0;
+    for y in 0..n {
+        let pr_y = lf.binom_pmf(n - 1, y, q);
+        if pr_y == 0.0 || y == 0 {
+            continue;
+        }
+        let p_read = if y + x <= f {
+            1.0
+        } else {
+            // None of the y valid ones among the F read:
+            // C(y+x-F .. ) hypergeometric tail = Π_{i=0}^{F-1} (y+x-F... )
+            // Equivalent product form: Π_{i=0}^{F-1} (x' - i)/(y + x - i)
+            // where x' = y + x - y = x... reuse the factorial identity with
+            // "misses" = y+x-F of the non-valid pool:
+            let ln_none = lf.ln_factorial(x) + lf.ln_factorial(y + x - f)
+                - lf.ln_factorial(x.saturating_sub(f))
+                - lf.ln_factorial(y + x);
+            // For x < F the "all slots filled by fakes" event is impossible
+            // (not enough fakes to occupy every slot), so some valid request
+            // is always read.
+            if x < f { 1.0 } else { 1.0 - ln_none.exp() }
+        };
+        acc += p_read * pr_y;
+    }
+    acc
+}
+
+/// Expected number of rounds for `M` to leave the source in Pull:
+/// `1/p̃` (geometric distribution).
+pub fn expected_rounds_to_leave_source(n: usize, fan_out: usize, x: u64) -> f64 {
+    1.0 / p_tilde(n, fan_out, x)
+}
+
+/// Standard deviation of the rounds to leave the source:
+/// `sqrt(1 - p̃)/p̃`.
+pub fn std_rounds_to_leave_source(n: usize, fan_out: usize, x: u64) -> f64 {
+    let p = p_tilde(n, fan_out, x);
+    (1.0 - p).sqrt() / p
+}
+
+/// Probability that `M` has *not* left the source within `k` rounds:
+/// `(1-p̃)^k` — the paper computes 0.54 / 0.3 / 0.16 for k = 5/10/15 with
+/// `n = 1000`, `F = 4`, `x = 128`.
+pub fn prob_stuck_after(n: usize, fan_out: usize, x: u64, k: u32) -> f64 {
+    (1.0 - p_tilde(n, fan_out, x)).powi(k as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_tilde_in_unit_interval() {
+        for &x in &[4u64, 16, 128, 512] {
+            let p = p_tilde(1000, 4, x);
+            assert!((0.0..=1.0).contains(&p), "x = {x}: {p}");
+        }
+    }
+
+    #[test]
+    fn p_tilde_decreases_with_x() {
+        let mut prev = 1.0;
+        for &x in &[4u64, 8, 16, 32, 64, 128, 256] {
+            let p = p_tilde(1000, 4, x);
+            assert!(p < prev, "not decreasing at x = {x}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn paper_values_for_stuck_probability() {
+        // §7.2: with F = 4 and x = 128 the probability of M not being
+        // propagated beyond the source in 5, 10, 15 rounds is 0.54, 0.3,
+        // 0.16 respectively (n = 1000).
+        let p5 = prob_stuck_after(1000, 4, 128, 5);
+        let p10 = prob_stuck_after(1000, 4, 128, 10);
+        let p15 = prob_stuck_after(1000, 4, 128, 15);
+        assert!((p5 - 0.54).abs() < 0.03, "p5 = {p5}");
+        assert!((p10 - 0.30).abs() < 0.03, "p10 = {p10}");
+        assert!((p15 - 0.16).abs() < 0.03, "p15 = {p15}");
+    }
+
+    #[test]
+    fn paper_value_for_std() {
+        // §7.2: numerical calculation of p̃ with F = 4, x = 128 yields an
+        // STD of 8.17 rounds.
+        let std = std_rounds_to_leave_source(1000, 4, 128);
+        assert!((std - 8.17).abs() < 0.25, "std = {std}");
+    }
+
+    #[test]
+    fn expected_rounds_grows_with_x() {
+        let e1 = expected_rounds_to_leave_source(1000, 4, 32);
+        let e2 = expected_rounds_to_leave_source(1000, 4, 128);
+        let e3 = expected_rounds_to_leave_source(1000, 4, 512);
+        assert!(e1 < e2 && e2 < e3);
+        // Corollary-2-style linear growth: quadrupling x roughly quadruples
+        // the expected wait (within 2x slack).
+        assert!(e3 / e2 > 2.0, "e3/e2 = {}", e3 / e2);
+    }
+
+    #[test]
+    fn weak_attack_extends_smoothly() {
+        // x = 0: some request is read whenever at least one arrives.
+        let p0 = p_tilde_weak(1000, 4, 0);
+        assert!(p0 > 0.9, "p0 = {p0}");
+        // Continuity at x = F.
+        let at_f = p_tilde_weak(1000, 4, 4);
+        let closed = p_tilde(1000, 4, 4);
+        assert!((at_f - closed).abs() < 1e-12);
+        // Monotone across the weak range.
+        let p2 = p_tilde_weak(1000, 4, 2);
+        assert!(p2 <= p0 && p2 >= at_f);
+    }
+
+    #[test]
+    #[should_panic(expected = "x >= F")]
+    fn p_tilde_requires_strong_attack() {
+        p_tilde(100, 4, 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Log-domain combinatorics.
+//!
+//! The Appendix C recursions multiply binomial probabilities with hundreds
+//! of factors; evaluating them in the log domain with exact `ln k!` prefix
+//! sums keeps everything stable for group sizes up to 10⁶.
+
+/// Precomputed `ln(k!)` for `k = 0..=n_max`.
+///
+/// # Examples
+///
+/// ```
+/// use drum_analysis::logmath::LogFactorial;
+///
+/// let lf = LogFactorial::up_to(10);
+/// assert!((lf.ln_factorial(5) - (120f64).ln()).abs() < 1e-12);
+/// assert!((lf.ln_choose(5, 2) - (10f64).ln()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogFactorial {
+    table: Vec<f64>,
+}
+
+impl LogFactorial {
+    /// Builds the table for arguments up to `n_max` inclusive.
+    pub fn up_to(n_max: usize) -> Self {
+        let mut table = Vec::with_capacity(n_max + 1);
+        table.push(0.0);
+        let mut acc = 0.0f64;
+        for k in 1..=n_max {
+            acc += (k as f64).ln();
+            table.push(acc);
+        }
+        LogFactorial { table }
+    }
+
+    /// Largest supported argument.
+    pub fn max_n(&self) -> usize {
+        self.table.len() - 1
+    }
+
+    /// `ln(k!)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the precomputed range.
+    pub fn ln_factorial(&self, k: usize) -> f64 {
+        self.table[k]
+    }
+
+    /// `ln C(n, k)`; `-inf` when `k > n`.
+    pub fn ln_choose(&self, n: usize, k: usize) -> f64 {
+        if k > n {
+            return f64::NEG_INFINITY;
+        }
+        self.table[n] - self.table[k] - self.table[n - k]
+    }
+
+    /// Binomial pmf `C(n, k) p^k (1-p)^(n-k)`, evaluated in the log domain.
+    ///
+    /// Handles the degenerate probabilities `p = 0` and `p = 1` exactly.
+    pub fn binom_pmf(&self, n: usize, k: usize, p: f64) -> f64 {
+        if k > n {
+            return 0.0;
+        }
+        if p <= 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if p >= 1.0 {
+            return if k == n { 1.0 } else { 0.0 };
+        }
+        let ln = self.ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+        ln.exp()
+    }
+}
+
+/// `ln(1 - e^x)` for `x < 0`, numerically stable near 0.
+pub fn ln_one_minus_exp(x: f64) -> f64 {
+    debug_assert!(x < 0.0);
+    if x > -core::f64::consts::LN_2 {
+        (-x.exp_m1()).ln()
+    } else {
+        (-x.exp()).ln_1p()
+    }
+}
+
+/// `(1 - p)^n` computed stably via `exp(n ln(1-p))`, with exact edges.
+pub fn pow_one_minus(p: f64, n: f64) -> f64 {
+    if p <= 0.0 {
+        1.0
+    } else if p >= 1.0 {
+        if n == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (n * (-p).ln_1p()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_values() {
+        let lf = LogFactorial::up_to(20);
+        assert_eq!(lf.ln_factorial(0), 0.0);
+        assert_eq!(lf.ln_factorial(1), 0.0);
+        assert!((lf.ln_factorial(10) - (3_628_800f64).ln()).abs() < 1e-9);
+        assert_eq!(lf.max_n(), 20);
+    }
+
+    #[test]
+    fn choose_values() {
+        let lf = LogFactorial::up_to(50);
+        assert!((lf.ln_choose(50, 25).exp() - 126_410_606_437_752.0).abs() / 126_410_606_437_752.0 < 1e-9);
+        assert_eq!(lf.ln_choose(5, 6), f64::NEG_INFINITY);
+        assert_eq!(lf.ln_choose(5, 0), 0.0);
+        assert_eq!(lf.ln_choose(5, 5), 0.0);
+    }
+
+    #[test]
+    fn binom_pmf_sums_to_one() {
+        let lf = LogFactorial::up_to(100);
+        for &p in &[0.001, 0.3, 0.5, 0.99] {
+            let total: f64 = (0..=100).map(|k| lf.binom_pmf(100, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "p = {p}: total = {total}");
+        }
+    }
+
+    #[test]
+    fn binom_pmf_degenerate() {
+        let lf = LogFactorial::up_to(10);
+        assert_eq!(lf.binom_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(lf.binom_pmf(10, 3, 0.0), 0.0);
+        assert_eq!(lf.binom_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(lf.binom_pmf(10, 9, 1.0), 0.0);
+        assert_eq!(lf.binom_pmf(10, 11, 0.5), 0.0);
+    }
+
+    #[test]
+    fn binom_pmf_known_value() {
+        let lf = LogFactorial::up_to(10);
+        // C(4,2) 0.5^4 = 6/16
+        assert!((lf.binom_pmf(4, 2, 0.5) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pow_one_minus_edges() {
+        assert_eq!(pow_one_minus(0.0, 10.0), 1.0);
+        assert_eq!(pow_one_minus(1.0, 10.0), 0.0);
+        assert_eq!(pow_one_minus(1.0, 0.0), 1.0);
+        assert!((pow_one_minus(0.5, 2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_one_minus_exp_matches_naive() {
+        for &x in &[-1e-6f64, -0.1, -1.0, -10.0] {
+            let naive = (1.0 - x.exp()).ln();
+            assert!((ln_one_minus_exp(x) - naive).abs() < 1e-9, "x = {x}");
+        }
+    }
+}

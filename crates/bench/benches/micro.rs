@@ -1,0 +1,237 @@
+//! Micro-benchmarks of the substrates: crypto primitives, digests,
+//! buffers, the wire codec and one engine round.
+//!
+//! These are the per-message costs that determine how expensive an
+//! application-level DoS attack is *for the victim* — the quantity the
+//! paper's resource-bound design keeps constant per round.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use drum_core::buffer::MessageBuffer;
+use drum_core::config::GossipConfig;
+use drum_core::digest::Digest;
+use drum_core::engine::{CountingPortOracle, Engine};
+use drum_core::ids::{MessageId, ProcessId, Round};
+use drum_core::message::{DataMessage, GossipMessage, PortRef};
+use drum_core::view::Membership;
+use drum_crypto::auth::AuthTag;
+use drum_crypto::hmac::hmac_sha256;
+use drum_crypto::keys::{KeyStore, SecretKey};
+use drum_crypto::seal::{open_port, seal_port};
+use drum_crypto::sha256::Sha256;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(20);
+
+    let data_1k = vec![0xA5u8; 1024];
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("sha256_1k", |b| b.iter(|| Sha256::digest(black_box(&data_1k))));
+
+    let msg_50 = vec![0x5Au8; 50];
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hmac_sign_50b_message", |b| {
+        b.iter(|| hmac_sha256(black_box(b"key material 32 bytes long......"), black_box(&msg_50)))
+    });
+
+    let key = SecretKey::from_bytes([7u8; 32]);
+    group.bench_function("seal_port", |b| {
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            seal_port(black_box(&key), nonce, 54321).unwrap()
+        })
+    });
+
+    let sealed = seal_port(&key, 1, 54321).unwrap();
+    group.bench_function("open_port", |b| b.iter(|| open_port(black_box(&key), black_box(&sealed))));
+
+    group.finish();
+}
+
+fn bench_digest_and_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest_buffer");
+    group.sample_size(20);
+
+    group.bench_function("digest_insert_1000_sequential", |b| {
+        b.iter(|| {
+            let mut d = Digest::new();
+            for seq in 0..1000u64 {
+                d.insert(MessageId::new(ProcessId(1), seq));
+            }
+            black_box(d)
+        })
+    });
+
+    let digest: Digest = (0..1000u64)
+        .map(|q| MessageId::new(ProcessId(q % 8), q / 8))
+        .collect();
+    group.bench_function("digest_contains", |b| {
+        b.iter(|| digest.contains(black_box(MessageId::new(ProcessId(3), 60))))
+    });
+
+    let mut buffer = MessageBuffer::new(10);
+    for seq in 0..800u64 {
+        buffer.insert(
+            DataMessage {
+                id: MessageId::new(ProcessId(1), seq),
+                hops: 0,
+                payload: Bytes::from(vec![0u8; 50]),
+                auth: AuthTag::zero(),
+            },
+            Round(0),
+        );
+    }
+    let their: Digest = (0..400u64).map(|q| MessageId::new(ProcessId(1), q)).collect();
+    group.bench_function("buffer_select_missing_80_of_800", |b| {
+        let mut rng = SmallRng::seed_from_u64(5);
+        b.iter(|| buffer.select_missing(black_box(&their), 80, &mut rng))
+    });
+
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20);
+
+    let key = SecretKey::from_bytes([2u8; 32]);
+    let pull_request = GossipMessage::PullRequest {
+        from: ProcessId(5),
+        digest: (0..500u64).map(|q| MessageId::new(ProcessId(q % 4), q / 4)).collect(),
+        reply_port: PortRef::Sealed(seal_port(&key, 9, 50123).unwrap()),
+        nonce: 9,
+    };
+    group.bench_function("encode_pull_request_500_ids", |b| {
+        b.iter(|| drum_net::codec::encode(black_box(&pull_request)))
+    });
+    let encoded = drum_net::codec::encode(&pull_request);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("decode_pull_request_500_ids", |b| {
+        b.iter(|| drum_net::codec::decode(black_box(&encoded)).unwrap())
+    });
+
+    let reply = GossipMessage::PullReply {
+        from: ProcessId(1),
+        messages: (0..80u64)
+            .map(|q| DataMessage {
+                id: MessageId::new(ProcessId(2), q),
+                hops: 3,
+                payload: Bytes::from(vec![0u8; 50]),
+                auth: AuthTag([1u8; 32]),
+            })
+            .collect(),
+    };
+    let encoded_reply = drum_net::codec::encode(&reply);
+    group.throughput(Throughput::Bytes(encoded_reply.len() as u64));
+    group.bench_function("decode_pull_reply_80_messages", |b| {
+        b.iter(|| drum_net::codec::decode(black_box(&encoded_reply)).unwrap())
+    });
+
+    group.finish();
+}
+
+fn engine_with_buffered_messages(n_members: u64, buffered: u64) -> (Engine, KeyStore) {
+    let store = KeyStore::new(1);
+    let members: Vec<ProcessId> = (0..n_members).map(ProcessId).collect();
+    for m in &members {
+        store.register(m.as_u64());
+    }
+    let key = store.key_of(0).unwrap();
+    let mut engine = Engine::new(
+        GossipConfig::drum(),
+        Membership::new(ProcessId(0), members),
+        store.clone(),
+        key,
+        3,
+    );
+    for _ in 0..buffered {
+        engine.publish(Bytes::from(vec![0u8; 50]));
+    }
+    (engine, store)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+
+    group.bench_function("begin_round_400_buffered", |b| {
+        let (engine, _) = engine_with_buffered_messages(50, 400);
+        let mut oracle = CountingPortOracle::default();
+        b.iter_batched(
+            || engine_clone_hack(&engine),
+            |mut e| black_box(e.begin_round(&mut oracle)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("handle_pull_request_under_flood", |b| {
+        // The victim's cost per fabricated message once the budget is
+        // exhausted: one budget check, then drop. This must be cheap.
+        let (mut engine, _) = engine_with_buffered_messages(50, 400);
+        let mut oracle = CountingPortOracle::default();
+        engine.begin_round(&mut oracle);
+        let fake = GossipMessage::PullRequest {
+            from: ProcessId(0xDEAD),
+            digest: Digest::new(),
+            reply_port: PortRef::Plain(1),
+            nonce: 0,
+        };
+        b.iter(|| black_box(engine.handle(fake.clone(), &mut oracle)))
+    });
+
+    group.finish();
+}
+
+/// Engines are deliberately not `Clone` (they own RNG state); rebuild an
+/// identical one for batched benchmarking.
+fn engine_clone_hack(proto: &Engine) -> Engine {
+    let (engine, _) = engine_with_buffered_messages(
+        proto.membership().len() as u64 + 1,
+        proto.buffer().len() as u64,
+    );
+    engine
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership");
+    group.sample_size(20);
+
+    let ca = drum_membership::ca::CertificateAuthority::new([1u8; 32], KeyStore::new(2));
+    let cert = ca.join(ProcessId(1), 0, 1000).unwrap();
+    group.bench_function("certificate_verify", |b| {
+        let key = ca.verification_key();
+        b.iter(|| black_box(cert.verify(&key)))
+    });
+
+    let event = drum_membership::events::MembershipEvent::Join(cert);
+    let encoded = event.encode();
+    group.bench_function("event_decode_and_apply", |b| {
+        b.iter_batched(
+            || drum_membership::database::MembershipDb::new(ProcessId(0), ca.verification_key()),
+            |mut db| {
+                let e = drum_membership::events::MembershipEvent::decode(black_box(&encoded)).unwrap();
+                let _ = db.apply(&e, 1);
+                black_box(db)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_digest_and_buffer,
+    bench_codec,
+    bench_engine,
+    bench_membership
+);
+criterion_main!(benches);

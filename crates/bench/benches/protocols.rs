@@ -1,0 +1,98 @@
+//! Protocol-level benchmarks: simulation round cost, full-trial cost under
+//! attack, and the closed-form analysis kernels — plus the ablation
+//! comparisons called out in `DESIGN.md` §10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use drum_analysis::appendix_a::{p_a, p_u};
+use drum_analysis::appendix_c::{analysis_cdf, Protocol};
+use drum_core::ProtocolVariant;
+use drum_sim::config::SimConfig;
+use drum_sim::model::SimState;
+use drum_sim::runner::run_trial;
+
+fn bench_sim_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_round");
+    group.sample_size(20);
+
+    for proto in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+        group.bench_with_input(
+            BenchmarkId::new("step_n1000_attacked", proto.to_string()),
+            &proto,
+            |b, &proto| {
+                let cfg = SimConfig::paper_attack(proto, 1000, 128.0);
+                let mut state = SimState::new(cfg);
+                let mut rng = SmallRng::seed_from_u64(9);
+                b.iter(|| {
+                    state.step(&mut rng);
+                    black_box(state.round())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sim_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_trial");
+    group.sample_size(10);
+
+    for proto in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+        group.bench_with_input(
+            BenchmarkId::new("trial_n120_x128", proto.to_string()),
+            &proto,
+            |b, &proto| {
+                let cfg = SimConfig::paper_attack(proto, 120, 128.0);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_trial(&cfg, seed, 0))
+                })
+            },
+        );
+    }
+
+    // Ablation: the cost (in rounds simulated, hence time) of losing
+    // random ports under a strong attack.
+    for (label, random_ports) in [("random_ports", true), ("well_known_ports", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("trial_drum_x256", label),
+            &random_ports,
+            |b, &random_ports| {
+                let mut cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 120, 256.0);
+                cfg.random_ports = random_ports;
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_trial(&cfg, seed, 0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+
+    group.bench_function("p_u_n1000_f4", |b| b.iter(|| black_box(p_u(1000, 4))));
+    group.bench_function("p_a_n1000_f4_x128", |b| b.iter(|| black_box(p_a(1000, 4, 128))));
+
+    group.bench_function("joint_recursion_n120_alpha10_x128", |b| {
+        b.iter(|| black_box(analysis_cdf(Protocol::Drum, 120, 12, 0.01, 4, 12, 128, 30)))
+    });
+
+    group.bench_function("no_attack_recursion_n120", |b| {
+        b.iter(|| black_box(analysis_cdf(Protocol::Drum, 120, 0, 0.01, 4, 0, 0, 20)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_round, bench_sim_trial, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Diagnostic probe: is the attacker actually starving the source's pull
+//! channel? Prints per-process NetStats after a short attacked run.
+
+use std::time::Duration;
+
+use drum_core::config::ProtocolVariant;
+use drum_net::experiment::{paper_cluster_config, Cluster};
+
+fn main() {
+    let config = paper_cluster_config(
+        ProtocolVariant::Pull,
+        8,
+        1,
+        1024.0,
+        Duration::from_millis(40),
+        3,
+    );
+    let cluster = Cluster::start(config).unwrap();
+    cluster.publish_from_source(0, 50);
+    std::thread::sleep(Duration::from_millis(400));
+    let mut receivers = 0;
+    for h in cluster.handles()[1..].iter() {
+        if !h.take_delivered().is_empty() {
+            receivers += 1;
+        }
+    }
+    println!("receivers: {receivers}");
+    for (i, s) in cluster.shutdown().iter().enumerate() {
+        println!("p{i}: {s:?}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Shared harness for the figure-regeneration binaries (`fig01`–`fig14`)
+//! and the criterion benches.
+//!
+//! Every binary regenerates one figure of the paper and prints the same
+//! series the paper plots. Two scales are supported:
+//!
+//! * **quick** (default): reduced group sizes / trial counts so a full
+//!   `for f in fig*; cargo run --bin $f` pass completes in minutes;
+//! * **full** (`--full` or `DRUM_BENCH_FULL=1`): the paper's parameters
+//!   (n = 1000 simulations, 1000 trials per point, 50-process clusters).
+//!
+//! The *shape* of every result (who wins, linear vs. flat degradation,
+//! crossovers) is already visible at the quick scale; `EXPERIMENTS.md`
+//! records a full comparison against the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use drum_core::ProtocolVariant;
+use drum_metrics::table::Table;
+use drum_sim::experiments::SweepRow;
+
+/// Whether the binary was invoked at full (paper) scale.
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+        || std::env::var("DRUM_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Picks between the quick and full value of a parameter.
+pub fn scaled<T>(quick: T, full: T) -> T {
+    if full_scale() {
+        full
+    } else {
+        quick
+    }
+}
+
+/// Simulation trial count: 1000 in the paper, 150 quick.
+pub fn trials() -> usize {
+    scaled(150, 1000)
+}
+
+/// The standard experiment seed (fixed for reproducibility).
+pub const SEED: u64 = 20040628; // DSN 2004 conference date
+
+/// Prints the standard figure banner.
+pub fn banner(fig: &str, what: &str) {
+    println!("=== {fig}: {what} ===");
+    println!(
+        "scale: {} (run with --full for the paper's parameters)\n",
+        if full_scale() { "FULL (paper)" } else { "quick" }
+    );
+}
+
+/// Formats a sweep (x column + mean rounds per protocol) as a table.
+pub fn sweep_table(x_label: &str, rows: &[SweepRow], columns: &[&str]) -> Table {
+    let mut header = vec![x_label.to_string()];
+    header.extend(columns.iter().map(|c| c.to_string()));
+    let mut table = Table::new(header);
+    for row in rows {
+        let mut cells = vec![format!("{}", trim_float(row.x))];
+        for r in &row.results {
+            if r.failures > 0 {
+                cells.push(format!("{:.1} ({}f)", r.mean_rounds(), r.failures));
+            } else {
+                cells.push(format!("{:.1}", r.mean_rounds()));
+            }
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Same but showing the standard deviation instead of the mean (Figure 4).
+pub fn sweep_table_std(x_label: &str, rows: &[SweepRow], columns: &[&str]) -> Table {
+    let mut header = vec![x_label.to_string()];
+    header.extend(columns.iter().map(|c| c.to_string()));
+    let mut table = Table::new(header);
+    for row in rows {
+        let mut cells = vec![format!("{}", trim_float(row.x))];
+        for r in &row.results {
+            cells.push(format!("{:.1}", r.std_rounds()));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Formats a float without a trailing `.0` for integer values.
+pub fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Prints a per-round CDF comparison, one column per labeled curve.
+pub fn cdf_table(labels: &[&str], curves: &[Vec<f64>], max_rounds: usize) -> Table {
+    let mut header = vec!["round".to_string()];
+    header.extend(labels.iter().map(|l| l.to_string()));
+    let mut table = Table::new(header);
+    for r in 0..max_rounds {
+        let mut cells = vec![format!("{}", r + 1)];
+        for curve in curves {
+            let v = curve.get(r).copied().unwrap_or(f64::NAN);
+            cells.push(format!("{:.3}", v));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// The three protocols, in the display order used everywhere.
+pub const PROTOCOL_NAMES: [&str; 3] = ["Drum", "Push", "Pull"];
+
+/// The three protocol variants matching [`PROTOCOL_NAMES`].
+pub const PROTOCOLS: [ProtocolVariant; 3] = [
+    ProtocolVariant::Drum,
+    ProtocolVariant::Push,
+    ProtocolVariant::Pull,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trim_float_formats() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(0.25), "0.25");
+        assert_eq!(trim_float(128.0), "128");
+    }
+
+    #[test]
+    fn scaled_picks_quick_by_default() {
+        // Test binaries are not invoked with --full.
+        assert_eq!(scaled(1, 2), 1);
+        assert_eq!(trials(), 150);
+    }
+
+    #[test]
+    fn cdf_table_handles_short_curves() {
+        let t = cdf_table(&["a"], &[vec![0.5, 1.0]], 3);
+        let out = t.render();
+        assert!(out.contains("0.500"));
+        assert!(out.contains("NaN"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Per-round resource bounds — the heart of Drum's DoS resistance.
+//!
+//! §4: "p responds to a bounded number (typically `|view_push|`) of
+//! push-offers in a round, and if more data messages than it can handle
+//! arrive, then p divides its capability for processing incoming data
+//! messages equally between messages arriving in response to pull-requests
+//! and those arriving in response to push-replies." Crucially the bounds for
+//! *different* operations are separate, so flooding one port cannot starve
+//! another. The §9 ablation ([`crate::config::BoundMode::SharedControl`])
+//! merges the control-message bounds and demonstrably collapses under
+//! attack.
+
+use crate::config::{BoundMode, GossipConfig};
+use crate::message::MessageKind;
+
+/// Budget channels a round budget tracks.
+///
+/// `PullReplyData` / `PushRespData` are the two *data* channels; the other
+/// three are *control* channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// Incoming pull-requests (well-known pull port).
+    PullRequest,
+    /// Incoming push-offers (well-known push port). In the simulator's
+    /// offer-less model this is the direct push-data channel.
+    PushOffer,
+    /// Incoming push-replies (random port).
+    PushReply,
+    /// Incoming data messages from pull-replies (random port).
+    PullReplyData,
+    /// Incoming data messages from the push handshake (random port).
+    PushRespData,
+}
+
+impl Channel {
+    /// Whether this is a control channel (vs. data).
+    pub fn is_control(self) -> bool {
+        matches!(self, Channel::PullRequest | Channel::PushOffer | Channel::PushReply)
+    }
+
+    /// Maps an incoming message kind to the channel it consumes.
+    /// `PushData` and `PullReply` carry data; the rest are control.
+    pub fn for_kind(kind: MessageKind) -> Channel {
+        match kind {
+            MessageKind::PullRequest => Channel::PullRequest,
+            MessageKind::PushOffer => Channel::PushOffer,
+            MessageKind::PushReply => Channel::PushReply,
+            MessageKind::PullReply => Channel::PullReplyData,
+            MessageKind::PushData => Channel::PushRespData,
+        }
+    }
+}
+
+/// Tracks how many messages have been accepted on each channel during the
+/// current round and enforces the per-channel caps.
+///
+/// Reset at every round boundary with [`RoundBudget::reset`] — equivalent to
+/// the paper's "at the end of each round, p discards all unread messages
+/// from its incoming message buffers".
+///
+/// # Examples
+///
+/// ```
+/// use drum_core::bounds::{Channel, RoundBudget};
+/// use drum_core::config::GossipConfig;
+///
+/// let mut budget = RoundBudget::for_config(&GossipConfig::drum());
+/// // Drum accepts at most F/2 = 2 pull-requests per round.
+/// assert!(budget.try_accept(Channel::PullRequest));
+/// assert!(budget.try_accept(Channel::PullRequest));
+/// assert!(!budget.try_accept(Channel::PullRequest));
+/// // ...but a flooded pull port does not affect the push channel:
+/// assert!(budget.try_accept(Channel::PushOffer));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundBudget {
+    mode: BoundMode,
+    /// Caps per channel, indexed by [`Self::index`].
+    caps: [usize; 5],
+    /// Acceptances this round.
+    used: [usize; 5],
+    /// Joint cap/use for control channels under `SharedControl`.
+    shared_control_cap: usize,
+    shared_control_used: usize,
+}
+
+impl RoundBudget {
+    fn index(ch: Channel) -> usize {
+        match ch {
+            Channel::PullRequest => 0,
+            Channel::PushOffer => 1,
+            Channel::PushReply => 2,
+            Channel::PullReplyData => 3,
+            Channel::PushRespData => 4,
+        }
+    }
+
+    /// Builds the budget implied by a [`GossipConfig`].
+    ///
+    /// * pull-requests: `F_in-pull`
+    /// * push-offers:   `F_in-push`
+    /// * push-replies:  `|view_push|` (one per offer sent)
+    /// * data via pull: `F_in-pull` exchanges worth
+    /// * data via push: `F_in-push` exchanges worth
+    ///
+    /// Under [`BoundMode::SharedControl`] the three control channels share a
+    /// single joint cap equal to the sum of their separate caps.
+    pub fn for_config(config: &GossipConfig) -> Self {
+        let f_pull = config.f_in_pull();
+        let f_push = config.f_in_push();
+        let caps = [f_pull, f_push, f_push, f_pull.max(1), f_push.max(1)];
+        let shared_control_cap = f_pull + f_push + f_push;
+        RoundBudget {
+            mode: config.bound_mode,
+            caps,
+            used: [0; 5],
+            shared_control_cap,
+            shared_control_used: 0,
+        }
+    }
+
+    /// Builds a budget with explicit per-channel caps (tests, simulator).
+    pub fn with_caps(mode: BoundMode, caps: [usize; 5]) -> Self {
+        let shared_control_cap = caps[0] + caps[1] + caps[2];
+        RoundBudget { mode, caps, used: [0; 5], shared_control_cap, shared_control_used: 0 }
+    }
+
+    /// Attempts to consume one acceptance slot on `ch`. Returns whether the
+    /// message may be processed.
+    pub fn try_accept(&mut self, ch: Channel) -> bool {
+        let i = Self::index(ch);
+        match self.mode {
+            BoundMode::Separate => {
+                if self.used[i] < self.caps[i] {
+                    self.used[i] += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            BoundMode::SharedControl if ch.is_control() => {
+                if self.shared_control_used < self.shared_control_cap {
+                    self.shared_control_used += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            BoundMode::SharedControl => {
+                if self.used[i] < self.caps[i] {
+                    self.used[i] += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Remaining capacity on `ch` this round.
+    pub fn remaining(&self, ch: Channel) -> usize {
+        let i = Self::index(ch);
+        match self.mode {
+            BoundMode::SharedControl if ch.is_control() => {
+                self.shared_control_cap - self.shared_control_used
+            }
+            _ => self.caps[i] - self.used[i],
+        }
+    }
+
+    /// Messages accepted on `ch` this round.
+    pub fn used(&self, ch: Channel) -> usize {
+        self.used[Self::index(ch)]
+    }
+
+    /// Starts a new round: clears all usage counters.
+    pub fn reset(&mut self) {
+        self.used = [0; 5];
+        self.shared_control_used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GossipConfig;
+
+    #[test]
+    fn drum_separate_bounds() {
+        let mut b = RoundBudget::for_config(&GossipConfig::drum());
+        // F/2 = 2 per channel.
+        assert!(b.try_accept(Channel::PullRequest));
+        assert!(b.try_accept(Channel::PullRequest));
+        assert!(!b.try_accept(Channel::PullRequest));
+        assert_eq!(b.remaining(Channel::PullRequest), 0);
+        // Push channel unaffected: the separation property.
+        assert_eq!(b.remaining(Channel::PushOffer), 2);
+        assert!(b.try_accept(Channel::PushOffer));
+    }
+
+    #[test]
+    fn push_config_has_no_pull_budget() {
+        let mut b = RoundBudget::for_config(&GossipConfig::push());
+        assert!(!b.try_accept(Channel::PullRequest));
+        assert_eq!(b.remaining(Channel::PushOffer), 4);
+    }
+
+    #[test]
+    fn pull_config_has_no_push_budget() {
+        let mut b = RoundBudget::for_config(&GossipConfig::pull());
+        assert!(!b.try_accept(Channel::PushOffer));
+        assert!(!b.try_accept(Channel::PushReply));
+        assert_eq!(b.remaining(Channel::PullRequest), 4);
+    }
+
+    #[test]
+    fn shared_control_starves_across_channels() {
+        let config = GossipConfig::drum().with_bound_mode(BoundMode::SharedControl);
+        let mut b = RoundBudget::for_config(&config);
+        // Joint cap = 2 + 2 + 2 = 6; exhaust it entirely with pull-requests
+        // (the attack scenario of Figure 12(b)).
+        for _ in 0..6 {
+            assert!(b.try_accept(Channel::PullRequest));
+        }
+        // Now even push-offers are starved — the vulnerability.
+        assert!(!b.try_accept(Channel::PushOffer));
+        assert!(!b.try_accept(Channel::PushReply));
+        // Data channels keep their own bounds.
+        assert!(b.try_accept(Channel::PullReplyData));
+    }
+
+    #[test]
+    fn reset_restores_capacity() {
+        let mut b = RoundBudget::for_config(&GossipConfig::drum());
+        while b.try_accept(Channel::PullRequest) {}
+        b.reset();
+        assert_eq!(b.remaining(Channel::PullRequest), 2);
+        assert!(b.try_accept(Channel::PullRequest));
+    }
+
+    #[test]
+    fn used_counts() {
+        let mut b = RoundBudget::for_config(&GossipConfig::drum());
+        b.try_accept(Channel::PushReply);
+        assert_eq!(b.used(Channel::PushReply), 1);
+        assert_eq!(b.used(Channel::PullRequest), 0);
+    }
+
+    #[test]
+    fn channel_kind_mapping() {
+        assert_eq!(Channel::for_kind(MessageKind::PullRequest), Channel::PullRequest);
+        assert_eq!(Channel::for_kind(MessageKind::PushOffer), Channel::PushOffer);
+        assert_eq!(Channel::for_kind(MessageKind::PushReply), Channel::PushReply);
+        assert_eq!(Channel::for_kind(MessageKind::PullReply), Channel::PullReplyData);
+        assert_eq!(Channel::for_kind(MessageKind::PushData), Channel::PushRespData);
+    }
+
+    #[test]
+    fn control_vs_data() {
+        assert!(Channel::PullRequest.is_control());
+        assert!(Channel::PushOffer.is_control());
+        assert!(Channel::PushReply.is_control());
+        assert!(!Channel::PullReplyData.is_control());
+        assert!(!Channel::PushRespData.is_control());
+    }
+
+    #[test]
+    fn explicit_caps() {
+        let mut b = RoundBudget::with_caps(BoundMode::Separate, [1, 0, 0, 0, 0]);
+        assert!(b.try_accept(Channel::PullRequest));
+        assert!(!b.try_accept(Channel::PullRequest));
+        assert!(!b.try_accept(Channel::PushOffer));
+    }
+}

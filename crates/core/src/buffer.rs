@@ -1,0 +1,271 @@
+//! The per-process message buffer.
+//!
+//! Upon delivering a new data message a process "saves it in its message
+//! buffer for a number of rounds" (§4); in the measurement configuration
+//! messages are purged after 10 rounds and at most 80 randomly chosen new
+//! messages are sent to each gossip partner per round (§8.2).
+
+use rand::seq::index;
+use rand::Rng;
+use std::collections::HashMap;
+
+use crate::digest::Digest;
+use crate::ids::{MessageId, Round};
+use crate::message::DataMessage;
+
+/// A bounded, age-purged store of data messages.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use drum_core::buffer::MessageBuffer;
+/// use drum_core::ids::{MessageId, ProcessId, Round};
+/// use drum_core::message::DataMessage;
+/// use drum_crypto::auth::AuthTag;
+///
+/// let mut buf = MessageBuffer::new(10);
+/// let msg = DataMessage {
+///     id: MessageId::new(ProcessId(1), 0),
+///     hops: 0,
+///     payload: Bytes::from_static(b"hello"),
+///     auth: AuthTag::zero(),
+/// };
+/// assert!(buf.insert(msg, Round(0)));
+/// assert_eq!(buf.len(), 1);
+/// buf.purge(Round(11));
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MessageBuffer {
+    /// Stored messages with the round they were inserted.
+    entries: HashMap<MessageId, (DataMessage, Round)>,
+    /// Digest of everything *ever* inserted (survives purging), used to
+    /// avoid re-delivering a purged message that gossips back in.
+    seen: Digest,
+    /// Messages are purged once `now - inserted >= max_age` rounds.
+    max_age: u64,
+}
+
+impl MessageBuffer {
+    /// Creates a buffer that retains messages for `max_age` rounds.
+    /// `max_age = 0` means "never purge" (the analysis/simulation setting
+    /// where `M` is never purged).
+    pub fn new(max_age: u64) -> Self {
+        MessageBuffer { entries: HashMap::new(), seen: Digest::new(), max_age }
+    }
+
+    /// Inserts a message at local round `now`.
+    ///
+    /// Returns `true` if the message is *new* (never seen before); `false`
+    /// if it is a duplicate or was already seen and purged. Duplicates are
+    /// not re-inserted.
+    pub fn insert(&mut self, msg: DataMessage, now: Round) -> bool {
+        if !self.seen.insert(msg.id) {
+            return false;
+        }
+        self.entries.insert(msg.id, (msg, now));
+        true
+    }
+
+    /// Whether `id` has ever been seen (even if since purged).
+    pub fn seen(&self, id: MessageId) -> bool {
+        self.seen.contains(id)
+    }
+
+    /// Whether `id` is currently buffered.
+    pub fn contains(&self, id: MessageId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Fetches a buffered message.
+    pub fn get(&self, id: MessageId) -> Option<&DataMessage> {
+        self.entries.get(&id).map(|(m, _)| m)
+    }
+
+    /// Number of currently buffered messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Digest of the currently buffered messages (what a pull-request or
+    /// push-reply advertises).
+    pub fn digest(&self) -> Digest {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Digest of everything ever seen.
+    pub fn seen_digest(&self) -> &Digest {
+        &self.seen
+    }
+
+    /// Removes messages older than the retention age. Returns how many were
+    /// purged. A `max_age` of 0 disables purging.
+    pub fn purge(&mut self, now: Round) -> usize {
+        if self.max_age == 0 {
+            return 0;
+        }
+        let max_age = self.max_age;
+        let before = self.entries.len();
+        self.entries.retain(|_, (_, inserted)| now.since(*inserted) < max_age);
+        before - self.entries.len()
+    }
+
+    /// Increments the round counter (`hops`) of every buffered message —
+    /// the paper's §8.1 accounting, performed once per local round.
+    pub fn increment_hops(&mut self) {
+        for (msg, _) in self.entries.values_mut() {
+            msg.hops = msg.hops.saturating_add(1);
+        }
+    }
+
+    /// Selects up to `max` random buffered messages that are *missing* from
+    /// `their_digest` — the messages to push or to include in a pull-reply.
+    pub fn select_missing<R: Rng + ?Sized>(
+        &self,
+        their_digest: &Digest,
+        max: usize,
+        rng: &mut R,
+    ) -> Vec<DataMessage> {
+        let candidates: Vec<&DataMessage> = self
+            .entries
+            .values()
+            .map(|(m, _)| m)
+            .filter(|m| !their_digest.contains(m.id))
+            .collect();
+        if candidates.len() <= max {
+            return candidates.into_iter().cloned().collect();
+        }
+        index::sample(rng, candidates.len(), max)
+            .iter()
+            .map(|i| candidates[i].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+    use bytes::Bytes;
+    use drum_crypto::auth::AuthTag;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn msg(source: u64, seq: u64) -> DataMessage {
+        DataMessage {
+            id: MessageId::new(ProcessId(source), seq),
+            hops: 0,
+            payload: Bytes::from_static(b"x"),
+            auth: AuthTag::zero(),
+        }
+    }
+
+    #[test]
+    fn insert_and_duplicate() {
+        let mut buf = MessageBuffer::new(10);
+        assert!(buf.insert(msg(1, 0), Round(0)));
+        assert!(!buf.insert(msg(1, 0), Round(0)));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn purge_by_age() {
+        let mut buf = MessageBuffer::new(10);
+        buf.insert(msg(1, 0), Round(0));
+        buf.insert(msg(1, 1), Round(5));
+        assert_eq!(buf.purge(Round(9)), 0);
+        assert_eq!(buf.purge(Round(10)), 1); // seq 0 is 10 rounds old
+        assert!(buf.contains(MessageId::new(ProcessId(1), 1)));
+        assert_eq!(buf.purge(Round(15)), 1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn zero_age_never_purges() {
+        let mut buf = MessageBuffer::new(0);
+        buf.insert(msg(1, 0), Round(0));
+        assert_eq!(buf.purge(Round(1_000_000)), 0);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn purged_message_not_reinserted() {
+        let mut buf = MessageBuffer::new(1);
+        buf.insert(msg(1, 0), Round(0));
+        buf.purge(Round(5));
+        assert!(buf.is_empty());
+        // Gossip brings the old message back: it must be recognized as seen.
+        assert!(!buf.insert(msg(1, 0), Round(5)));
+        assert!(buf.is_empty());
+        assert!(buf.seen(MessageId::new(ProcessId(1), 0)));
+    }
+
+    #[test]
+    fn digest_reflects_buffer() {
+        let mut buf = MessageBuffer::new(10);
+        buf.insert(msg(1, 0), Round(0));
+        buf.insert(msg(2, 3), Round(0));
+        let d = buf.digest();
+        assert!(d.contains(MessageId::new(ProcessId(1), 0)));
+        assert!(d.contains(MessageId::new(ProcessId(2), 3)));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn select_missing_excludes_known() {
+        let mut buf = MessageBuffer::new(10);
+        buf.insert(msg(1, 0), Round(0));
+        buf.insert(msg(1, 1), Round(0));
+        let mut their = Digest::new();
+        their.insert(MessageId::new(ProcessId(1), 0));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let selected = buf.select_missing(&their, 10, &mut rng);
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].id, MessageId::new(ProcessId(1), 1));
+    }
+
+    #[test]
+    fn select_missing_respects_max() {
+        let mut buf = MessageBuffer::new(10);
+        for seq in 0..100 {
+            buf.insert(msg(1, seq), Round(0));
+        }
+        let mut rng = SmallRng::seed_from_u64(2);
+        let selected = buf.select_missing(&Digest::new(), 7, &mut rng);
+        assert_eq!(selected.len(), 7);
+        // All distinct.
+        let mut ids: Vec<MessageId> = selected.iter().map(|m| m.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 7);
+    }
+
+    #[test]
+    fn select_missing_random_subset_varies() {
+        let mut buf = MessageBuffer::new(10);
+        for seq in 0..50 {
+            buf.insert(msg(1, seq), Round(0));
+        }
+        let mut rng1 = SmallRng::seed_from_u64(1);
+        let mut rng2 = SmallRng::seed_from_u64(2);
+        let s1: Vec<MessageId> = buf.select_missing(&Digest::new(), 5, &mut rng1).iter().map(|m| m.id).collect();
+        let s2: Vec<MessageId> = buf.select_missing(&Digest::new(), 5, &mut rng2).iter().map(|m| m.id).collect();
+        // Overwhelmingly likely to differ for 50-choose-5.
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn hops_increment() {
+        let mut buf = MessageBuffer::new(10);
+        buf.insert(msg(1, 0), Round(0));
+        buf.increment_hops();
+        buf.increment_hops();
+        assert_eq!(buf.get(MessageId::new(ProcessId(1), 0)).unwrap().hops, 2);
+    }
+}

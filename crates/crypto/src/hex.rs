@@ -1,0 +1,100 @@
+//! Minimal hexadecimal encoding/decoding helpers used in tests and
+//! diagnostics.
+//!
+//! # Examples
+//!
+//! ```
+//! assert_eq!(drum_crypto::hex::encode(&[0xde, 0xad]), "dead");
+//! assert_eq!(drum_crypto::hex::decode("dead").unwrap(), vec![0xde, 0xad]);
+//! ```
+
+/// Encodes bytes as a lowercase hexadecimal string.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    s
+}
+
+/// Error returned by [`decode`] for malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeHexError {
+    /// Input length was odd.
+    OddLength,
+    /// A character was not a hexadecimal digit; carries its byte offset.
+    InvalidDigit(usize),
+}
+
+impl core::fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeHexError::OddLength => write!(f, "hex string has odd length"),
+            DecodeHexError::InvalidDigit(i) => write!(f, "invalid hex digit at offset {i}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeHexError {}
+
+/// Decodes a hexadecimal string (upper- or lowercase) into bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] if the input has odd length or contains a
+/// non-hexadecimal character.
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeHexError::OddLength);
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for i in (0..bytes.len()).step_by(2) {
+        let hi = (bytes[i] as char).to_digit(16).ok_or(DecodeHexError::InvalidDigit(i))?;
+        let lo = (bytes[i + 1] as char)
+            .to_digit(16)
+            .ok_or(DecodeHexError::InvalidDigit(i + 1))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("DEAD").unwrap(), vec![0xde, 0xad]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(decode("abc"), Err(DecodeHexError::OddLength));
+    }
+
+    #[test]
+    fn invalid_digit_rejected() {
+        assert_eq!(decode("zz"), Err(DecodeHexError::InvalidDigit(0)));
+        assert_eq!(decode("aazz"), Err(DecodeHexError::InvalidDigit(2)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeHexError::OddLength.to_string().contains("odd"));
+        assert!(DecodeHexError::InvalidDigit(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,222 @@
+//! Key management for the Drum protocol.
+//!
+//! The paper assumes a public-key infrastructure: data-message sources are
+//! authenticated with signatures and the randomly chosen gossip ports are
+//! encrypted under the recipient's public key. No asymmetric-crypto crate is
+//! available offline, so this module provides the **functional equivalent**
+//! for the modeled adversary (who can fabricate and snoop messages but holds
+//! no group member's key):
+//!
+//! * every process owns a random 256-bit [`SecretKey`];
+//! * a [`KeyStore`] plays the role of the PKI — honest processes use it to
+//!   seal data *for* a recipient or verify tags *from* a source, while the
+//!   adversary (by assumption) has no access to it.
+//!
+//! This substitution is documented in `DESIGN.md`; it preserves the two
+//! properties the protocol actually relies on: unforgeability of sources and
+//! confidentiality of sealed ports.
+
+use parking_lot::RwLock;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::hmac::hmac_sha256;
+
+/// A 256-bit symmetric secret owned by one process.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey(pub(crate) [u8; 32]);
+
+impl core::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        write!(f, "SecretKey(..)")
+    }
+}
+
+impl SecretKey {
+    /// Generates a fresh random key from `rng`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        SecretKey(bytes)
+    }
+
+    /// Builds a key from raw bytes (e.g. for tests or key exchange).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        SecretKey(bytes)
+    }
+
+    /// Derives a sub-key bound to a usage `label` (domain separation).
+    pub fn derive(&self, label: &[u8]) -> SecretKey {
+        SecretKey(hmac_sha256(&self.0, label))
+    }
+
+    /// Raw key bytes. Use sparingly; prefer the higher-level APIs.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+/// Error returned when a [`KeyStore`] lookup fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownPeerError {
+    /// The peer identifier that had no registered key.
+    pub peer: u64,
+}
+
+impl core::fmt::Display for UnknownPeerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "no key registered for peer {}", self.peer)
+    }
+}
+
+impl std::error::Error for UnknownPeerError {}
+
+/// A shared registry of per-process keys, standing in for a PKI.
+///
+/// Cloning a `KeyStore` is cheap and yields a handle to the same underlying
+/// registry, so one store can be shared by all honest processes of a test or
+/// experiment.
+///
+/// # Examples
+///
+/// ```
+/// use drum_crypto::keys::KeyStore;
+///
+/// let store = KeyStore::new(7);
+/// store.register(1);
+/// store.register(2);
+/// assert!(store.contains(1));
+/// assert!(!store.contains(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeyStore {
+    inner: Arc<RwLock<HashMap<u64, SecretKey>>>,
+    seed_rng: Arc<RwLock<SmallRng>>,
+}
+
+impl KeyStore {
+    /// Creates an empty key store; `seed` makes key generation deterministic
+    /// for reproducible experiments.
+    pub fn new(seed: u64) -> Self {
+        KeyStore {
+            inner: Arc::new(RwLock::new(HashMap::new())),
+            seed_rng: Arc::new(RwLock::new(SmallRng::seed_from_u64(seed))),
+        }
+    }
+
+    /// Registers a fresh key for `peer`, replacing any existing one.
+    /// Returns the generated key.
+    pub fn register(&self, peer: u64) -> SecretKey {
+        let key = SecretKey::generate(&mut *self.seed_rng.write());
+        self.inner.write().insert(peer, key.clone());
+        key
+    }
+
+    /// Registers an externally generated key for `peer`.
+    pub fn register_key(&self, peer: u64, key: SecretKey) {
+        self.inner.write().insert(peer, key);
+    }
+
+    /// Removes `peer`'s key (e.g. after certificate revocation).
+    /// Returns `true` if a key was present.
+    pub fn revoke(&self, peer: u64) -> bool {
+        self.inner.write().remove(&peer).is_some()
+    }
+
+    /// Whether a key is registered for `peer`.
+    pub fn contains(&self, peer: u64) -> bool {
+        self.inner.read().contains_key(&peer)
+    }
+
+    /// Number of registered peers.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether no peers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Fetches the key for `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPeerError`] if `peer` was never registered (or was
+    /// revoked).
+    pub fn key_of(&self, peer: u64) -> Result<SecretKey, UnknownPeerError> {
+        self.inner
+            .read()
+            .get(&peer)
+            .cloned()
+            .ok_or(UnknownPeerError { peer })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let store = KeyStore::new(1);
+        let k = store.register(42);
+        assert_eq!(store.key_of(42).unwrap(), k);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn unknown_peer_is_error() {
+        let store = KeyStore::new(1);
+        let err = store.key_of(9).unwrap_err();
+        assert_eq!(err.peer, 9);
+        assert!(err.to_string().contains('9'));
+    }
+
+    #[test]
+    fn revoke_removes_key() {
+        let store = KeyStore::new(1);
+        store.register(5);
+        assert!(store.revoke(5));
+        assert!(!store.revoke(5));
+        assert!(store.key_of(5).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = KeyStore::new(99);
+        let b = KeyStore::new(99);
+        assert_eq!(a.register(1), b.register(1));
+    }
+
+    #[test]
+    fn distinct_peers_distinct_keys() {
+        let store = KeyStore::new(3);
+        assert_ne!(store.register(1), store.register(2));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let store = KeyStore::new(1);
+        let clone = store.clone();
+        store.register(7);
+        assert!(clone.contains(7));
+    }
+
+    #[test]
+    fn derive_is_label_separated() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let k = SecretKey::generate(&mut rng);
+        assert_ne!(k.derive(b"a").as_bytes(), k.derive(b"b").as_bytes());
+    }
+
+    #[test]
+    fn secret_key_debug_hides_material() {
+        let k = SecretKey::from_bytes([7u8; 32]);
+        assert_eq!(format!("{k:?}"), "SecretKey(..)");
+    }
+}

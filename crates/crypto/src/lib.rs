@@ -1,0 +1,100 @@
+//! Cryptographic substrate for the Drum DoS-resistant gossip protocol.
+//!
+//! The Drum paper (Badishi, Keidar, Sasson — DSN 2004) assumes two standard
+//! cryptographic services:
+//!
+//! 1. **Source authentication** — each multicast data message can be
+//!    attributed unforgeably to its originator ([`auth`]).
+//! 2. **Port concealment** — the randomly chosen ports carried in
+//!    pull-requests and push-offers are encrypted so the attacker cannot
+//!    target them ([`mod@seal`]).
+//!
+//! Both are built on a from-scratch, test-vector-verified SHA-256
+//! ([`sha256`]) and HMAC-SHA-256 ([`hmac`]); key distribution is modeled by
+//! a [`keys::KeyStore`] standing in for the paper's PKI (see `DESIGN.md`
+//! for the substitution rationale).
+//!
+//! # Examples
+//!
+//! Sealing a random port for a gossip partner:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use drum_crypto::keys::KeyStore;
+//! use drum_crypto::seal::{seal_port, open_port};
+//!
+//! let pki = KeyStore::new(42);
+//! let partner_key = pki.register(7);
+//!
+//! // Sender side: conceal the ephemeral port.
+//! let sealed = seal_port(&pki.key_of(7)?, /*nonce=*/ 1, 50123)?;
+//!
+//! // Recipient side: recover it.
+//! assert_eq!(open_port(&partner_key, &sealed)?, 50123);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod hex;
+pub mod hmac;
+pub mod keys;
+pub mod seal;
+pub mod sha256;
+
+pub use auth::{sign, verify, AuthError, AuthTag, AUTH_TAG_LEN};
+pub use keys::{KeyStore, SecretKey, UnknownPeerError};
+pub use seal::{open, open_port, seal, seal_port, SealError, SealedBox};
+
+#[cfg(test)]
+mod proptests {
+    use crate::hmac::hmac_sha256;
+    use crate::keys::SecretKey;
+    use crate::seal::{open, seal, MAX_SEALED_LEN};
+    use crate::sha256::Sha256;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+            let split = split.min(data.len());
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+        }
+
+        #[test]
+        fn hmac_deterministic(key in proptest::collection::vec(any::<u8>(), 0..100),
+                              data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            prop_assert_eq!(hmac_sha256(&key, &data), hmac_sha256(&key, &data));
+        }
+
+        #[test]
+        fn seal_round_trips(key in any::<[u8; 32]>(), nonce in any::<u64>(),
+                            pt in proptest::collection::vec(any::<u8>(), 0..=MAX_SEALED_LEN)) {
+            let k = SecretKey::from_bytes(key);
+            let sealed = seal(&k, nonce, &pt).unwrap();
+            prop_assert_eq!(open(&k, &sealed).unwrap(), pt);
+        }
+
+        #[test]
+        fn seal_tamper_detected(key in any::<[u8; 32]>(), nonce in any::<u64>(),
+                                pt in proptest::collection::vec(any::<u8>(), 1..=MAX_SEALED_LEN),
+                                flip in 1u8..=255, pos in any::<proptest::sample::Index>()) {
+            let k = SecretKey::from_bytes(key);
+            let mut sealed = seal(&k, nonce, &pt).unwrap();
+            let i = pos.index(sealed.ciphertext.len());
+            sealed.ciphertext[i] ^= flip;
+            prop_assert!(open(&k, &sealed).is_err());
+        }
+
+        #[test]
+        fn hex_round_trips(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assert_eq!(crate::hex::decode(&crate::hex::encode(&data)).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The certification authority (CA).
+//!
+//! §10.1: "In order to join the group, a process must be authorized by the
+//! CA. Once the CA authorizes the process according to its credentials, the
+//! CA grants the process with a timestamped certificate, which expires (and
+//! so must be renewed) after a certain period of time." The CA also revokes
+//! certificates (log-out or suspicion of misbehavior) and hands newcomers
+//! an initial membership list.
+//!
+//! This is an in-process, thread-safe CA suitable for experiments and
+//! tests; the paper notes that distributed Byzantine-fault-tolerant CA
+//! implementations exist and are orthogonal to Drum itself.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use drum_core::ids::ProcessId;
+use drum_crypto::hmac::hmac_sha256;
+use drum_crypto::keys::{KeyStore, SecretKey};
+
+use crate::cert::{Certificate, Timestamp};
+
+/// Errors returned by CA operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaError {
+    /// The process already holds a current certificate.
+    AlreadyMember(ProcessId),
+    /// The process is not a member.
+    NotMember(ProcessId),
+    /// Zero-length validity requested.
+    EmptyValidity,
+}
+
+impl core::fmt::Display for CaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CaError::AlreadyMember(p) => write!(f, "{p} is already a member"),
+            CaError::NotMember(p) => write!(f, "{p} is not a member"),
+            CaError::EmptyValidity => write!(f, "certificate validity must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for CaError {}
+
+struct CaInner {
+    serial: u64,
+    /// Current certificate per member.
+    members: HashMap<ProcessId, Certificate>,
+    /// Revoked serial numbers (CRL).
+    revoked: HashSet<u64>,
+}
+
+/// A thread-safe certification authority.
+///
+/// Cloning yields a handle to the same CA.
+///
+/// # Examples
+///
+/// ```
+/// use drum_core::ids::ProcessId;
+/// use drum_crypto::keys::KeyStore;
+/// use drum_membership::ca::CertificateAuthority;
+///
+/// let pki = KeyStore::new(1);
+/// let ca = CertificateAuthority::new([7u8; 32], pki);
+/// let cert = ca.join(ProcessId(1), 0, 100).unwrap();
+/// assert!(ca.is_member(ProcessId(1)));
+/// assert!(cert.verify(&ca.verification_key()));
+/// ```
+#[derive(Clone)]
+pub struct CertificateAuthority {
+    key: SecretKey,
+    /// The PKI stand-in: joining registers the member's key here so other
+    /// members can authenticate its messages and seal ports for it.
+    key_store: KeyStore,
+    inner: Arc<Mutex<CaInner>>,
+}
+
+impl core::fmt::Debug for CertificateAuthority {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("CertificateAuthority")
+            .field("members", &inner.members.len())
+            .field("revoked", &inner.revoked.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl From<[u8; 32]> for SecretKeyWrapper {
+    fn from(b: [u8; 32]) -> Self {
+        SecretKeyWrapper(SecretKey::from_bytes(b))
+    }
+}
+
+/// Conversion helper so `[u8; 32]` literals can seed a CA ergonomically.
+pub struct SecretKeyWrapper(pub SecretKey);
+
+impl From<SecretKey> for SecretKeyWrapper {
+    fn from(k: SecretKey) -> Self {
+        SecretKeyWrapper(k)
+    }
+}
+
+impl CertificateAuthority {
+    /// Creates a CA with the given signing key and PKI registry.
+    pub fn new(key: impl Into<SecretKeyWrapper>, key_store: KeyStore) -> Self {
+        CertificateAuthority {
+            key: key.into().0,
+            key_store,
+            inner: Arc::new(Mutex::new(CaInner {
+                serial: 0,
+                members: HashMap::new(),
+                revoked: HashSet::new(),
+            })),
+        }
+    }
+
+    /// The key other processes use to verify certificates. (With HMAC this
+    /// equals the signing key; with real signatures it would be the public
+    /// half.)
+    pub fn verification_key(&self) -> SecretKey {
+        self.key.clone()
+    }
+
+    /// The PKI registry joined members are added to.
+    pub fn key_store(&self) -> &KeyStore {
+        &self.key_store
+    }
+
+    fn sign(&self, subject: ProcessId, serial: u64, issued: Timestamp, expires: Timestamp) -> Certificate {
+        let signature = hmac_sha256(
+            self.key.as_bytes(),
+            &Certificate::signing_input(subject, serial, issued, expires),
+        );
+        Certificate { subject, serial, issued_at: issued, expires_at: expires, signature }
+    }
+
+    /// Admits `subject` to the group at time `now` with the given validity,
+    /// registering a fresh key for it in the PKI.
+    ///
+    /// # Errors
+    ///
+    /// * [`CaError::AlreadyMember`] if it holds a current certificate.
+    /// * [`CaError::EmptyValidity`] if `validity == 0`.
+    pub fn join(&self, subject: ProcessId, now: Timestamp, validity: u64) -> Result<Certificate, CaError> {
+        if validity == 0 {
+            return Err(CaError::EmptyValidity);
+        }
+        let mut inner = self.inner.lock();
+        if let Some(existing) = inner.members.get(&subject) {
+            if existing.is_current(now) && !inner.revoked.contains(&existing.serial) {
+                return Err(CaError::AlreadyMember(subject));
+            }
+        }
+        inner.serial += 1;
+        let serial = inner.serial;
+        let cert = self.sign(subject, serial, now, now + validity);
+        inner.members.insert(subject, cert.clone());
+        drop(inner);
+        self.key_store.register(subject.as_u64());
+        Ok(cert)
+    }
+
+    /// Renews `subject`'s certificate (§10.1: "when a process's certificate
+    /// is about to expire, the process must request a new certificate").
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::NotMember`] if the subject holds no certificate, or
+    /// [`CaError::EmptyValidity`].
+    pub fn renew(&self, subject: ProcessId, now: Timestamp, validity: u64) -> Result<Certificate, CaError> {
+        if validity == 0 {
+            return Err(CaError::EmptyValidity);
+        }
+        let mut inner = self.inner.lock();
+        if !inner.members.contains_key(&subject) {
+            return Err(CaError::NotMember(subject));
+        }
+        inner.serial += 1;
+        let serial = inner.serial;
+        let cert = self.sign(subject, serial, now, now + validity);
+        inner.members.insert(subject, cert.clone());
+        Ok(cert)
+    }
+
+    /// Voluntary log-out: revokes the member's certificate and removes its
+    /// key from the PKI.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::NotMember`] if the subject is unknown.
+    pub fn leave(&self, subject: ProcessId) -> Result<(), CaError> {
+        self.expel(subject)
+    }
+
+    /// Expels a member (revocation "due to suspicion of malbehavior").
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::NotMember`] if the subject is unknown.
+    pub fn expel(&self, subject: ProcessId) -> Result<(), CaError> {
+        let mut inner = self.inner.lock();
+        let Some(cert) = inner.members.remove(&subject) else {
+            return Err(CaError::NotMember(subject));
+        };
+        inner.revoked.insert(cert.serial);
+        drop(inner);
+        self.key_store.revoke(subject.as_u64());
+        Ok(())
+    }
+
+    /// Whether `serial` is on the revocation list.
+    pub fn is_revoked(&self, serial: u64) -> bool {
+        self.inner.lock().revoked.contains(&serial)
+    }
+
+    /// Whether `subject` currently holds an (unrevoked) certificate.
+    pub fn is_member(&self, subject: ProcessId) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .members
+            .get(&subject)
+            .map(|c| !inner.revoked.contains(&c.serial))
+            .unwrap_or(false)
+    }
+
+    /// The current membership list with certificates — what the CA hands a
+    /// newcomer ("the CA provides the newcomer with an initial list of the
+    /// other processes in the group"). `limit` truncates the list to model
+    /// a *partial* initial view; `None` returns everyone.
+    pub fn member_list(&self, limit: Option<usize>) -> Vec<Certificate> {
+        let inner = self.inner.lock();
+        let mut list: Vec<Certificate> = inner.members.values().cloned().collect();
+        list.sort_by_key(|c| c.subject);
+        if let Some(l) = limit {
+            list.truncate(l);
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ca() -> CertificateAuthority {
+        CertificateAuthority::new([3u8; 32], KeyStore::new(5))
+    }
+
+    #[test]
+    fn join_issues_verifiable_cert() {
+        let ca = ca();
+        let cert = ca.join(ProcessId(1), 10, 100).unwrap();
+        assert!(cert.verify(&ca.verification_key()));
+        assert_eq!(cert.subject, ProcessId(1));
+        assert!(cert.is_current(50));
+        assert!(ca.is_member(ProcessId(1)));
+        assert!(ca.key_store().contains(1));
+    }
+
+    #[test]
+    fn double_join_rejected_while_current() {
+        let ca = ca();
+        ca.join(ProcessId(1), 0, 100).unwrap();
+        assert_eq!(ca.join(ProcessId(1), 50, 100), Err(CaError::AlreadyMember(ProcessId(1))));
+        // After expiry a re-join succeeds.
+        assert!(ca.join(ProcessId(1), 150, 100).is_ok());
+    }
+
+    #[test]
+    fn renew_extends_validity_with_new_serial() {
+        let ca = ca();
+        let c1 = ca.join(ProcessId(1), 0, 100).unwrap();
+        let c2 = ca.renew(ProcessId(1), 90, 100).unwrap();
+        assert!(c2.serial > c1.serial);
+        assert!(c2.is_current(150));
+        assert!(c2.verify(&ca.verification_key()));
+    }
+
+    #[test]
+    fn renew_requires_membership() {
+        assert_eq!(ca().renew(ProcessId(9), 0, 10), Err(CaError::NotMember(ProcessId(9))));
+    }
+
+    #[test]
+    fn leave_revokes_and_removes_key() {
+        let ca = ca();
+        let cert = ca.join(ProcessId(1), 0, 100).unwrap();
+        ca.leave(ProcessId(1)).unwrap();
+        assert!(!ca.is_member(ProcessId(1)));
+        assert!(ca.is_revoked(cert.serial));
+        assert!(!ca.key_store().contains(1));
+        assert_eq!(ca.leave(ProcessId(1)), Err(CaError::NotMember(ProcessId(1))));
+    }
+
+    #[test]
+    fn member_list_sorted_and_truncatable() {
+        let ca = ca();
+        for id in [5u64, 1, 3] {
+            ca.join(ProcessId(id), 0, 100).unwrap();
+        }
+        let all = ca.member_list(None);
+        assert_eq!(all.iter().map(|c| c.subject.as_u64()).collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(ca.member_list(Some(2)).len(), 2);
+    }
+
+    #[test]
+    fn empty_validity_rejected() {
+        let ca = ca();
+        assert_eq!(ca.join(ProcessId(1), 0, 0), Err(CaError::EmptyValidity));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let ca = ca();
+        let clone = ca.clone();
+        ca.join(ProcessId(1), 0, 100).unwrap();
+        assert!(clone.is_member(ProcessId(1)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CaError::AlreadyMember(ProcessId(1)).to_string().contains("p1"));
+        assert!(CaError::NotMember(ProcessId(2)).to_string().contains("p2"));
+    }
+}

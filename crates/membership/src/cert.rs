@@ -1,0 +1,184 @@
+//! Membership certificates (§10.1 of the paper).
+//!
+//! A process joins the group by obtaining a timestamped certificate from
+//! the certification authority (CA). Certificates expire and must be
+//! renewed; the CA can also revoke them. The signature is an HMAC under
+//! the CA's key — the symmetric stand-in for the paper's CA signatures
+//! (see `DESIGN.md`).
+
+use drum_core::ids::ProcessId;
+use drum_crypto::hmac::{hmac_sha256, verify_tag};
+use drum_crypto::keys::SecretKey;
+
+/// Logical wall-clock timestamp (seconds). The membership layer never reads
+/// real time; callers supply a clock so tests and simulations are
+/// deterministic.
+pub type Timestamp = u64;
+
+/// A certificate binding a process id to group membership for a validity
+/// window, signed by the CA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The certified process.
+    pub subject: ProcessId,
+    /// Monotonic serial number assigned by the CA (revocation handle).
+    pub serial: u64,
+    /// Start of validity.
+    pub issued_at: Timestamp,
+    /// End of validity (exclusive).
+    pub expires_at: Timestamp,
+    /// HMAC over the fields above, under the CA key.
+    pub signature: [u8; 32],
+}
+
+impl Certificate {
+    pub(crate) fn signing_input(
+        subject: ProcessId,
+        serial: u64,
+        issued_at: Timestamp,
+        expires_at: Timestamp,
+    ) -> Vec<u8> {
+        let mut data = Vec::with_capacity(14 + 32);
+        data.extend_from_slice(b"drum.mem.cert");
+        data.extend_from_slice(&subject.as_u64().to_be_bytes());
+        data.extend_from_slice(&serial.to_be_bytes());
+        data.extend_from_slice(&issued_at.to_be_bytes());
+        data.extend_from_slice(&expires_at.to_be_bytes());
+        data
+    }
+
+    /// Whether the certificate is within its validity window at `now`.
+    pub fn is_current(&self, now: Timestamp) -> bool {
+        self.issued_at <= now && now < self.expires_at
+    }
+
+    /// Verifies the CA signature (does **not** check expiry or revocation —
+    /// see [`crate::database::MembershipDb::apply`] for the full pipeline).
+    pub fn verify(&self, ca_key: &SecretKey) -> bool {
+        let expected = hmac_sha256(
+            ca_key.as_bytes(),
+            &Self::signing_input(self.subject, self.serial, self.issued_at, self.expires_at),
+        );
+        verify_tag(&expected, &self.signature)
+    }
+
+    /// Compact binary encoding (for piggybacking on gossip messages).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * 4 + 32);
+        out.extend_from_slice(&self.subject.as_u64().to_be_bytes());
+        out.extend_from_slice(&self.serial.to_be_bytes());
+        out.extend_from_slice(&self.issued_at.to_be_bytes());
+        out.extend_from_slice(&self.expires_at.to_be_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Decodes a certificate from [`Certificate::encode`]'s format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CertDecodeError`] if the buffer has the wrong length.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CertDecodeError> {
+        if bytes.len() != 8 * 4 + 32 {
+            return Err(CertDecodeError { len: bytes.len() });
+        }
+        let u64_at = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_be_bytes(b)
+        };
+        let mut signature = [0u8; 32];
+        signature.copy_from_slice(&bytes[32..64]);
+        Ok(Certificate {
+            subject: ProcessId(u64_at(0)),
+            serial: u64_at(8),
+            issued_at: u64_at(16),
+            expires_at: u64_at(24),
+            signature,
+        })
+    }
+}
+
+/// Error decoding a [`Certificate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertDecodeError {
+    /// The (wrong) buffer length encountered.
+    pub len: usize,
+}
+
+impl core::fmt::Display for CertDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "certificate buffer has wrong length {}", self.len)
+    }
+}
+
+impl std::error::Error for CertDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ca_key() -> SecretKey {
+        SecretKey::from_bytes([9u8; 32])
+    }
+
+    fn make_cert(subject: u64, serial: u64, issued: u64, expires: u64) -> Certificate {
+        let sig = hmac_sha256(
+            ca_key().as_bytes(),
+            &Certificate::signing_input(ProcessId(subject), serial, issued, expires),
+        );
+        Certificate {
+            subject: ProcessId(subject),
+            serial,
+            issued_at: issued,
+            expires_at: expires,
+            signature: sig,
+        }
+    }
+
+    #[test]
+    fn verify_valid_cert() {
+        let cert = make_cert(1, 1, 100, 200);
+        assert!(cert.verify(&ca_key()));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_fields() {
+        let mut cert = make_cert(1, 1, 100, 200);
+        cert.expires_at = 10_000; // extend own validity
+        assert!(!cert.verify(&ca_key()));
+
+        let mut cert = make_cert(1, 1, 100, 200);
+        cert.subject = ProcessId(2); // steal identity
+        assert!(!cert.verify(&ca_key()));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_ca() {
+        let cert = make_cert(1, 1, 100, 200);
+        assert!(!cert.verify(&SecretKey::from_bytes([1u8; 32])));
+    }
+
+    #[test]
+    fn validity_window() {
+        let cert = make_cert(1, 1, 100, 200);
+        assert!(!cert.is_current(99));
+        assert!(cert.is_current(100));
+        assert!(cert.is_current(199));
+        assert!(!cert.is_current(200));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cert = make_cert(7, 42, 5, 500);
+        let decoded = Certificate::decode(&cert.encode()).unwrap();
+        assert_eq!(cert, decoded);
+        assert!(decoded.verify(&ca_key()));
+    }
+
+    #[test]
+    fn decode_rejects_bad_length() {
+        assert_eq!(Certificate::decode(&[0u8; 10]), Err(CertDecodeError { len: 10 }));
+        assert!(CertDecodeError { len: 10 }.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,326 @@
+//! The local membership database.
+//!
+//! Each process maintains its own view of the group from the CA-signed
+//! events it receives over the multicast layer. §10.2's guarantees are
+//! enforced here:
+//!
+//! * events without a valid CA signature are rejected (fabricated
+//!   membership information is detectable);
+//! * expired certificates drop out of the view;
+//! * failure-detector suspicions are **local only** — they stop us from
+//!   gossiping with a peer but never remove it from the membership view,
+//!   and they are never propagated.
+
+use std::collections::HashMap;
+
+use drum_core::ids::ProcessId;
+use drum_core::view::Membership;
+use drum_crypto::keys::SecretKey;
+
+use crate::cert::{Certificate, Timestamp};
+use crate::events::MembershipEvent;
+
+/// Why an event was rejected by [`MembershipDb::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The certificate's CA signature did not verify.
+    BadSignature,
+    /// The certificate is not valid at the supplied time.
+    Expired,
+    /// A stale event: the database already holds a newer certificate for
+    /// the subject.
+    Stale,
+}
+
+impl core::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ApplyError::BadSignature => write!(f, "event certificate signature invalid"),
+            ApplyError::Expired => write!(f, "event certificate expired"),
+            ApplyError::Stale => write!(f, "event older than current knowledge"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// A process's local view of group membership.
+#[derive(Debug, Clone)]
+pub struct MembershipDb {
+    me: ProcessId,
+    ca_key: SecretKey,
+    /// Current certificate per known member.
+    members: HashMap<ProcessId, Certificate>,
+    /// Serials we have seen revoked (from Leave/Expel events).
+    revoked: std::collections::HashSet<u64>,
+    /// Locally suspected (failure detector); not part of the view logic,
+    /// only of partner selection.
+    suspected: std::collections::HashSet<ProcessId>,
+}
+
+impl MembershipDb {
+    /// Creates a database for process `me`, trusting certificates signed by
+    /// `ca_key`.
+    pub fn new(me: ProcessId, ca_key: SecretKey) -> Self {
+        MembershipDb {
+            me,
+            ca_key,
+            members: HashMap::new(),
+            revoked: std::collections::HashSet::new(),
+            suspected: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Bootstraps from the CA-provided initial list (possibly partial).
+    /// Invalid certificates are skipped; returns how many were installed.
+    pub fn bootstrap(&mut self, certs: impl IntoIterator<Item = Certificate>, now: Timestamp) -> usize {
+        let mut installed = 0;
+        for cert in certs {
+            if self.install(cert, now).is_ok() {
+                installed += 1;
+            }
+        }
+        installed
+    }
+
+    fn install(&mut self, cert: Certificate, now: Timestamp) -> Result<(), ApplyError> {
+        if !cert.verify(&self.ca_key) {
+            return Err(ApplyError::BadSignature);
+        }
+        if !cert.is_current(now) {
+            return Err(ApplyError::Expired);
+        }
+        if self.revoked.contains(&cert.serial) {
+            return Err(ApplyError::Stale);
+        }
+        match self.members.get(&cert.subject) {
+            Some(existing) if existing.serial >= cert.serial => Err(ApplyError::Stale),
+            _ => {
+                self.members.insert(cert.subject, cert);
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies one membership event received over multicast.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApplyError`] if the event's certificate fails verification
+    /// or is outdated; the database is unchanged in that case.
+    pub fn apply(&mut self, event: &MembershipEvent, now: Timestamp) -> Result<(), ApplyError> {
+        match event {
+            MembershipEvent::Join(cert) | MembershipEvent::Refresh(cert) => {
+                self.install(cert.clone(), now)
+            }
+            MembershipEvent::Leave(cert) | MembershipEvent::Expel(cert) => {
+                if !cert.verify(&self.ca_key) {
+                    return Err(ApplyError::BadSignature);
+                }
+                self.revoked.insert(cert.serial);
+                if let Some(existing) = self.members.get(&cert.subject) {
+                    if existing.serial <= cert.serial {
+                        self.members.remove(&cert.subject);
+                        self.suspected.remove(&cert.subject);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Drops expired certificates; returns how many were removed.
+    pub fn expire(&mut self, now: Timestamp) -> usize {
+        let before = self.members.len();
+        self.members.retain(|_, c| c.is_current(now));
+        before - self.members.len()
+    }
+
+    /// Marks `peer` as locally suspected (failure detector). Suspicion
+    /// affects [`MembershipDb::gossip_view`] but never membership itself.
+    pub fn suspect(&mut self, peer: ProcessId) {
+        if self.members.contains_key(&peer) {
+            self.suspected.insert(peer);
+        }
+    }
+
+    /// Clears a suspicion (the peer responded again).
+    pub fn unsuspect(&mut self, peer: ProcessId) {
+        self.suspected.remove(&peer);
+    }
+
+    /// Whether `peer` is currently suspected.
+    pub fn is_suspected(&self, peer: ProcessId) -> bool {
+        self.suspected.contains(&peer)
+    }
+
+    /// Whether `peer` is in the current view.
+    pub fn contains(&self, peer: ProcessId) -> bool {
+        self.members.contains_key(&peer)
+    }
+
+    /// The certificate currently held for `peer`.
+    pub fn certificate_of(&self, peer: ProcessId) -> Option<&Certificate> {
+        self.members.get(&peer)
+    }
+
+    /// Number of known members (including self if bootstrapped with it).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Builds the [`Membership`] list used for gossip partner selection:
+    /// all known, unsuspected members (excluding self automatically).
+    pub fn gossip_view(&self) -> Membership {
+        Membership::new(
+            self.me,
+            self.members
+                .keys()
+                .copied()
+                .filter(|p| !self.suspected.contains(p)),
+        )
+    }
+
+    /// All known member ids, sorted.
+    pub fn member_ids(&self) -> Vec<ProcessId> {
+        let mut ids: Vec<ProcessId> = self.members.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use drum_crypto::keys::KeyStore;
+
+    fn setup() -> (CertificateAuthority, MembershipDb) {
+        let ca = CertificateAuthority::new([4u8; 32], KeyStore::new(2));
+        let db = MembershipDb::new(ProcessId(0), ca.verification_key());
+        (ca, db)
+    }
+
+    #[test]
+    fn bootstrap_installs_valid_certs() {
+        let (ca, mut db) = setup();
+        for id in 1..=5u64 {
+            ca.join(ProcessId(id), 0, 100).unwrap();
+        }
+        let installed = db.bootstrap(ca.member_list(None), 10);
+        assert_eq!(installed, 5);
+        assert_eq!(db.len(), 5);
+        assert!(db.contains(ProcessId(3)));
+    }
+
+    #[test]
+    fn join_event_adds_member() {
+        let (ca, mut db) = setup();
+        let cert = ca.join(ProcessId(7), 0, 100).unwrap();
+        db.apply(&MembershipEvent::Join(cert), 5).unwrap();
+        assert!(db.contains(ProcessId(7)));
+        assert!(db.certificate_of(ProcessId(7)).is_some());
+    }
+
+    #[test]
+    fn forged_event_rejected() {
+        let (_, mut db) = setup();
+        let rogue_ca = CertificateAuthority::new([9u8; 32], KeyStore::new(3));
+        let cert = rogue_ca.join(ProcessId(66), 0, 100).unwrap();
+        assert_eq!(db.apply(&MembershipEvent::Join(cert), 5), Err(ApplyError::BadSignature));
+        assert!(!db.contains(ProcessId(66)));
+    }
+
+    #[test]
+    fn expired_event_rejected() {
+        let (ca, mut db) = setup();
+        let cert = ca.join(ProcessId(7), 0, 10).unwrap();
+        assert_eq!(db.apply(&MembershipEvent::Join(cert), 50), Err(ApplyError::Expired));
+    }
+
+    #[test]
+    fn leave_removes_member_and_blocks_reuse() {
+        let (ca, mut db) = setup();
+        let cert = ca.join(ProcessId(7), 0, 100).unwrap();
+        db.apply(&MembershipEvent::Join(cert.clone()), 1).unwrap();
+        db.apply(&MembershipEvent::Leave(cert.clone()), 2).unwrap();
+        assert!(!db.contains(ProcessId(7)));
+        // Replaying the old join must not resurrect the member.
+        assert_eq!(db.apply(&MembershipEvent::Join(cert), 3), Err(ApplyError::Stale));
+    }
+
+    #[test]
+    fn renewal_replaces_older_certificate() {
+        let (ca, mut db) = setup();
+        let c1 = ca.join(ProcessId(7), 0, 50).unwrap();
+        db.apply(&MembershipEvent::Join(c1.clone()), 1).unwrap();
+        let c2 = ca.renew(ProcessId(7), 40, 100).unwrap();
+        db.apply(&MembershipEvent::Refresh(c2.clone()), 41).unwrap();
+        assert_eq!(db.certificate_of(ProcessId(7)).unwrap().serial, c2.serial);
+        // The stale one cannot come back.
+        assert_eq!(db.apply(&MembershipEvent::Refresh(c1), 42), Err(ApplyError::Stale));
+    }
+
+    #[test]
+    fn expire_sweeps_old_certs() {
+        let (ca, mut db) = setup();
+        let c = ca.join(ProcessId(7), 0, 10).unwrap();
+        db.apply(&MembershipEvent::Join(c), 5).unwrap();
+        assert_eq!(db.expire(9), 0);
+        assert_eq!(db.expire(10), 1);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn suspicion_is_local_and_reversible() {
+        let (ca, mut db) = setup();
+        for id in 1..=4u64 {
+            let c = ca.join(ProcessId(id), 0, 100).unwrap();
+            db.apply(&MembershipEvent::Join(c), 1).unwrap();
+        }
+        db.suspect(ProcessId(2));
+        assert!(db.is_suspected(ProcessId(2)));
+        // Still a member...
+        assert!(db.contains(ProcessId(2)));
+        // ...but not gossiped with.
+        let view = db.gossip_view();
+        assert!(!view.contains(ProcessId(2)));
+        assert_eq!(view.len(), 3);
+        db.unsuspect(ProcessId(2));
+        assert!(db.gossip_view().contains(ProcessId(2)));
+    }
+
+    #[test]
+    fn suspecting_unknown_peer_is_noop() {
+        let (_, mut db) = setup();
+        db.suspect(ProcessId(77));
+        assert!(!db.is_suspected(ProcessId(77)));
+    }
+
+    #[test]
+    fn gossip_view_excludes_self() {
+        let (ca, mut db) = setup();
+        let c = ca.join(ProcessId(0), 0, 100).unwrap();
+        db.apply(&MembershipEvent::Join(c), 1).unwrap();
+        assert!(db.contains(ProcessId(0)));
+        assert_eq!(db.gossip_view().len(), 0);
+    }
+
+    #[test]
+    fn member_ids_sorted() {
+        let (ca, mut db) = setup();
+        for id in [9u64, 2, 5] {
+            let c = ca.join(ProcessId(id), 0, 100).unwrap();
+            db.apply(&MembershipEvent::Join(c), 1).unwrap();
+        }
+        assert_eq!(
+            db.member_ids(),
+            vec![ProcessId(2), ProcessId(5), ProcessId(9)]
+        );
+    }
+}

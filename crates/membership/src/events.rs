@@ -1,0 +1,160 @@
+//! Membership events disseminated over the multicast layer.
+//!
+//! §10: join/leave/expel messages travel through Drum itself ("the dynamic
+//! membership protocol operates using Drum's multicast protocol as its
+//! transport layer"), so they inherit its DoS-resistance. Every event
+//! carries a CA certificate, making fabricated membership information
+//! detectable.
+
+use drum_core::ids::ProcessId;
+
+use crate::cert::{CertDecodeError, Certificate};
+
+/// A group-management event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// A process joined; carries its fresh certificate.
+    Join(Certificate),
+    /// A process logged out; carries the certificate being retired so
+    /// receivers can validate the leave against the CA signature.
+    Leave(Certificate),
+    /// The CA expelled a process; carries the revoked certificate.
+    Expel(Certificate),
+    /// Periodic re-advertisement of a certificate ("each process piggybacks
+    /// its certificate ... if it hasn't done so for a relatively long
+    /// period").
+    Refresh(Certificate),
+}
+
+impl MembershipEvent {
+    /// The process the event concerns.
+    pub fn subject(&self) -> ProcessId {
+        self.certificate().subject
+    }
+
+    /// The certificate carried by the event.
+    pub fn certificate(&self) -> &Certificate {
+        match self {
+            MembershipEvent::Join(c)
+            | MembershipEvent::Leave(c)
+            | MembershipEvent::Expel(c)
+            | MembershipEvent::Refresh(c) => c,
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            MembershipEvent::Join(_) => 1,
+            MembershipEvent::Leave(_) => 2,
+            MembershipEvent::Expel(_) => 3,
+            MembershipEvent::Refresh(_) => 4,
+        }
+    }
+
+    /// Encodes the event for transport as a multicast payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 64);
+        out.push(self.tag());
+        out.extend_from_slice(&self.certificate().encode());
+        out
+    }
+
+    /// Decodes an event from [`MembershipEvent::encode`]'s format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventDecodeError`] for empty buffers, unknown tags or
+    /// malformed certificates.
+    pub fn decode(bytes: &[u8]) -> Result<Self, EventDecodeError> {
+        let (&tag, rest) = bytes.split_first().ok_or(EventDecodeError::Empty)?;
+        let cert = Certificate::decode(rest).map_err(EventDecodeError::BadCertificate)?;
+        match tag {
+            1 => Ok(MembershipEvent::Join(cert)),
+            2 => Ok(MembershipEvent::Leave(cert)),
+            3 => Ok(MembershipEvent::Expel(cert)),
+            4 => Ok(MembershipEvent::Refresh(cert)),
+            other => Err(EventDecodeError::UnknownTag(other)),
+        }
+    }
+}
+
+/// Errors decoding a [`MembershipEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventDecodeError {
+    /// Empty buffer.
+    Empty,
+    /// Unrecognized event tag byte.
+    UnknownTag(u8),
+    /// Certificate body malformed.
+    BadCertificate(CertDecodeError),
+}
+
+impl core::fmt::Display for EventDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EventDecodeError::Empty => write!(f, "empty membership event"),
+            EventDecodeError::UnknownTag(t) => write!(f, "unknown membership event tag {t}"),
+            EventDecodeError::BadCertificate(e) => write!(f, "bad certificate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EventDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EventDecodeError::BadCertificate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drum_crypto::hmac::hmac_sha256;
+    use drum_crypto::keys::SecretKey;
+
+    fn cert(subject: u64) -> Certificate {
+        let key = SecretKey::from_bytes([1u8; 32]);
+        let sig = hmac_sha256(
+            key.as_bytes(),
+            &Certificate::signing_input(ProcessId(subject), 1, 0, 100),
+        );
+        Certificate { subject: ProcessId(subject), serial: 1, issued_at: 0, expires_at: 100, signature: sig }
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        for event in [
+            MembershipEvent::Join(cert(1)),
+            MembershipEvent::Leave(cert(2)),
+            MembershipEvent::Expel(cert(3)),
+            MembershipEvent::Refresh(cert(4)),
+        ] {
+            let decoded = MembershipEvent::decode(&event.encode()).unwrap();
+            assert_eq!(event, decoded);
+        }
+    }
+
+    #[test]
+    fn subject_accessor() {
+        assert_eq!(MembershipEvent::Join(cert(7)).subject(), ProcessId(7));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(MembershipEvent::decode(&[]), Err(EventDecodeError::Empty));
+        let mut buf = MembershipEvent::Join(cert(1)).encode();
+        buf[0] = 99;
+        assert_eq!(MembershipEvent::decode(&buf), Err(EventDecodeError::UnknownTag(99)));
+        assert!(matches!(
+            MembershipEvent::decode(&[1, 2, 3]),
+            Err(EventDecodeError::BadCertificate(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EventDecodeError::UnknownTag(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,147 @@
+//! A simple local failure detector.
+//!
+//! §10.1: "From time to time, each process tests the responsiveness of the
+//! other processes it communicates with. If a failure is detected, the
+//! process stops communicating with the failed process, but does not
+//! propagate this information to other processes."
+//!
+//! The detector counts consecutive unanswered probes per peer using the
+//! caller's logical clock (rounds); after `suspect_after` misses the peer
+//! is suspected. Any sign of life resets the counter and clears the
+//! suspicion — suspicion here is deliberately cheap and reversible because
+//! it only gates partner selection, never membership.
+
+use std::collections::HashMap;
+
+use drum_core::ids::ProcessId;
+
+/// Tracks peer responsiveness and produces local suspicions.
+///
+/// # Examples
+///
+/// ```
+/// use drum_core::ids::ProcessId;
+/// use drum_membership::failure_detector::FailureDetector;
+///
+/// let mut fd = FailureDetector::new(3);
+/// let p = ProcessId(1);
+/// fd.probe_sent(p);
+/// fd.probe_sent(p);
+/// fd.probe_sent(p);
+/// assert!(fd.is_suspected(p));
+/// fd.heard_from(p);
+/// assert!(!fd.is_suspected(p));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    suspect_after: u32,
+    misses: HashMap<ProcessId, u32>,
+}
+
+impl FailureDetector {
+    /// Creates a detector that suspects a peer after `suspect_after`
+    /// consecutive unanswered probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suspect_after == 0`.
+    pub fn new(suspect_after: u32) -> Self {
+        assert!(suspect_after > 0, "suspect_after must be positive");
+        FailureDetector { suspect_after, misses: HashMap::new() }
+    }
+
+    /// Records that a probe (or any expected-to-be-answered message) was
+    /// sent to `peer` without a response having arrived since the last one.
+    pub fn probe_sent(&mut self, peer: ProcessId) {
+        *self.misses.entry(peer).or_insert(0) += 1;
+    }
+
+    /// Records any message received from `peer`: clears its suspicion.
+    pub fn heard_from(&mut self, peer: ProcessId) {
+        self.misses.remove(&peer);
+    }
+
+    /// Whether `peer` is currently suspected.
+    pub fn is_suspected(&self, peer: ProcessId) -> bool {
+        self.misses
+            .get(&peer)
+            .map(|m| *m >= self.suspect_after)
+            .unwrap_or(false)
+    }
+
+    /// All currently suspected peers.
+    pub fn suspects(&self) -> Vec<ProcessId> {
+        let mut v: Vec<ProcessId> = self
+            .misses
+            .iter()
+            .filter(|(_, m)| **m >= self.suspect_after)
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Forgets a peer entirely (e.g. after it left the group).
+    pub fn forget(&mut self, peer: ProcessId) {
+        self.misses.remove(&peer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suspects_after_threshold() {
+        let mut fd = FailureDetector::new(2);
+        let p = ProcessId(1);
+        fd.probe_sent(p);
+        assert!(!fd.is_suspected(p));
+        fd.probe_sent(p);
+        assert!(fd.is_suspected(p));
+        assert_eq!(fd.suspects(), vec![p]);
+    }
+
+    #[test]
+    fn response_resets() {
+        let mut fd = FailureDetector::new(2);
+        let p = ProcessId(1);
+        fd.probe_sent(p);
+        fd.heard_from(p);
+        fd.probe_sent(p);
+        assert!(!fd.is_suspected(p));
+    }
+
+    #[test]
+    fn recovery_clears_suspicion() {
+        let mut fd = FailureDetector::new(1);
+        let p = ProcessId(1);
+        fd.probe_sent(p);
+        assert!(fd.is_suspected(p));
+        fd.heard_from(p);
+        assert!(!fd.is_suspected(p));
+        assert!(fd.suspects().is_empty());
+    }
+
+    #[test]
+    fn independent_peers() {
+        let mut fd = FailureDetector::new(1);
+        fd.probe_sent(ProcessId(1));
+        assert!(fd.is_suspected(ProcessId(1)));
+        assert!(!fd.is_suspected(ProcessId(2)));
+    }
+
+    #[test]
+    fn forget_removes_state() {
+        let mut fd = FailureDetector::new(1);
+        fd.probe_sent(ProcessId(1));
+        fd.forget(ProcessId(1));
+        assert!(!fd.is_suspected(ProcessId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        FailureDetector::new(0);
+    }
+}

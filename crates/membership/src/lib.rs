@@ -1,0 +1,131 @@
+//! Certificate-based dynamic membership for Drum (§10 of the paper).
+//!
+//! The membership service is layered *on top of* the DoS-resistant
+//! multicast: join/leave/expel events are CA-certified and disseminated as
+//! ordinary multicast payloads, so the membership protocol inherits Drum's
+//! resistance to denial-of-service attacks.
+//!
+//! * [`ca`] — the certification authority: admission, renewal, revocation,
+//!   initial membership lists;
+//! * [`cert`] — timestamped, CA-signed certificates;
+//! * [`events`] — join/leave/expel/refresh events and their wire encoding;
+//! * [`database`] — each process's local view, with signature and
+//!   freshness validation;
+//! * [`failure_detector`] — local, non-propagating responsiveness
+//!   suspicion.
+//!
+//! # Examples
+//!
+//! A newcomer joins, the event gossips to an existing member, and both end
+//! up with consistent views:
+//!
+//! ```
+//! use drum_core::ids::ProcessId;
+//! use drum_crypto::keys::KeyStore;
+//! use drum_membership::ca::CertificateAuthority;
+//! use drum_membership::database::MembershipDb;
+//! use drum_membership::events::MembershipEvent;
+//!
+//! let pki = KeyStore::new(1);
+//! let ca = CertificateAuthority::new([7u8; 32], pki);
+//!
+//! // An existing member's database.
+//! let mut db = MembershipDb::new(ProcessId(0), ca.verification_key());
+//!
+//! // p5 joins; the CA's log-in message reaches us via multicast.
+//! let cert = ca.join(ProcessId(5), /*now=*/ 0, /*validity=*/ 3600)?;
+//! let event = MembershipEvent::Join(cert);
+//! let wire = event.encode();
+//!
+//! db.apply(&MembershipEvent::decode(&wire)?, 1)?;
+//! assert!(db.contains(ProcessId(5)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ca;
+pub mod cert;
+pub mod database;
+pub mod events;
+pub mod failure_detector;
+pub mod member;
+
+pub use ca::{CaError, CertificateAuthority};
+pub use cert::{CertDecodeError, Certificate, Timestamp};
+pub use database::{ApplyError, MembershipDb};
+pub use events::{EventDecodeError, MembershipEvent};
+pub use failure_detector::FailureDetector;
+pub use member::{AppDelivery, GroupMember, GroupMemberConfig};
+
+#[cfg(test)]
+mod proptests {
+    use crate::ca::CertificateAuthority;
+    use crate::cert::Certificate;
+    use crate::database::MembershipDb;
+    use crate::events::MembershipEvent;
+    use drum_core::ids::ProcessId;
+    use drum_crypto::keys::KeyStore;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn certificate_encoding_round_trips(subject in any::<u64>(), serial in any::<u64>(),
+                                            issued in any::<u64>(), len in 0u64..1_000_000,
+                                            sig in any::<[u8; 32]>()) {
+            let cert = Certificate {
+                subject: ProcessId(subject),
+                serial,
+                issued_at: issued,
+                expires_at: issued.saturating_add(len),
+                signature: sig,
+            };
+            prop_assert_eq!(Certificate::decode(&cert.encode()).unwrap(), cert);
+        }
+
+        #[test]
+        fn random_event_streams_keep_db_consistent(
+            ops in proptest::collection::vec((0u8..4, 0u64..8, 0u64..50), 1..60)
+        ) {
+            let ca = CertificateAuthority::new([5u8; 32], KeyStore::new(1));
+            let mut db = MembershipDb::new(ProcessId(100), ca.verification_key());
+            let mut now = 0u64;
+            for (op, id, dt) in ops {
+                now += dt;
+                let subject = ProcessId(id);
+                match op {
+                    0 => {
+                        if let Ok(cert) = ca.join(subject, now, 100) {
+                            let _ = db.apply(&MembershipEvent::Join(cert), now);
+                        }
+                    }
+                    1 => {
+                        if ca.is_member(subject) {
+                            if let Ok(cert) = ca.renew(subject, now, 100) {
+                                let _ = db.apply(&MembershipEvent::Refresh(cert), now);
+                            }
+                        }
+                    }
+                    2 => {
+                        if let Some(cert) = db.certificate_of(subject).cloned() {
+                            let _ = ca.expel(subject);
+                            let _ = db.apply(&MembershipEvent::Expel(cert), now);
+                        }
+                    }
+                    _ => {
+                        db.expire(now);
+                    }
+                }
+                // Invariant: every member in the view has a CA-signed
+                // certificate (modulo not-yet-swept expiry).
+                for p in db.member_ids() {
+                    let cert = db.certificate_of(p).unwrap();
+                    prop_assert!(cert.verify(&ca.verification_key()));
+                }
+                // The gossip view never contains the local process.
+                prop_assert!(!db.gossip_view().contains(ProcessId(100)));
+            }
+        }
+    }
+}

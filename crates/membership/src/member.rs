@@ -1,0 +1,403 @@
+//! The §10 layering, assembled: one group member = a gossip [`Engine`] +
+//! a [`MembershipDb`] + a [`FailureDetector`] + its own certificate.
+//!
+//! Membership events travel as ordinary multicast payloads ("the dynamic
+//! membership protocol operates using Drum's multicast protocol as its
+//! transport layer"), so a [`GroupMember`] frames every payload with one
+//! tag byte: application data or membership event. Certificates are
+//! re-advertised periodically ("each process piggybacks its certificate
+//! ... if it hasn't done so for a relatively long period"), the local view
+//! follows the database, and failure-detector suspicions gate partner
+//! selection without ever touching membership.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use drum_core::config::GossipConfig;
+use drum_core::engine::{Engine, Outbound, PortOracle};
+use drum_core::ids::{MessageId, ProcessId};
+
+use crate::ca::{CaError, CertificateAuthority};
+use crate::cert::{Certificate, Timestamp};
+use crate::database::MembershipDb;
+use crate::events::MembershipEvent;
+use crate::failure_detector::FailureDetector;
+
+const TAG_APP: u8 = 0;
+const TAG_MEMBERSHIP: u8 = 1;
+
+/// Tunables of a [`GroupMember`].
+#[derive(Debug, Clone, Copy)]
+pub struct GroupMemberConfig {
+    /// Re-advertise the own certificate every this many time units.
+    pub refresh_interval: u64,
+    /// Start signalling [`GroupMember::needs_renewal`] this long before
+    /// the certificate expires.
+    pub renewal_margin: u64,
+    /// Consecutive unanswered probes before a peer is locally suspected.
+    pub suspect_after: u32,
+}
+
+impl Default for GroupMemberConfig {
+    fn default() -> Self {
+        GroupMemberConfig { refresh_interval: 600, renewal_margin: 300, suspect_after: 3 }
+    }
+}
+
+/// What a round delivered to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppDelivery {
+    /// Message identity (source + sequence).
+    pub id: MessageId,
+    /// The unframed application payload.
+    pub payload: Bytes,
+}
+
+/// A fully assembled group member.
+pub struct GroupMember {
+    engine: Engine,
+    db: MembershipDb,
+    fd: FailureDetector,
+    cert: Certificate,
+    config: GroupMemberConfig,
+    last_refresh: Timestamp,
+}
+
+impl core::fmt::Debug for GroupMember {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("GroupMember")
+            .field("me", &self.engine.me())
+            .field("members", &self.db.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GroupMember {
+    /// Joins the group through the CA: obtains a certificate, bootstraps
+    /// the membership view from the CA's list, and assembles the stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CaError`] from the admission.
+    pub fn join(
+        ca: &CertificateAuthority,
+        me: ProcessId,
+        now: Timestamp,
+        validity: u64,
+        gossip: GossipConfig,
+        member_config: GroupMemberConfig,
+        seed: u64,
+    ) -> Result<Self, CaError> {
+        let cert = ca.join(me, now, validity)?;
+        let mut db = MembershipDb::new(me, ca.verification_key());
+        db.bootstrap(ca.member_list(None), now);
+        let my_key = ca
+            .key_store()
+            .key_of(me.as_u64())
+            .expect("join registered our key");
+        let engine = Engine::new(gossip, db.gossip_view(), ca.key_store().clone(), my_key, seed);
+        Ok(GroupMember {
+            engine,
+            db,
+            fd: FailureDetector::new(member_config.suspect_after),
+            cert,
+            config: member_config,
+            last_refresh: now,
+        })
+    }
+
+    /// This member's id.
+    pub fn me(&self) -> ProcessId {
+        self.engine.me()
+    }
+
+    /// The current certificate.
+    pub fn certificate(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// The membership database.
+    pub fn db(&self) -> &MembershipDb {
+        &self.db
+    }
+
+    /// The underlying engine (read access).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The failure detector.
+    pub fn failure_detector(&mut self) -> &mut FailureDetector {
+        &mut self.fd
+    }
+
+    /// Whether the certificate should be renewed soon.
+    pub fn needs_renewal(&self, now: Timestamp) -> bool {
+        now + self.config.renewal_margin >= self.cert.expires_at
+    }
+
+    /// Installs a renewed certificate (obtained from the CA by the caller)
+    /// and gossips the refresh.
+    pub fn install_renewal(&mut self, cert: Certificate, now: Timestamp) {
+        self.cert = cert.clone();
+        self.announce(MembershipEvent::Refresh(cert), now);
+    }
+
+    /// Multicasts an application payload; returns its message id.
+    pub fn multicast(&mut self, payload: &[u8]) -> MessageId {
+        let mut framed = BytesMut::with_capacity(payload.len() + 1);
+        framed.put_u8(TAG_APP);
+        framed.put_slice(payload);
+        self.engine.publish(framed.freeze())
+    }
+
+    /// Originates a membership event: applied locally and multicast.
+    pub fn announce(&mut self, event: MembershipEvent, now: Timestamp) {
+        let _ = self.db.apply(&event, now);
+        let encoded = event.encode();
+        let mut framed = BytesMut::with_capacity(encoded.len() + 1);
+        framed.put_u8(TAG_MEMBERSHIP);
+        framed.put_slice(&encoded);
+        self.engine.publish(framed.freeze());
+    }
+
+    /// Starts a local round: expires stale certificates, syncs the gossip
+    /// view to the database (minus suspected peers), re-advertises the own
+    /// certificate when due, and returns the round's gossip messages.
+    pub fn begin_round<O: PortOracle>(&mut self, now: Timestamp, oracle: &mut O) -> Vec<Outbound> {
+        self.db.expire(now);
+        for suspect in self.fd.suspects() {
+            self.db.suspect(suspect);
+        }
+        let view = self.db.gossip_view();
+        *self.engine.membership_mut() = view;
+
+        if now.saturating_sub(self.last_refresh) >= self.config.refresh_interval {
+            self.last_refresh = now;
+            let cert = self.cert.clone();
+            self.announce(MembershipEvent::Refresh(cert), now);
+        }
+
+        self.engine.begin_round(oracle)
+    }
+
+    /// Handles an incoming gossip message. Any sign of life clears the
+    /// sender's failure-detector state.
+    pub fn handle<O: PortOracle>(
+        &mut self,
+        msg: drum_core::message::GossipMessage,
+        oracle: &mut O,
+    ) -> Vec<Outbound> {
+        let from = msg.from();
+        if self.db.contains(from) {
+            self.fd.heard_from(from);
+            self.db.unsuspect(from);
+        }
+        self.engine.handle(msg, oracle)
+    }
+
+    /// Ends the round: unframes deliveries, feeds membership events into
+    /// the database, and returns application payloads.
+    pub fn end_round(&mut self, now: Timestamp) -> Vec<AppDelivery> {
+        let mut out = Vec::new();
+        for msg in self.engine.take_delivered() {
+            match msg.payload.split_first() {
+                Some((&TAG_APP, rest)) => out.push(AppDelivery {
+                    id: msg.id,
+                    payload: Bytes::copy_from_slice(rest),
+                }),
+                Some((&TAG_MEMBERSHIP, rest)) => {
+                    if let Ok(event) = MembershipEvent::decode(rest) {
+                        let _ = self.db.apply(&event, now);
+                    }
+                }
+                _ => {} // unframed/garbage payloads are dropped
+            }
+        }
+        self.engine.end_round();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drum_core::engine::CountingPortOracle;
+    use drum_crypto::keys::KeyStore;
+
+    fn group(n: u64) -> (CertificateAuthority, Vec<GroupMember>) {
+        let ca = CertificateAuthority::new([6u8; 32], KeyStore::new(31));
+        // All join first so the bootstrap lists are complete...
+        for id in 0..n {
+            ca.join(ProcessId(id), 0, 10_000).unwrap();
+        }
+        // ...then assemble members that share the CA's key store. The CA
+        // rejects double-joins, so assemble from the existing state.
+        let members: Vec<GroupMember> = (0..n)
+            .map(|id| {
+                let mut db = MembershipDb::new(ProcessId(id), ca.verification_key());
+                db.bootstrap(ca.member_list(None), 0);
+                let key = ca.key_store().key_of(id).unwrap();
+                let engine = Engine::new(
+                    GossipConfig::drum(),
+                    db.gossip_view(),
+                    ca.key_store().clone(),
+                    key,
+                    id + 400,
+                );
+                let cert = db.certificate_of(ProcessId(id)).unwrap().clone();
+                GroupMember {
+                    engine,
+                    db,
+                    fd: FailureDetector::new(3),
+                    cert,
+                    config: GroupMemberConfig::default(),
+                    last_refresh: 0,
+                }
+            })
+            .collect();
+        (ca, members)
+    }
+
+    fn run_rounds(members: &mut [GroupMember], rounds: usize, now: Timestamp) -> Vec<Vec<AppDelivery>> {
+        let mut oracle = CountingPortOracle::default();
+        let mut all: Vec<Vec<AppDelivery>> = vec![Vec::new(); members.len()];
+        for _ in 0..rounds {
+            let mut inflight = Vec::new();
+            for m in members.iter_mut() {
+                inflight.extend(m.begin_round(now, &mut oracle));
+            }
+            while !inflight.is_empty() {
+                let mut next = Vec::new();
+                for out in inflight {
+                    let idx = out.to.as_u64() as usize;
+                    // Members without a running process (e.g. a newly
+                    // announced joiner) silently drop traffic, like a
+                    // crashed process would.
+                    if idx < members.len() {
+                        next.extend(members[idx].handle(out.msg, &mut oracle));
+                    }
+                }
+                inflight = next;
+            }
+            for (m, sink) in members.iter_mut().zip(all.iter_mut()) {
+                sink.extend(m.end_round(now));
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn join_via_ca_builds_consistent_member() {
+        let ca = CertificateAuthority::new([6u8; 32], KeyStore::new(31));
+        ca.join(ProcessId(1), 0, 1000).unwrap();
+        let member = GroupMember::join(
+            &ca,
+            ProcessId(0),
+            0,
+            1000,
+            GossipConfig::drum(),
+            GroupMemberConfig::default(),
+            7,
+        )
+        .unwrap();
+        assert_eq!(member.me(), ProcessId(0));
+        assert!(member.db().contains(ProcessId(1)));
+        assert!(member.certificate().is_current(500));
+        assert!(!member.needs_renewal(0));
+        assert!(member.needs_renewal(800));
+    }
+
+    #[test]
+    fn app_payloads_round_trip_through_framing() {
+        let (_, mut members) = group(5);
+        members[0].multicast(b"application data");
+        let deliveries = run_rounds(&mut members, 8, 1);
+        for (i, d) in deliveries.iter().enumerate().skip(1) {
+            assert_eq!(d.len(), 1, "member {i} deliveries");
+            assert_eq!(d[0].payload.as_ref(), b"application data");
+            assert_eq!(d[0].id.source, ProcessId(0));
+        }
+    }
+
+    #[test]
+    fn membership_events_update_all_databases() {
+        let (ca, mut members) = group(5);
+        let cert = ca.join(ProcessId(50), 1, 10_000).unwrap();
+        members[2].announce(MembershipEvent::Join(cert), 1);
+        run_rounds(&mut members, 8, 1);
+        for m in &members {
+            assert!(m.db().contains(ProcessId(50)), "{:?} missing the join", m.me());
+        }
+    }
+
+    #[test]
+    fn renewal_flow() {
+        let (ca, mut members) = group(3);
+        let renewed = ca.renew(ProcessId(0), 9_000, 20_000).unwrap();
+        members[0].install_renewal(renewed.clone(), 9_000);
+        run_rounds(&mut members, 6, 9_001);
+        for m in &members {
+            assert_eq!(
+                m.db().certificate_of(ProcessId(0)).unwrap().serial,
+                renewed.serial,
+                "{:?} did not learn the renewal",
+                m.me()
+            );
+        }
+    }
+
+    #[test]
+    fn suspected_peers_leave_the_gossip_view_only() {
+        let (_, mut members) = group(4);
+        for _ in 0..3 {
+            members[0].failure_detector().probe_sent(ProcessId(2));
+        }
+        let mut oracle = CountingPortOracle::default();
+        members[0].begin_round(1, &mut oracle);
+        assert!(!members[0].engine().membership().contains(ProcessId(2)));
+        assert!(members[0].db().contains(ProcessId(2)));
+        // Hearing from the peer restores it next round.
+        members[0].handle(
+            drum_core::message::GossipMessage::PushOffer {
+                from: ProcessId(2),
+                reply_port: drum_core::message::PortRef::Plain(1),
+                nonce: 0,
+            },
+            &mut oracle,
+        );
+        members[0].failure_detector().heard_from(ProcessId(2));
+        members[0].end_round(1);
+        members[0].begin_round(2, &mut oracle);
+        assert!(members[0].engine().membership().contains(ProcessId(2)));
+    }
+
+    #[test]
+    fn periodic_refresh_is_published() {
+        let (_, mut members) = group(3);
+        // Advance time past the refresh interval; the refresh gossips and
+        // keeps member 0's cert fresh in everyone's database even after
+        // expiring others' knowledge artificially.
+        let mut oracle = CountingPortOracle::default();
+        members[0].begin_round(700, &mut oracle); // triggers refresh publish
+        members[0].end_round(700);
+        // The refresh message is now in member 0's buffer awaiting gossip.
+        assert!(members[0].engine().buffer().len() >= 1);
+    }
+
+    #[test]
+    fn garbage_frames_dropped() {
+        let (_, mut members) = group(3);
+        // Publish an unframed (raw) payload directly through the engine —
+        // simulating a legacy/buggy sender inside the group.
+        let raw = Bytes::from_static(&[42u8, 1, 2, 3]);
+        // Hand-wire: put it in member 1's delivered queue via a publish on
+        // member 1 and delivery on others; tag 42 is unknown.
+        let mut framed = BytesMut::new();
+        framed.put_u8(42);
+        framed.put_slice(&raw);
+        members[1].engine.publish(framed.freeze());
+        let deliveries = run_rounds(&mut members, 6, 1);
+        assert!(deliveries[0].is_empty());
+        assert!(deliveries[2].is_empty());
+    }
+}

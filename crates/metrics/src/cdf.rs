@@ -1,0 +1,231 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper presents several CDFs: the fraction of correct processes that
+//! received message `M` by each round (Figures 5, 13, 14) and the
+//! distribution of per-process average latency (Figure 11). [`Cdf`] supports
+//! both: it maps a monotonically increasing x-axis to cumulative fractions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF: a sequence of `(x, fraction)` points with
+/// non-decreasing `x` and non-decreasing `fraction ∈ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use drum_metrics::cdf::Cdf;
+///
+/// let cdf = Cdf::from_samples(&[1.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(cdf.fraction_at(0.5), 0.0);
+/// assert_eq!(cdf.fraction_at(2.0), 0.75);
+/// assert_eq!(cdf.fraction_at(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Builds an empirical CDF from raw samples.
+    ///
+    /// NaN samples are ignored. An empty input yields an empty CDF whose
+    /// [`Cdf::fraction_at`] is `0.0` everywhere.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut xs: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        let n = xs.len() as f64;
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for (i, x) in xs.iter().enumerate() {
+            let frac = (i + 1) as f64 / n;
+            match points.last_mut() {
+                Some(last) if last.0 == *x => last.1 = frac,
+                _ => points.push((*x, frac)),
+            }
+        }
+        Cdf { points }
+    }
+
+    /// Builds a CDF directly from `(x, fraction)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfError`] if `x` values are not strictly increasing or
+    /// fractions are not non-decreasing within `[0, 1]`.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Result<Self, CdfError> {
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(CdfError::NonIncreasingX { x: w[1].0 });
+            }
+            if w[1].1 < w[0].1 {
+                return Err(CdfError::DecreasingFraction { x: w[1].0 });
+            }
+        }
+        if let Some(bad) = points.iter().find(|(_, f)| !(0.0..=1.0).contains(f)) {
+            return Err(CdfError::FractionOutOfRange { fraction: bad.1 });
+        }
+        Ok(Cdf { points })
+    }
+
+    /// The cumulative fraction at `x` (step interpolation).
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        match self.points.partition_point(|(px, _)| *px <= x) {
+            0 => 0.0,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// Smallest `x` whose cumulative fraction is at least `q`.
+    ///
+    /// Returns `None` if the CDF never reaches `q` (e.g. empty CDF).
+    pub fn inverse(&self, q: f64) -> Option<f64> {
+        self.points.iter().find(|(_, f)| *f >= q).map(|(x, _)| *x)
+    }
+
+    /// The underlying `(x, fraction)` points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the CDF has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Maximum absolute difference to another CDF evaluated on the union of
+    /// both x-grids (Kolmogorov–Smirnov statistic). Used by the
+    /// analysis-vs-simulation comparisons (Figures 13–14).
+    pub fn ks_distance(&self, other: &Cdf) -> f64 {
+        let mut xs: Vec<f64> = self
+            .points
+            .iter()
+            .chain(other.points.iter())
+            .map(|(x, _)| *x)
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in CDF"));
+        xs.dedup();
+        xs.iter()
+            .map(|x| (self.fraction_at(*x) - other.fraction_at(*x)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Errors building a [`Cdf`] from explicit points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CdfError {
+    /// The x axis was not strictly increasing at `x`.
+    NonIncreasingX {
+        /// Offending x value.
+        x: f64,
+    },
+    /// The cumulative fraction decreased at `x`.
+    DecreasingFraction {
+        /// Offending x value.
+        x: f64,
+    },
+    /// A fraction fell outside `[0, 1]`.
+    FractionOutOfRange {
+        /// Offending fraction.
+        fraction: f64,
+    },
+}
+
+impl core::fmt::Display for CdfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CdfError::NonIncreasingX { x } => write!(f, "x axis not strictly increasing at {x}"),
+            CdfError::DecreasingFraction { x } => write!(f, "cumulative fraction decreases at {x}"),
+            CdfError::FractionOutOfRange { fraction } => {
+                write!(f, "fraction {fraction} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_samples_basics() {
+        let cdf = Cdf::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf.fraction_at(0.0), 0.0);
+        assert!((cdf.fraction_at(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cdf.fraction_at(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.fraction_at(3.0), 1.0);
+    }
+
+    #[test]
+    fn duplicate_samples_collapse() {
+        let cdf = Cdf::from_samples(&[2.0, 2.0, 2.0]);
+        assert_eq!(cdf.len(), 1);
+        assert_eq!(cdf.fraction_at(2.0), 1.0);
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::from_samples(&[]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at(100.0), 0.0);
+        assert_eq!(cdf.inverse(0.5), None);
+    }
+
+    #[test]
+    fn nan_samples_ignored() {
+        let cdf = Cdf::from_samples(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.fraction_at(2.0), 1.0);
+    }
+
+    #[test]
+    fn inverse() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.inverse(0.0), Some(1.0));
+        assert_eq!(cdf.inverse(0.5), Some(2.0));
+        assert_eq!(cdf.inverse(0.99), Some(4.0));
+        assert_eq!(cdf.inverse(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn from_points_validation() {
+        assert!(Cdf::from_points(vec![(1.0, 0.5), (2.0, 1.0)]).is_ok());
+        assert_eq!(
+            Cdf::from_points(vec![(2.0, 0.5), (1.0, 1.0)]),
+            Err(CdfError::NonIncreasingX { x: 1.0 })
+        );
+        assert_eq!(
+            Cdf::from_points(vec![(1.0, 0.9), (2.0, 0.5)]),
+            Err(CdfError::DecreasingFraction { x: 2.0 })
+        );
+        assert_eq!(
+            Cdf::from_points(vec![(1.0, 1.5)]),
+            Err(CdfError::FractionOutOfRange { fraction: 1.5 })
+        );
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(cdf.ks_distance(&cdf.clone()), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_disjoint_is_one() {
+        let a = Cdf::from_samples(&[1.0]);
+        let b = Cdf::from_samples(&[10.0]);
+        assert_eq!(a.ks_distance(&b), 1.0);
+        assert_eq!(b.ks_distance(&a), 1.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CdfError::NonIncreasingX { x: 1.0 }.to_string().contains('1'));
+    }
+}

@@ -1,0 +1,194 @@
+//! Fixed-bucket histograms for latency distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniform-width buckets over `[lo, hi)` plus overflow /
+/// underflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use drum_metrics::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+/// h.record(5.0);
+/// h.record(15.0);
+/// h.record(15.5);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_count(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+/// Error constructing a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramError {
+    /// `hi` was not greater than `lo`, or a bound was NaN.
+    BadRange,
+    /// Zero buckets requested.
+    NoBuckets,
+}
+
+impl core::fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HistogramError::BadRange => write!(f, "histogram range is empty or NaN"),
+            HistogramError::NoBuckets => write!(f, "histogram needs at least one bucket"),
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `n` equal buckets.
+    ///
+    /// # Errors
+    ///
+    /// * [`HistogramError::BadRange`] — `hi <= lo` or NaN bounds.
+    /// * [`HistogramError::NoBuckets`] — `n == 0`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Result<Self, HistogramError> {
+        // NaN-aware: `hi` must compare strictly greater than `lo`.
+        if hi.partial_cmp(&lo) != Some(core::cmp::Ordering::Greater) {
+            return Err(HistogramError::BadRange);
+        }
+        if n == 0 {
+            return Err(HistogramError::NoBuckets);
+        }
+        Ok(Histogram { lo, hi, buckets: vec![0; n], underflow: 0, overflow: 0 })
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() || x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Inclusive lower edge of bucket `i`.
+    pub fn bucket_lo(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.lo + width * i as f64
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Observations below the range (or NaN).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram lo mismatch");
+        assert_eq!(self.hi, other.hi, "histogram hi mismatch");
+        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket count mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert_eq!(Histogram::new(1.0, 1.0, 4).unwrap_err(), HistogramError::BadRange);
+        assert_eq!(Histogram::new(2.0, 1.0, 4).unwrap_err(), HistogramError::BadRange);
+        assert_eq!(Histogram::new(f64::NAN, 1.0, 4).unwrap_err(), HistogramError::BadRange);
+        assert_eq!(Histogram::new(0.0, 1.0, 0).unwrap_err(), HistogramError::NoBuckets);
+    }
+
+    #[test]
+    fn bucket_assignment() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.record(0.0);
+        h.record(9.999);
+        h.record(5.0);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(9), 1);
+        assert_eq!(h.bucket_count(5), 1);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(-0.1);
+        h.record(1.0);
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        let h = Histogram::new(10.0, 20.0, 4).unwrap();
+        assert_eq!(h.bucket_lo(0), 10.0);
+        assert_eq!(h.bucket_lo(2), 15.0);
+        assert_eq!(h.num_buckets(), 4);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 5).unwrap();
+        let mut b = Histogram::new(0.0, 10.0, 5).unwrap();
+        a.record(1.0);
+        b.record(1.5);
+        b.record(-1.0);
+        a.merge(&b);
+        assert_eq!(a.bucket_count(0), 2);
+        assert_eq!(a.underflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count mismatch")]
+    fn merge_rejects_different_geometry() {
+        let mut a = Histogram::new(0.0, 10.0, 5).unwrap();
+        let b = Histogram::new(0.0, 10.0, 6).unwrap();
+        a.merge(&b);
+    }
+}

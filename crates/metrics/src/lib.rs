@@ -1,0 +1,78 @@
+//! Statistics, distributions and recorders for the Drum evaluation harness.
+//!
+//! This crate is the measurement substrate shared by the simulator
+//! (`drum-sim`), the UDP runtime (`drum-net`) and the figure-regeneration
+//! binaries (`drum-bench`):
+//!
+//! * [`stats`] — streaming mean/variance (propagation-time averages and
+//!   standard deviations, Figures 3–4 and 7–9),
+//! * [`cdf`] — empirical CDFs (Figures 5, 11, 13, 14),
+//! * [`histogram`] — bucketed latency distributions,
+//! * [`recorder`] — the paper's §8 throughput/latency accounting,
+//! * [`table`] — aligned text output for the `figN` binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use drum_metrics::stats::RunningStats;
+//!
+//! let stats: RunningStats = [4.0, 5.0, 6.0].into_iter().collect();
+//! assert_eq!(stats.mean(), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod histogram;
+pub mod recorder;
+pub mod stats;
+pub mod table;
+
+pub use cdf::Cdf;
+pub use histogram::Histogram;
+pub use recorder::{LatencyRecorder, ThroughputRecorder};
+pub use stats::RunningStats;
+pub use table::Table;
+
+#[cfg(test)]
+mod proptests {
+    use crate::cdf::Cdf;
+    use crate::stats::RunningStats;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn cdf_from_samples_is_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let cdf = Cdf::from_samples(&samples);
+            let pts = cdf.points();
+            for w in pts.windows(2) {
+                prop_assert!(w[1].0 > w[0].0);
+                prop_assert!(w[1].1 >= w[0].1);
+            }
+            prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn merge_matches_sequential(xs in proptest::collection::vec(-1e3f64..1e3, 0..100),
+                                    ys in proptest::collection::vec(-1e3f64..1e3, 0..100)) {
+            let mut merged: RunningStats = xs.iter().copied().collect();
+            let other: RunningStats = ys.iter().copied().collect();
+            merged.merge(&other);
+            let all: RunningStats = xs.iter().chain(ys.iter()).copied().collect();
+            prop_assert_eq!(merged.count(), all.count());
+            prop_assert!((merged.mean() - all.mean()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn ks_distance_bounded(a in proptest::collection::vec(-100f64..100.0, 1..50),
+                               b in proptest::collection::vec(-100f64..100.0, 1..50)) {
+            let ca = Cdf::from_samples(&a);
+            let cb = Cdf::from_samples(&b);
+            let d = ca.ks_distance(&cb);
+            prop_assert!((0.0..=1.0).contains(&d));
+            // Symmetry
+            prop_assert!((d - cb.ks_distance(&ca)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Latency and throughput recorders for the measurement harness (§8 of the
+//! paper).
+//!
+//! The paper's cluster experiments send 10,000 messages at 40 msg/s and
+//! report, per receiving process, the **average received throughput**
+//! (ignoring the first and last 5% of the experiment's duration) and the
+//! **average latency** of successfully received messages. These recorders
+//! reproduce that accounting.
+
+use crate::stats::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// Records per-message receive latencies for one process.
+///
+/// # Examples
+///
+/// ```
+/// use drum_metrics::recorder::LatencyRecorder;
+///
+/// let mut r = LatencyRecorder::new();
+/// r.record_ms(12.5);
+/// r.record_ms(20.0);
+/// assert_eq!(r.received(), 2);
+/// assert_eq!(r.mean_ms(), 16.25);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    stats: RunningStats,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one successfully delivered message's latency in milliseconds.
+    pub fn record_ms(&mut self, latency_ms: f64) {
+        self.stats.push(latency_ms);
+    }
+
+    /// Number of messages recorded.
+    pub fn received(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Population standard deviation of latency.
+    pub fn std_ms(&self) -> f64 {
+        self.stats.population_std()
+    }
+
+    /// Maximum observed latency; NaN when empty.
+    pub fn max_ms(&self) -> f64 {
+        self.stats.max()
+    }
+}
+
+/// Records message arrival times and computes steady-state throughput,
+/// trimming a warm-up/cool-down fraction of the experiment duration exactly
+/// as in the paper ("ignoring the first and last 5% of the time").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThroughputRecorder {
+    /// Arrival times (seconds since experiment start) of delivered messages.
+    arrivals: Vec<f64>,
+}
+
+impl ThroughputRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a delivery at `t_secs` seconds since experiment start.
+    pub fn record(&mut self, t_secs: f64) {
+        self.arrivals.push(t_secs);
+    }
+
+    /// Total deliveries recorded.
+    pub fn total(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Average throughput (messages/second) between `trim` and `1 - trim`
+    /// of the experiment duration `duration_secs`.
+    ///
+    /// Returns `0.0` for an empty recorder or a non-positive window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trim` is not in `[0, 0.5)`.
+    pub fn steady_state_throughput(&self, duration_secs: f64, trim: f64) -> f64 {
+        assert!((0.0..0.5).contains(&trim), "trim must be in [0, 0.5): {trim}");
+        let lo = duration_secs * trim;
+        let hi = duration_secs * (1.0 - trim);
+        let window = hi - lo;
+        if window <= 0.0 {
+            return 0.0;
+        }
+        let n = self
+            .arrivals
+            .iter()
+            .filter(|t| **t >= lo && **t < hi)
+            .count();
+        n as f64 / window
+    }
+
+    /// Throughput over the paper's standard 5% trim.
+    pub fn paper_throughput(&self, duration_secs: f64) -> f64 {
+        self.steady_state_throughput(duration_secs, 0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_basics() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.received(), 0);
+        assert_eq!(r.mean_ms(), 0.0);
+        r.record_ms(10.0);
+        r.record_ms(30.0);
+        assert_eq!(r.received(), 2);
+        assert_eq!(r.mean_ms(), 20.0);
+        assert_eq!(r.max_ms(), 30.0);
+        assert!((r.std_ms() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_uniform_arrivals() {
+        let mut r = ThroughputRecorder::new();
+        // 100 messages uniformly over 10 seconds = 10 msg/s.
+        for i in 0..100 {
+            r.record(i as f64 * 0.1);
+        }
+        let tp = r.steady_state_throughput(10.0, 0.0);
+        assert!((tp - 10.0).abs() < 1e-9, "tp = {tp}");
+    }
+
+    #[test]
+    fn throughput_trims_edges() {
+        let mut r = ThroughputRecorder::new();
+        // A burst only in the first 5% must not count with 5% trim.
+        for i in 0..50 {
+            r.record(i as f64 * 0.001); // all within [0, 0.05)
+        }
+        assert_eq!(r.paper_throughput(1.0), 0.0);
+        // But counts without trimming.
+        assert!(r.steady_state_throughput(1.0, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn empty_throughput_is_zero() {
+        let r = ThroughputRecorder::new();
+        assert_eq!(r.paper_throughput(10.0), 0.0);
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim")]
+    fn bad_trim_panics() {
+        ThroughputRecorder::new().steady_state_throughput(1.0, 0.5);
+    }
+
+    #[test]
+    fn zero_duration_is_zero() {
+        let mut r = ThroughputRecorder::new();
+        r.record(0.0);
+        assert_eq!(r.steady_state_throughput(0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! DoS attack traffic generation.
+//!
+//! Emulates the paper's adversary: each attacked process receives `x`
+//! fabricated messages per round — `x/2` push-offers to its well-known push
+//! port and `x/2` pull-requests to its well-known pull port for Drum, or
+//! all `x` on the single channel for Push/Pull (§5). The messages are
+//! syntactically valid (they decode and consume reception budget slots —
+//! the application-level attack the paper studies) but carry bogus reply
+//! ports and no authenticable data, so everything downstream of the budget
+//! is wasted work for the victim.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use drum_core::config::ProtocolVariant;
+use drum_core::digest::Digest;
+use drum_core::ids::ProcessId;
+use drum_core::message::{GossipMessage, PortRef};
+
+use crate::codec;
+use crate::transport::{bind_ephemeral, WellKnownAddrs};
+
+/// Configuration of one attacker.
+#[derive(Debug, Clone)]
+pub struct AttackerConfig {
+    /// Fabricated messages per target per round.
+    pub x_per_round: f64,
+    /// Round duration the rate is defined against.
+    pub round: Duration,
+    /// Which protocol's channels to flood (determines the push/pull split).
+    pub victim_protocol: ProtocolVariant,
+    /// Fixed pull-reply ports of the targets, when the victims run the
+    /// no-random-ports ablation (Figure 12(a)). When set (aligned with the
+    /// target list), the pull budget is split evenly between each target's
+    /// pull-request port and its pull-reply port, as in §9.
+    pub reply_port_targets: Vec<std::net::SocketAddr>,
+}
+
+impl AttackerConfig {
+    /// Standard attacker: floods only the well-known ports.
+    pub fn new(x_per_round: f64, round: Duration, victim_protocol: ProtocolVariant) -> Self {
+        AttackerConfig { x_per_round, round, victim_protocol, reply_port_targets: Vec::new() }
+    }
+}
+
+/// A fabricated pull-request: decodes fine, claims a bogus sender and
+/// directs any reply to a dead port.
+pub fn fabricated_pull_request(seq: u64) -> GossipMessage {
+    GossipMessage::PullRequest {
+        from: ProcessId(0xDEAD_0000 + (seq & 0xFFFF)),
+        digest: Digest::new(),
+        reply_port: PortRef::Plain(1),
+        nonce: seq,
+    }
+}
+
+/// A fabricated push-offer with a dead reply port.
+pub fn fabricated_push_offer(seq: u64) -> GossipMessage {
+    GossipMessage::PushOffer {
+        from: ProcessId(0xDEAD_0000 + (seq & 0xFFFF)),
+        reply_port: PortRef::Plain(1),
+        nonce: seq,
+    }
+}
+
+/// A fabricated pull-reply carrying one unauthenticated data message —
+/// useless to the victim, but it consumes a reply-channel acceptance slot
+/// when the reply port is knowable (the Figure 12(a) ablation).
+pub fn fabricated_pull_reply(seq: u64) -> GossipMessage {
+    use drum_core::ids::MessageId;
+    GossipMessage::PullReply {
+        from: ProcessId(0xDEAD_0000 + (seq & 0xFFFF)),
+        messages: vec![drum_core::message::DataMessage {
+            id: MessageId::new(ProcessId(0xDEAD_0000 + (seq & 0xFFFF)), seq),
+            hops: 0,
+            payload: bytes::Bytes::from(vec![0u8; 50]),
+            auth: drum_crypto::auth::AuthTag::zero(),
+        }],
+    }
+}
+
+/// Handle to a running attacker thread.
+#[derive(Debug)]
+pub struct AttackerHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<u64>>,
+}
+
+impl AttackerHandle {
+    /// Stops the attacker; returns the number of datagrams it sent.
+    pub fn shutdown(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        self.join.take().expect("shutdown called once").join().unwrap_or(0)
+    }
+}
+
+impl Drop for AttackerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Spawns a thread flooding `targets` with fabricated traffic at the
+/// configured per-round rate, spread uniformly across each round.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] if the attacker's send socket cannot be
+/// bound.
+pub fn spawn_attacker(
+    targets: Vec<WellKnownAddrs>,
+    config: AttackerConfig,
+) -> std::io::Result<AttackerHandle> {
+    let socket = bind_ephemeral()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+
+    let join = std::thread::Builder::new()
+        .name("drum-attacker".into())
+        .spawn(move || {
+            let mut sent = 0u64;
+            let mut seq = 0u64;
+            // Per-round per-target counts on each channel.
+            let (x_push, x_pull) = match config.victim_protocol {
+                ProtocolVariant::Drum => (config.x_per_round / 2.0, config.x_per_round / 2.0),
+                ProtocolVariant::Push => (config.x_per_round, 0.0),
+                ProtocolVariant::Pull => (0.0, config.x_per_round),
+            };
+            // Against the no-random-ports ablation the pull budget is split
+            // between the request port and the (knowable) reply port (§9).
+            let attack_replies = !config.reply_port_targets.is_empty();
+            let (x_pull_req, x_pull_reply) =
+                if attack_replies { (x_pull / 2.0, x_pull / 2.0) } else { (x_pull, 0.0) };
+            // Send in `BATCHES` evenly spaced bursts per round so victims
+            // see pressure throughout their (unaligned) rounds.
+            const BATCHES: u32 = 10;
+            let batch_interval = config.round / BATCHES;
+            let per_batch_push = x_push / BATCHES as f64;
+            let per_batch_pull = x_pull_req / BATCHES as f64;
+            let per_batch_reply = x_pull_reply / BATCHES as f64;
+            let mut carry_push = 0.0f64;
+            let mut carry_pull = 0.0f64;
+            let mut carry_reply = 0.0f64;
+
+            while !stop_flag.load(Ordering::Relaxed) {
+                let batch_deadline = Instant::now() + batch_interval;
+                carry_push += per_batch_push;
+                carry_pull += per_batch_pull;
+                carry_reply += per_batch_reply;
+                let n_push = carry_push as usize;
+                let n_pull = carry_pull as usize;
+                let n_reply = carry_reply as usize;
+                carry_push -= n_push as f64;
+                carry_pull -= n_pull as f64;
+                carry_reply -= n_reply as f64;
+
+                for (i, target) in targets.iter().enumerate() {
+                    for _ in 0..n_pull {
+                        seq += 1;
+                        let bytes = codec::encode(&fabricated_pull_request(seq));
+                        if socket.send_to(&bytes, target.pull).is_ok() {
+                            sent += 1;
+                        }
+                    }
+                    for _ in 0..n_push {
+                        seq += 1;
+                        let bytes = codec::encode(&fabricated_push_offer(seq));
+                        if socket.send_to(&bytes, target.push).is_ok() {
+                            sent += 1;
+                        }
+                    }
+                    if let Some(reply_addr) = config.reply_port_targets.get(i) {
+                        for _ in 0..n_reply {
+                            seq += 1;
+                            let bytes = codec::encode(&fabricated_pull_reply(seq));
+                            if socket.send_to(&bytes, *reply_addr).is_ok() {
+                                sent += 1;
+                            }
+                        }
+                    }
+                }
+
+                let now = Instant::now();
+                if now < batch_deadline {
+                    std::thread::sleep(batch_deadline - now);
+                }
+            }
+            sent
+        })
+        .expect("failed to spawn attacker thread");
+
+    Ok(AttackerHandle { stop, join: Some(join) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::WellKnownSockets;
+
+    #[test]
+    fn fabricated_messages_decode() {
+        for msg in [fabricated_pull_request(1), fabricated_push_offer(2)] {
+            let bytes = codec::encode(&msg);
+            assert_eq!(codec::decode(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn attacker_floods_target_at_roughly_the_configured_rate() {
+        let (sockets, addrs) = WellKnownSockets::bind().unwrap();
+        let config = AttackerConfig::new(100.0, Duration::from_millis(100), ProtocolVariant::Drum);
+        let attacker = spawn_attacker(vec![addrs], config).unwrap();
+        std::thread::sleep(Duration::from_millis(450));
+        let sent = attacker.shutdown();
+
+        // ~4.5 rounds × 100 msgs ≈ 450; allow generous slack for timing.
+        assert!(sent > 150, "sent only {sent}");
+
+        // The datagrams actually arrived and split across both ports.
+        let mut buf = [0u8; 2048];
+        let mut pull_count = 0;
+        while let Ok((len, _)) = sockets.pull.recv_from(&mut buf) {
+            assert!(matches!(
+                codec::decode(&buf[..len]).unwrap(),
+                GossipMessage::PullRequest { .. }
+            ));
+            pull_count += 1;
+        }
+        let mut push_count = 0;
+        while let Ok((len, _)) = sockets.push.recv_from(&mut buf) {
+            assert!(matches!(
+                codec::decode(&buf[..len]).unwrap(),
+                GossipMessage::PushOffer { .. }
+            ));
+            push_count += 1;
+        }
+        assert!(pull_count > 0, "no fabricated pull-requests arrived");
+        assert!(push_count > 0, "no fabricated push-offers arrived");
+    }
+
+    #[test]
+    fn pull_only_attack_spares_push_port() {
+        let (sockets, addrs) = WellKnownSockets::bind().unwrap();
+        let config = AttackerConfig::new(50.0, Duration::from_millis(50), ProtocolVariant::Pull);
+        let attacker = spawn_attacker(vec![addrs], config).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        attacker.shutdown();
+
+        let mut buf = [0u8; 2048];
+        let mut push_count = 0;
+        while sockets.push.recv_from(&mut buf).is_ok() {
+            push_count += 1;
+        }
+        assert_eq!(push_count, 0, "Pull attack must not touch the push port");
+        let mut pull_count = 0;
+        while sockets.pull.recv_from(&mut buf).is_ok() {
+            pull_count += 1;
+        }
+        assert!(pull_count > 0);
+    }
+}

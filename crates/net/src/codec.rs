@@ -1,0 +1,453 @@
+//! Binary wire codec for [`GossipMessage`].
+//!
+//! A hand-rolled, length-checked format on top of `bytes` (no general
+//! serialization framework is available offline, and a fixed format keeps
+//! datagrams compact). All integers are big-endian. Every decoder is
+//! hardened against truncated, oversized and garbage input — a DoS-resistant
+//! endpoint must survive arbitrary bytes on its well-known ports.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use drum_core::digest::Digest;
+use drum_core::ids::{MessageId, ProcessId};
+use drum_core::message::{DataMessage, GossipMessage, PortRef};
+use drum_crypto::auth::AuthTag;
+use drum_crypto::seal::SealedBox;
+
+/// Maximum accepted datagram payload (loopback UDP handles 64 KiB; we stay
+/// comfortably below).
+pub const MAX_WIRE_LEN: usize = 60 * 1024;
+
+/// Maximum number of data messages in one pull-reply/push-data datagram.
+pub const MAX_MESSAGES_PER_DATAGRAM: usize = 512;
+
+/// Maximum digest intervals accepted in one datagram.
+pub const MAX_DIGEST_INTERVALS: usize = 4096;
+
+/// Maximum payload bytes per data message on the wire.
+pub const MAX_PAYLOAD_LEN: usize = 8 * 1024;
+
+const TAG_PULL_REQUEST: u8 = 1;
+const TAG_PULL_REPLY: u8 = 2;
+const TAG_PUSH_OFFER: u8 = 3;
+const TAG_PUSH_REPLY: u8 = 4;
+const TAG_PUSH_DATA: u8 = 5;
+
+const PORT_NONE: u8 = 0;
+const PORT_PLAIN: u8 = 1;
+const PORT_SEALED: u8 = 2;
+
+/// Decoding errors. Deliberately coarse: a hostile sender learns nothing
+/// from which check failed, and the runtime just drops the datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer ended before the structure was complete.
+    Truncated,
+    /// A tag byte or enum discriminant was invalid.
+    BadTag,
+    /// A length field exceeded its hard limit.
+    TooLarge,
+    /// A digest violated its canonical-form invariants.
+    BadDigest,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "datagram truncated"),
+            DecodeError::BadTag => write!(f, "invalid tag"),
+            DecodeError::TooLarge => write!(f, "length field exceeds limit"),
+            DecodeError::BadDigest => write!(f, "malformed digest"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_digest(out: &mut BytesMut, digest: &Digest) {
+    let sources: Vec<_> = digest.intervals().collect();
+    out.put_u32(sources.len() as u32);
+    for (source, intervals) in sources {
+        out.put_u64(source.as_u64());
+        out.put_u32(intervals.len() as u32);
+        for &(lo, hi) in intervals {
+            out.put_u64(lo);
+            out.put_u64(hi);
+        }
+    }
+}
+
+fn get_digest(buf: &mut Bytes) -> Result<Digest, DecodeError> {
+    need(buf, 4)?;
+    let n_sources = buf.get_u32() as usize;
+    if n_sources > MAX_DIGEST_INTERVALS {
+        return Err(DecodeError::TooLarge);
+    }
+    let mut entries = Vec::with_capacity(n_sources.min(64));
+    let mut total_intervals = 0usize;
+    for _ in 0..n_sources {
+        need(buf, 12)?;
+        let source = ProcessId(buf.get_u64());
+        let n_intervals = buf.get_u32() as usize;
+        total_intervals += n_intervals;
+        if total_intervals > MAX_DIGEST_INTERVALS {
+            return Err(DecodeError::TooLarge);
+        }
+        let mut intervals = Vec::with_capacity(n_intervals.min(64));
+        for _ in 0..n_intervals {
+            need(buf, 16)?;
+            intervals.push((buf.get_u64(), buf.get_u64()));
+        }
+        entries.push((source, intervals));
+    }
+    Digest::from_intervals(entries).map_err(|_| DecodeError::BadDigest)
+}
+
+fn put_port(out: &mut BytesMut, port: &PortRef) {
+    match port {
+        PortRef::None => out.put_u8(PORT_NONE),
+        PortRef::Plain(p) => {
+            out.put_u8(PORT_PLAIN);
+            out.put_u16(*p);
+        }
+        PortRef::Sealed(sealed) => {
+            out.put_u8(PORT_SEALED);
+            out.put_u64(sealed.nonce);
+            out.put_u8(sealed.ciphertext.len() as u8);
+            out.put_slice(&sealed.ciphertext);
+            out.put_slice(&sealed.tag);
+        }
+    }
+}
+
+fn get_port(buf: &mut Bytes) -> Result<PortRef, DecodeError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        PORT_NONE => Ok(PortRef::None),
+        PORT_PLAIN => {
+            need(buf, 2)?;
+            Ok(PortRef::Plain(buf.get_u16()))
+        }
+        PORT_SEALED => {
+            need(buf, 9)?;
+            let nonce = buf.get_u64();
+            let ct_len = buf.get_u8() as usize;
+            if ct_len > drum_crypto::seal::MAX_SEALED_LEN {
+                return Err(DecodeError::TooLarge);
+            }
+            need(buf, ct_len + 32)?;
+            let mut ciphertext = vec![0u8; ct_len];
+            buf.copy_to_slice(&mut ciphertext);
+            let mut tag = [0u8; 32];
+            buf.copy_to_slice(&mut tag);
+            Ok(PortRef::Sealed(SealedBox { nonce, ciphertext, tag }))
+        }
+        _ => Err(DecodeError::BadTag),
+    }
+}
+
+fn put_data_message(out: &mut BytesMut, msg: &DataMessage) {
+    out.put_u64(msg.id.source.as_u64());
+    out.put_u64(msg.id.seq);
+    out.put_u32(msg.hops);
+    out.put_u32(msg.payload.len() as u32);
+    out.put_slice(&msg.payload);
+    out.put_slice(&msg.auth.0);
+}
+
+fn get_data_message(buf: &mut Bytes) -> Result<DataMessage, DecodeError> {
+    need(buf, 24)?;
+    let source = ProcessId(buf.get_u64());
+    let seq = buf.get_u64();
+    let hops = buf.get_u32();
+    let payload_len = buf.get_u32() as usize;
+    if payload_len > MAX_PAYLOAD_LEN {
+        return Err(DecodeError::TooLarge);
+    }
+    need(buf, payload_len + 32)?;
+    let payload = buf.copy_to_bytes(payload_len);
+    let mut tag = [0u8; 32];
+    buf.copy_to_slice(&mut tag);
+    Ok(DataMessage { id: MessageId::new(source, seq), hops, payload, auth: AuthTag(tag) })
+}
+
+fn put_messages(out: &mut BytesMut, messages: &[DataMessage]) {
+    out.put_u32(messages.len() as u32);
+    for m in messages {
+        put_data_message(out, m);
+    }
+}
+
+fn get_messages(buf: &mut Bytes) -> Result<Vec<DataMessage>, DecodeError> {
+    need(buf, 4)?;
+    let n = buf.get_u32() as usize;
+    if n > MAX_MESSAGES_PER_DATAGRAM {
+        return Err(DecodeError::TooLarge);
+    }
+    let mut out = Vec::with_capacity(n.min(128));
+    for _ in 0..n {
+        out.push(get_data_message(buf)?);
+    }
+    Ok(out)
+}
+
+/// Encodes a [`GossipMessage`] into a datagram payload.
+pub fn encode(msg: &GossipMessage) -> Bytes {
+    let mut out = BytesMut::with_capacity(128);
+    match msg {
+        GossipMessage::PullRequest { from, digest, reply_port, nonce } => {
+            out.put_u8(TAG_PULL_REQUEST);
+            out.put_u64(from.as_u64());
+            out.put_u64(*nonce);
+            put_port(&mut out, reply_port);
+            put_digest(&mut out, digest);
+        }
+        GossipMessage::PullReply { from, messages } => {
+            out.put_u8(TAG_PULL_REPLY);
+            out.put_u64(from.as_u64());
+            put_messages(&mut out, messages);
+        }
+        GossipMessage::PushOffer { from, reply_port, nonce } => {
+            out.put_u8(TAG_PUSH_OFFER);
+            out.put_u64(from.as_u64());
+            out.put_u64(*nonce);
+            put_port(&mut out, reply_port);
+        }
+        GossipMessage::PushReply { from, digest, data_port, nonce } => {
+            out.put_u8(TAG_PUSH_REPLY);
+            out.put_u64(from.as_u64());
+            out.put_u64(*nonce);
+            put_port(&mut out, data_port);
+            put_digest(&mut out, digest);
+        }
+        GossipMessage::PushData { from, messages } => {
+            out.put_u8(TAG_PUSH_DATA);
+            out.put_u64(from.as_u64());
+            put_messages(&mut out, messages);
+        }
+    }
+    out.freeze()
+}
+
+/// Decodes a datagram payload into a [`GossipMessage`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for any malformed input; decoding never
+/// panics regardless of the bytes received.
+pub fn decode(bytes: &[u8]) -> Result<GossipMessage, DecodeError> {
+    if bytes.len() > MAX_WIRE_LEN {
+        return Err(DecodeError::TooLarge);
+    }
+    let mut buf = Bytes::copy_from_slice(bytes);
+    need(&buf, 9)?;
+    let tag = buf.get_u8();
+    let from = ProcessId(buf.get_u64());
+    let msg = match tag {
+        TAG_PULL_REQUEST => {
+            need(&buf, 8)?;
+            let nonce = buf.get_u64();
+            let reply_port = get_port(&mut buf)?;
+            let digest = get_digest(&mut buf)?;
+            GossipMessage::PullRequest { from, digest, reply_port, nonce }
+        }
+        TAG_PULL_REPLY => GossipMessage::PullReply { from, messages: get_messages(&mut buf)? },
+        TAG_PUSH_OFFER => {
+            need(&buf, 8)?;
+            let nonce = buf.get_u64();
+            let reply_port = get_port(&mut buf)?;
+            GossipMessage::PushOffer { from, reply_port, nonce }
+        }
+        TAG_PUSH_REPLY => {
+            need(&buf, 8)?;
+            let nonce = buf.get_u64();
+            let data_port = get_port(&mut buf)?;
+            let digest = get_digest(&mut buf)?;
+            GossipMessage::PushReply { from, digest, data_port, nonce }
+        }
+        TAG_PUSH_DATA => GossipMessage::PushData { from, messages: get_messages(&mut buf)? },
+        _ => return Err(DecodeError::BadTag),
+    };
+    if buf.has_remaining() {
+        // Trailing garbage: reject, a legitimate sender never produces it.
+        return Err(DecodeError::BadTag);
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drum_crypto::keys::SecretKey;
+
+    fn sample_digest() -> Digest {
+        let mut d = Digest::new();
+        for (s, q) in [(1u64, 0u64), (1, 1), (1, 5), (9, 3)] {
+            d.insert(MessageId::new(ProcessId(s), q));
+        }
+        d
+    }
+
+    fn sample_data(seq: u64) -> DataMessage {
+        DataMessage {
+            id: MessageId::new(ProcessId(3), seq),
+            hops: 4,
+            payload: Bytes::from(vec![7u8; 50]),
+            auth: AuthTag([9u8; 32]),
+        }
+    }
+
+    fn sealed_port() -> PortRef {
+        let key = SecretKey::from_bytes([2u8; 32]);
+        PortRef::Sealed(drum_crypto::seal::seal_port(&key, 77, 50123).unwrap())
+    }
+
+    fn round_trip(msg: GossipMessage) {
+        let encoded = encode(&msg);
+        let decoded = decode(&encoded).unwrap();
+        assert_eq!(msg, decoded);
+    }
+
+    #[test]
+    fn pull_request_round_trip() {
+        round_trip(GossipMessage::PullRequest {
+            from: ProcessId(5),
+            digest: sample_digest(),
+            reply_port: sealed_port(),
+            nonce: 42,
+        });
+    }
+
+    #[test]
+    fn pull_request_with_plain_and_none_ports() {
+        for port in [PortRef::None, PortRef::Plain(8080)] {
+            round_trip(GossipMessage::PullRequest {
+                from: ProcessId(5),
+                digest: Digest::new(),
+                reply_port: port,
+                nonce: 0,
+            });
+        }
+    }
+
+    #[test]
+    fn pull_reply_round_trip() {
+        round_trip(GossipMessage::PullReply {
+            from: ProcessId(1),
+            messages: vec![sample_data(0), sample_data(1)],
+        });
+    }
+
+    #[test]
+    fn push_offer_round_trip() {
+        round_trip(GossipMessage::PushOffer {
+            from: ProcessId(2),
+            reply_port: sealed_port(),
+            nonce: 9,
+        });
+    }
+
+    #[test]
+    fn push_reply_round_trip() {
+        round_trip(GossipMessage::PushReply {
+            from: ProcessId(2),
+            digest: sample_digest(),
+            data_port: sealed_port(),
+            nonce: 11,
+        });
+    }
+
+    #[test]
+    fn push_data_round_trip() {
+        round_trip(GossipMessage::PushData { from: ProcessId(2), messages: vec![sample_data(7)] });
+    }
+
+    #[test]
+    fn empty_messages_round_trip() {
+        round_trip(GossipMessage::PullReply { from: ProcessId(1), messages: vec![] });
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        let encoded = encode(&GossipMessage::PullRequest {
+            from: ProcessId(5),
+            digest: sample_digest(),
+            reply_port: sealed_port(),
+            nonce: 42,
+        });
+        for len in 0..encoded.len() {
+            assert!(decode(&encoded[..len]).is_err(), "prefix of len {len} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode(&GossipMessage::PushOffer {
+            from: ProcessId(2),
+            reply_port: PortRef::None,
+            nonce: 0,
+        })
+        .to_vec();
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(DecodeError::BadTag));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut bytes = encode(&GossipMessage::PushOffer {
+            from: ProcessId(2),
+            reply_port: PortRef::None,
+            nonce: 0,
+        })
+        .to_vec();
+        bytes[0] = 200;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadTag));
+    }
+
+    #[test]
+    fn oversized_counts_rejected() {
+        // Hand-craft a pull-reply claiming 2^31 messages.
+        let mut out = BytesMut::new();
+        out.put_u8(TAG_PULL_REPLY);
+        out.put_u64(1);
+        out.put_u32(u32::MAX);
+        assert_eq!(decode(&out.freeze()), Err(DecodeError::TooLarge));
+    }
+
+    #[test]
+    fn oversized_datagram_rejected() {
+        let huge = vec![0u8; MAX_WIRE_LEN + 1];
+        assert_eq!(decode(&huge), Err(DecodeError::TooLarge));
+    }
+
+    #[test]
+    fn non_canonical_digest_rejected() {
+        // Overlapping intervals are invalid on the wire.
+        let mut out = BytesMut::new();
+        out.put_u8(TAG_PULL_REQUEST);
+        out.put_u64(1); // from
+        out.put_u64(0); // nonce
+        out.put_u8(PORT_NONE);
+        out.put_u32(1); // one source
+        out.put_u64(7); // source id
+        out.put_u32(2); // two intervals
+        out.put_u64(0);
+        out.put_u64(5);
+        out.put_u64(3); // overlaps
+        out.put_u64(9);
+        assert_eq!(decode(&out.freeze()), Err(DecodeError::BadDigest));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,486 @@
+//! The measurement harness of §8: real clusters of threaded UDP processes,
+//! optional malicious members and attackers, and the paper's latency /
+//! throughput / propagation-round metrics.
+
+use std::time::{Duration, Instant};
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use drum_core::config::ProtocolVariant;
+use drum_core::ids::ProcessId;
+use drum_metrics::recorder::{LatencyRecorder, ThroughputRecorder};
+use drum_metrics::stats::{quantile_in_place, RunningStats};
+use drum_crypto::keys::KeyStore;
+
+use crate::attack::{spawn_attacker, AttackerConfig, AttackerHandle};
+use crate::runtime::{seed_of, spawn_process, NetConfig, NetStats, ProcessHandle, ProcessSpec};
+use crate::transport::{AblationSockets, AddressBook, WellKnownAddrs, WellKnownSockets};
+
+/// Scenario description for a networked cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Total group size (correct + malicious).
+    pub n: usize,
+    /// Malicious members: present in every membership list, but running no
+    /// engine — they silently discard whatever is sent to them, and host
+    /// the attack (§7: "they do not propagate any messages, and instead
+    /// perform DoS attacks only on correct processes").
+    pub malicious: usize,
+    /// Number of attacked correct processes (the source, id 0, first).
+    pub attacked: usize,
+    /// Fabricated messages per attacked process per round.
+    pub x_per_round: f64,
+    /// Runtime configuration shared by all processes.
+    pub net: NetConfig,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// Number of correct processes.
+    pub fn correct(&self) -> usize {
+        self.n - self.malicious
+    }
+}
+
+/// A running cluster.
+pub struct Cluster {
+    handles: Vec<ProcessHandle>,
+    attacker: Option<AttackerHandle>,
+    /// Malicious members' sockets: held open so their ports exist (and
+    /// silently drop everything), mirroring non-cooperating group members.
+    _malicious_sockets: Vec<WellKnownSockets>,
+    epoch: Instant,
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Binds, spawns and (if configured) starts attacking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `malicious + 1 > n` or `attacked > correct`.
+    pub fn start(config: ClusterConfig) -> std::io::Result<Cluster> {
+        assert!(config.correct() >= 2, "need at least two correct processes");
+        assert!(config.attacked <= config.correct(), "attacked exceeds correct processes");
+
+        let key_store = KeyStore::new(config.seed);
+        let members: Vec<ProcessId> = (0..config.n as u64).map(ProcessId).collect();
+        let correct = config.correct();
+
+        // Bind well-known sockets for everyone (including malicious
+        // members) before building the shared address book.
+        let ablation_mode = !config.net.gossip.random_ports;
+        let mut correct_sockets = Vec::with_capacity(correct);
+        let mut malicious_sockets = Vec::new();
+        let mut entries = Vec::with_capacity(config.n);
+        let mut ablation_addrs = Vec::new();
+        for (i, &m) in members.iter().enumerate() {
+            let (sockets, addrs) = WellKnownSockets::bind()?;
+            entries.push((m, addrs));
+            if i < correct {
+                let ablation = if ablation_mode {
+                    let (sock, addrs) = AblationSockets::bind()?;
+                    ablation_addrs.push(addrs);
+                    Some(sock)
+                } else {
+                    None
+                };
+                correct_sockets.push((m, sockets, ablation));
+            } else {
+                malicious_sockets.push(sockets);
+            }
+        }
+        let book = AddressBook::new(entries);
+
+        let handles: Vec<ProcessHandle> = correct_sockets
+            .into_iter()
+            .map(|(m, sockets, ablation)| {
+                let my_key = key_store.register(m.as_u64());
+                spawn_process(ProcessSpec {
+                    me: m,
+                    members: members.clone(),
+                    book: book.clone(),
+                    key_store: key_store.clone(),
+                    my_key,
+                    sockets,
+                    ablation,
+                    config: config.net.clone(),
+                    seed: config.seed ^ seed_of(m),
+                })
+            })
+            .collect::<std::io::Result<_>>()?;
+
+        let attacker = if config.attacked > 0 && config.x_per_round > 0.0 {
+            let targets: Vec<WellKnownAddrs> = (0..config.attacked as u64)
+                .filter_map(|i| book.addrs_of(ProcessId(i)))
+                .collect();
+            let mut attacker_config = AttackerConfig::new(
+                config.x_per_round,
+                config.net.round,
+                config.net.gossip.variant,
+            );
+            if ablation_mode {
+                // §9: against well-known reply ports the adversary splits
+                // its pull budget between the request and reply ports.
+                attacker_config.reply_port_targets = ablation_addrs
+                    .iter()
+                    .take(config.attacked)
+                    .map(|a| a.pull_reply)
+                    .collect();
+            }
+            Some(spawn_attacker(targets, attacker_config)?)
+        } else {
+            None
+        };
+
+        Ok(Cluster {
+            handles,
+            attacker,
+            _malicious_sockets: malicious_sockets,
+            epoch: Instant::now(),
+            config,
+        })
+    }
+
+    /// Cluster start instant (latency epoch).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// The scenario this cluster runs.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Handles of the correct processes (index = process id).
+    pub fn handles(&self) -> &[ProcessHandle] {
+        &self.handles
+    }
+
+    /// Publishes a timestamped payload from the source (process 0).
+    pub fn publish_from_source(&self, seq: u64, payload_len: usize) {
+        let payload = encode_payload(self.epoch, seq, payload_len);
+        self.handles[0].publish(payload);
+    }
+
+    /// Stops everything; returns per-process stats.
+    pub fn shutdown(mut self) -> Vec<NetStats> {
+        if let Some(a) = self.attacker.take() {
+            a.shutdown();
+        }
+        self.handles.drain(..).map(ProcessHandle::shutdown).collect()
+    }
+}
+
+/// Encodes the standard experiment payload: sequence number + microseconds
+/// since the cluster epoch, zero-padded to `len` bytes (the paper uses
+/// 50-byte messages).
+pub fn encode_payload(epoch: Instant, seq: u64, len: usize) -> Bytes {
+    let micros = epoch.elapsed().as_micros() as u64;
+    let mut out = BytesMut::with_capacity(len.max(16));
+    out.put_u64(seq);
+    out.put_u64(micros);
+    while out.len() < len {
+        out.put_u8(0);
+    }
+    out.freeze()
+}
+
+/// Decodes `(seq, send_micros)` from an experiment payload.
+///
+/// Returns `None` for payloads shorter than 16 bytes.
+pub fn decode_payload(payload: &[u8]) -> Option<(u64, u64)> {
+    if payload.len() < 16 {
+        return None;
+    }
+    let seq = u64::from_be_bytes(payload[0..8].try_into().ok()?);
+    let micros = u64::from_be_bytes(payload[8..16].try_into().ok()?);
+    Some((seq, micros))
+}
+
+/// Per-receiver results of a throughput experiment.
+#[derive(Debug, Clone)]
+pub struct ReceiverReport {
+    /// The receiving process.
+    pub id: ProcessId,
+    /// Whether this receiver was under attack.
+    pub attacked: bool,
+    /// Steady-state received throughput (msgs/s, 5% trim).
+    pub throughput: f64,
+    /// Mean delivery latency in ms.
+    pub mean_latency_ms: f64,
+    /// Messages received.
+    pub received: u64,
+}
+
+/// Aggregate results of a throughput experiment (Figures 10–11).
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// One entry per correct receiver (the source excluded).
+    pub receivers: Vec<ReceiverReport>,
+    /// Wall-clock duration of the measured window in seconds.
+    pub duration_secs: f64,
+    /// Messages published.
+    pub published: u64,
+}
+
+impl ThroughputReport {
+    /// Mean received throughput over all receivers.
+    pub fn mean_throughput(&self) -> f64 {
+        let s: RunningStats = self.receivers.iter().map(|r| r.throughput).collect();
+        s.mean()
+    }
+
+    /// Mean latency over all receivers' means.
+    pub fn mean_latency_ms(&self) -> f64 {
+        let s: RunningStats = self.receivers.iter().map(|r| r.mean_latency_ms).collect();
+        s.mean()
+    }
+
+    /// Mean latency among attacked receivers only.
+    pub fn mean_latency_attacked_ms(&self) -> f64 {
+        let s: RunningStats = self
+            .receivers
+            .iter()
+            .filter(|r| r.attacked)
+            .map(|r| r.mean_latency_ms)
+            .collect();
+        s.mean()
+    }
+
+    /// Per-receiver average latencies, for CDF plots (Figure 11).
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.receivers.iter().map(|r| r.mean_latency_ms).collect()
+    }
+}
+
+/// Runs the §8.2 experiment: the source multicasts `total_messages` at
+/// `rate_per_sec`; every other correct process records received throughput
+/// and latency. Returns after the send completes plus a drain period.
+pub fn throughput_experiment(
+    config: ClusterConfig,
+    total_messages: u64,
+    rate_per_sec: f64,
+    payload_len: usize,
+    drain: Duration,
+) -> std::io::Result<ThroughputReport> {
+    let cluster = Cluster::start(config.clone())?;
+    let epoch = cluster.epoch();
+    let interval = Duration::from_secs_f64(1.0 / rate_per_sec);
+
+    let correct = config.correct();
+    let mut latency = vec![LatencyRecorder::new(); correct];
+    let mut throughput = vec![ThroughputRecorder::new(); correct];
+
+    let drain_deliveries = |latency: &mut Vec<LatencyRecorder>,
+                                throughput: &mut Vec<ThroughputRecorder>,
+                                cluster: &Cluster| {
+        for (i, h) in cluster.handles().iter().enumerate() {
+            for d in h.take_delivered() {
+                let now_micros = epoch.elapsed().as_micros() as u64;
+                if let Some((_seq, sent_micros)) = decode_payload(&d.message.payload) {
+                    let lat_ms = (now_micros.saturating_sub(sent_micros)) as f64 / 1000.0;
+                    latency[i].record_ms(lat_ms);
+                    throughput[i].record(now_micros as f64 / 1e6);
+                }
+            }
+        }
+    };
+
+    let mut next_send = Instant::now();
+    for seq in 0..total_messages {
+        let now = Instant::now();
+        if next_send > now {
+            std::thread::sleep(next_send - now);
+        }
+        cluster.publish_from_source(seq, payload_len);
+        next_send += interval;
+        drain_deliveries(&mut latency, &mut throughput, &cluster);
+    }
+    // The measurement window is the active send period (the paper's runs
+    // are dominated by it); the drain below only collects stragglers.
+    let send_duration_secs = epoch.elapsed().as_secs_f64();
+
+    let drain_deadline = Instant::now() + drain;
+    while Instant::now() < drain_deadline {
+        drain_deliveries(&mut latency, &mut throughput, &cluster);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drain_deliveries(&mut latency, &mut throughput, &cluster);
+
+    let duration_secs = send_duration_secs;
+    let receivers = (1..correct)
+        .map(|i| ReceiverReport {
+            id: ProcessId(i as u64),
+            attacked: i < config.attacked,
+            throughput: throughput[i].paper_throughput(duration_secs),
+            mean_latency_ms: latency[i].mean_ms(),
+            received: latency[i].received(),
+        })
+        .collect();
+
+    cluster.shutdown();
+    Ok(ThroughputReport { receivers, duration_secs, published: total_messages })
+}
+
+/// Result of a propagation-rounds experiment (Figure 9).
+#[derive(Debug, Clone)]
+pub struct PropagationReport {
+    /// Per tracked message: the §8.1 round counter at the
+    /// 99th-percentile receiver.
+    pub rounds_to_99: RunningStats,
+    /// Messages that failed to reach 99% of the correct processes in time.
+    pub incomplete: usize,
+}
+
+/// Tracks individual messages through a running cluster and reports the
+/// per-message round counter (§8.1) at the 99th-percentile receiver.
+///
+/// `messages` are published `gap_rounds` round-durations apart; each is
+/// given `timeout` to arrive everywhere.
+pub fn propagation_experiment(
+    config: ClusterConfig,
+    messages: usize,
+    gap_rounds: u32,
+    timeout: Duration,
+) -> std::io::Result<PropagationReport> {
+    // §8.1 tracks single messages under the simulation's assumptions: the
+    // tracked message "is never purged from any process's message buffer".
+    // (§8.2's throughput experiments keep the 10-round purge.)
+    let mut config = config;
+    config.net.gossip.buffer_rounds = 0;
+    let cluster = Cluster::start(config.clone())?;
+    let correct = config.correct();
+    let need = (((correct - 1) as f64) * 0.99).ceil() as usize;
+
+    let mut stats = RunningStats::new();
+    let mut incomplete = 0;
+
+    for m in 0..messages {
+        cluster.publish_from_source(m as u64, 50);
+        let deadline = Instant::now() + timeout;
+        // hops value logged by each receiver for this message
+        let mut hops: Vec<f64> = Vec::with_capacity(correct - 1);
+        while Instant::now() < deadline && hops.len() < need {
+            for h in cluster.handles()[1..].iter() {
+                for d in h.take_delivered() {
+                    if let Some((seq, _)) = decode_payload(&d.message.payload) {
+                        if seq == m as u64 {
+                            hops.push(d.message.hops as f64);
+                        }
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if hops.len() >= need {
+            stats.push(quantile_in_place(&mut hops, 0.99));
+        } else {
+            incomplete += 1;
+        }
+        std::thread::sleep(cluster.config().net.round * gap_rounds);
+    }
+
+    cluster.shutdown();
+    Ok(PropagationReport { rounds_to_99: stats, incomplete })
+}
+
+/// Convenience constructor matching the paper's §8 scenario shape:
+/// `n` processes, 10% malicious, `attacked` correct processes flooded with
+/// `x` messages per round.
+pub fn paper_cluster_config(
+    variant: ProtocolVariant,
+    n: usize,
+    attacked: usize,
+    x: f64,
+    round: Duration,
+    seed: u64,
+) -> ClusterConfig {
+    let gossip = match variant {
+        ProtocolVariant::Drum => drum_core::config::GossipConfig::drum(),
+        ProtocolVariant::Push => drum_core::config::GossipConfig::push(),
+        ProtocolVariant::Pull => drum_core::config::GossipConfig::pull(),
+    };
+    ClusterConfig {
+        n,
+        malicious: n / 10,
+        attacked,
+        x_per_round: x,
+        net: NetConfig::new(gossip).with_round(round),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(variant: ProtocolVariant, attacked: usize, x: f64) -> ClusterConfig {
+        paper_cluster_config(variant, 8, attacked, x, Duration::from_millis(40), 7)
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let epoch = Instant::now();
+        let payload = encode_payload(epoch, 42, 50);
+        assert_eq!(payload.len(), 50);
+        let (seq, micros) = decode_payload(&payload).unwrap();
+        assert_eq!(seq, 42);
+        assert!(micros < 1_000_000);
+        assert_eq!(decode_payload(&[0u8; 3]), None);
+    }
+
+    #[test]
+    fn cluster_delivers_throughput_without_attack() {
+        let report = throughput_experiment(
+            small_config(ProtocolVariant::Drum, 0, 0.0),
+            20,
+            50.0,
+            50,
+            Duration::from_millis(1500),
+        )
+        .unwrap();
+        assert_eq!(report.published, 20);
+        // Every receiver should get most messages.
+        for r in &report.receivers {
+            assert!(r.received >= 15, "{:?} received only {}", r.id, r.received);
+            assert!(r.mean_latency_ms > 0.0);
+        }
+        assert!(report.mean_throughput() > 0.0);
+    }
+
+    #[test]
+    fn cluster_survives_attack() {
+        let report = throughput_experiment(
+            small_config(ProtocolVariant::Drum, 2, 64.0),
+            15,
+            50.0,
+            50,
+            Duration::from_millis(1500),
+        )
+        .unwrap();
+        let total: u64 = report.receivers.iter().map(|r| r.received).sum();
+        assert!(total > 0, "attack silenced the whole cluster");
+    }
+
+    #[test]
+    fn propagation_reports_round_counters() {
+        let report = propagation_experiment(
+            small_config(ProtocolVariant::Drum, 0, 0.0),
+            3,
+            1,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert!(report.rounds_to_99.count() + report.incomplete as u64 == 3);
+        if report.rounds_to_99.count() > 0 {
+            let mean = report.rounds_to_99.mean();
+            assert!((1.0..30.0).contains(&mean), "mean rounds {mean}");
+        }
+    }
+}

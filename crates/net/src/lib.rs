@@ -1,0 +1,148 @@
+//! Threaded UDP runtime for the Drum gossip protocol — the §8 measurement
+//! substrate of the paper (Badishi, Keidar, Sasson, DSN 2004).
+//!
+//! Where the paper ran a Java implementation on 50 Emulab machines, this
+//! crate runs one logical process per thread over real UDP sockets on the
+//! loopback interface (see `DESIGN.md` for the substitution argument):
+//!
+//! * [`codec`] — hardened binary wire format;
+//! * [`transport`] — well-known + random ephemeral sockets, address book;
+//! * [`runtime`] — the unsynchronized per-process round loop driving a
+//!   [`drum_core::engine::Engine`];
+//! * [`attack`] — fabricated-traffic generators (the adversary);
+//! * [`experiment`] — clusters, throughput/latency reports (Figures 10–11)
+//!   and propagation-round measurements (Figure 9).
+//!
+//! # Examples
+//!
+//! A three-process Drum cluster delivering one multicast:
+//!
+//! ```
+//! use std::time::{Duration, Instant};
+//! use drum_core::config::ProtocolVariant;
+//! use drum_net::experiment::{paper_cluster_config, Cluster};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let config = paper_cluster_config(
+//!     ProtocolVariant::Drum, 3, 0, 0.0, Duration::from_millis(30), 42);
+//! let cluster = Cluster::start(config)?;
+//! cluster.publish_from_source(0, 50);
+//!
+//! let deadline = Instant::now() + Duration::from_secs(10);
+//! let mut deliveries = 0;
+//! while Instant::now() < deadline && deliveries == 0 {
+//!     deliveries = cluster.handles()[1..]
+//!         .iter()
+//!         .map(|h| h.take_delivered().len())
+//!         .sum();
+//!     std::thread::sleep(Duration::from_millis(10));
+//! }
+//! assert!(deliveries > 0);
+//! cluster.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod codec;
+pub mod experiment;
+pub mod runtime;
+pub mod transport;
+
+pub use attack::{spawn_attacker, AttackerConfig, AttackerHandle};
+pub use codec::{decode, encode, DecodeError};
+pub use experiment::{
+    paper_cluster_config, propagation_experiment, throughput_experiment, Cluster, ClusterConfig,
+    PropagationReport, ReceiverReport, ThroughputReport,
+};
+pub use runtime::{spawn_process, Delivery, NetConfig, NetStats, ProcessHandle, ProcessSpec};
+pub use transport::{AddressBook, SocketPool, WellKnownAddrs, WellKnownSockets};
+
+#[cfg(test)]
+mod proptests {
+    use crate::codec::{decode, encode};
+    use drum_core::digest::Digest;
+    use drum_core::ids::{MessageId, ProcessId};
+    use drum_core::message::{DataMessage, GossipMessage, PortRef};
+    use drum_crypto::auth::AuthTag;
+    use proptest::prelude::*;
+
+    fn arb_digest() -> impl Strategy<Value = Digest> {
+        proptest::collection::vec((0u64..16, 0u64..128), 0..64)
+            .prop_map(|v| v.into_iter().map(|(s, q)| MessageId::new(ProcessId(s), q)).collect())
+    }
+
+    fn arb_port() -> impl Strategy<Value = PortRef> {
+        prop_oneof![
+            Just(PortRef::None),
+            any::<u16>().prop_map(PortRef::Plain),
+            (any::<u64>(), any::<[u8; 32]>(), any::<u16>()).prop_map(|(nonce, key, port)| {
+                let k = drum_crypto::keys::SecretKey::from_bytes(key);
+                PortRef::Sealed(drum_crypto::seal::seal_port(&k, nonce, port).unwrap())
+            }),
+        ]
+    }
+
+    fn arb_messages() -> impl Strategy<Value = Vec<DataMessage>> {
+        proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..100), any::<[u8; 32]>()),
+            0..8,
+        )
+        .prop_map(|v| {
+            v.into_iter()
+                .map(|(s, q, hops, payload, tag)| DataMessage {
+                    id: MessageId::new(ProcessId(s), q),
+                    hops,
+                    payload: payload.into(),
+                    auth: AuthTag(tag),
+                })
+                .collect()
+        })
+    }
+
+    fn arb_message() -> impl Strategy<Value = GossipMessage> {
+        prop_oneof![
+            (any::<u64>(), arb_digest(), arb_port(), any::<u64>()).prop_map(|(f, d, p, n)| {
+                GossipMessage::PullRequest { from: ProcessId(f), digest: d, reply_port: p, nonce: n }
+            }),
+            (any::<u64>(), arb_messages())
+                .prop_map(|(f, m)| GossipMessage::PullReply { from: ProcessId(f), messages: m }),
+            (any::<u64>(), arb_port(), any::<u64>()).prop_map(|(f, p, n)| {
+                GossipMessage::PushOffer { from: ProcessId(f), reply_port: p, nonce: n }
+            }),
+            (any::<u64>(), arb_digest(), arb_port(), any::<u64>()).prop_map(|(f, d, p, n)| {
+                GossipMessage::PushReply { from: ProcessId(f), digest: d, data_port: p, nonce: n }
+            }),
+            (any::<u64>(), arb_messages())
+                .prop_map(|(f, m)| GossipMessage::PushData { from: ProcessId(f), messages: m }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn codec_round_trips(msg in arb_message()) {
+            let bytes = encode(&msg);
+            prop_assert_eq!(decode(&bytes).unwrap(), msg);
+        }
+
+        #[test]
+        fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decode(&bytes);
+        }
+
+        #[test]
+        fn decode_never_panics_on_mutations(msg in arb_message(),
+                                            pos in any::<proptest::sample::Index>(),
+                                            val in any::<u8>()) {
+            let mut bytes = encode(&msg).to_vec();
+            if !bytes.is_empty() {
+                let i = pos.index(bytes.len());
+                bytes[i] = val;
+            }
+            let _ = decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! UDP socket management: well-known ports, random ephemeral ports and the
+//! process address book.
+//!
+//! Every logical process owns two *well-known* sockets (pull-requests and
+//! push-offers, §4) plus a pool of short-lived *random* sockets allocated
+//! round by round for pull-replies, push-replies and push data. The random
+//! sockets are the OS-assigned ephemeral ports that give Drum its
+//! unpredictability; each one is tagged with the purpose it was allocated
+//! for, and the runtime drops datagrams whose kind does not match the
+//! port's purpose — an attacker cannot spend a data-channel budget through
+//! a well-known port.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::Arc;
+
+use drum_core::engine::{PortOracle, PortPurpose};
+use drum_core::ids::{ProcessId, Round};
+
+/// Maps process ids to their well-known socket addresses (loopback).
+///
+/// Built once per cluster; cheap to clone (`Arc` inside).
+#[derive(Debug, Clone)]
+pub struct AddressBook {
+    inner: Arc<HashMap<ProcessId, WellKnownAddrs>>,
+}
+
+/// The two well-known addresses of one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WellKnownAddrs {
+    /// Where pull-requests are received.
+    pub pull: SocketAddr,
+    /// Where push-offers are received.
+    pub push: SocketAddr,
+}
+
+impl AddressBook {
+    /// Builds a book from explicit entries.
+    pub fn new(entries: impl IntoIterator<Item = (ProcessId, WellKnownAddrs)>) -> Self {
+        AddressBook { inner: Arc::new(entries.into_iter().collect()) }
+    }
+
+    /// The well-known addresses of `p`, if registered.
+    pub fn addrs_of(&self, p: ProcessId) -> Option<WellKnownAddrs> {
+        self.inner.get(&p).copied()
+    }
+
+    /// Number of registered processes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Loopback address for an explicit port (random-port replies).
+    pub fn loopback(port: u16) -> SocketAddr {
+        SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port))
+    }
+}
+
+/// Binds a non-blocking UDP socket on an OS-assigned loopback port.
+pub fn bind_ephemeral() -> io::Result<UdpSocket> {
+    let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+    socket.set_nonblocking(true)?;
+    Ok(socket)
+}
+
+/// Fixed reply/data socket addresses of one process — only used by the
+/// no-random-ports ablation (Figure 12(a)), where the reply channels sit on
+/// attacker-knowable ports instead of fresh random ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AblationAddrs {
+    /// Fixed pull-reply port.
+    pub pull_reply: SocketAddr,
+    /// Fixed push-reply port.
+    pub push_reply: SocketAddr,
+    /// Fixed push-data port.
+    pub push_data: SocketAddr,
+}
+
+/// The bound sockets behind [`AblationAddrs`].
+#[derive(Debug)]
+pub struct AblationSockets {
+    /// Fixed pull-reply receiver.
+    pub pull_reply: UdpSocket,
+    /// Fixed push-reply receiver.
+    pub push_reply: UdpSocket,
+    /// Fixed push-data receiver.
+    pub push_data: UdpSocket,
+}
+
+impl AblationSockets {
+    /// Binds the three fixed reply sockets on ephemeral loopback ports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket creation failures.
+    pub fn bind() -> io::Result<(Self, AblationAddrs)> {
+        let pull_reply = bind_ephemeral()?;
+        let push_reply = bind_ephemeral()?;
+        let push_data = bind_ephemeral()?;
+        let addrs = AblationAddrs {
+            pull_reply: pull_reply.local_addr()?,
+            push_reply: push_reply.local_addr()?,
+            push_data: push_data.local_addr()?,
+        };
+        Ok((AblationSockets { pull_reply, push_reply, push_data }, addrs))
+    }
+}
+
+/// The well-known socket pair of one process.
+#[derive(Debug)]
+pub struct WellKnownSockets {
+    /// Pull-request receiver.
+    pub pull: UdpSocket,
+    /// Push-offer receiver.
+    pub push: UdpSocket,
+}
+
+impl WellKnownSockets {
+    /// Binds both sockets on ephemeral loopback ports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket creation failures.
+    pub fn bind() -> io::Result<(Self, WellKnownAddrs)> {
+        let pull = bind_ephemeral()?;
+        let push = bind_ephemeral()?;
+        let addrs = WellKnownAddrs { pull: pull.local_addr()?, push: push.local_addr()? };
+        Ok((WellKnownSockets { pull, push }, addrs))
+    }
+}
+
+/// A pool of random-port sockets implementing [`PortOracle`].
+///
+/// Sockets expire after `lifetime` rounds ("this thread is terminated
+/// after a few rounds", §4), bounding both file descriptors and the window
+/// an attacker would have even if a port leaked.
+#[derive(Debug)]
+pub struct SocketPool {
+    lifetime: u64,
+    sockets: Vec<(UdpSocket, PortPurpose, Round)>,
+    /// Sockets that failed to bind (diagnostics).
+    bind_failures: u64,
+}
+
+impl SocketPool {
+    /// Creates a pool whose sockets live for `lifetime` rounds.
+    pub fn new(lifetime: u64) -> Self {
+        SocketPool { lifetime, sockets: Vec::new(), bind_failures: 0 }
+    }
+
+    /// Number of currently open random-port sockets.
+    pub fn open_sockets(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Count of failed ephemeral binds.
+    pub fn bind_failures(&self) -> u64 {
+        self.bind_failures
+    }
+
+    /// Closes sockets allocated more than `lifetime` rounds ago.
+    pub fn expire(&mut self, now: Round) {
+        let lifetime = self.lifetime;
+        self.sockets.retain(|(_, _, born)| now.since(*born) < lifetime);
+    }
+
+    /// Receives all pending datagrams from the pool, invoking
+    /// `f(purpose, payload)` for each. Returns the number received.
+    pub fn drain(&mut self, scratch: &mut [u8], mut f: impl FnMut(PortPurpose, &[u8])) -> usize {
+        let mut count = 0;
+        for (socket, purpose, _) in &self.sockets {
+            loop {
+                match socket.recv_from(scratch) {
+                    Ok((len, _)) => {
+                        count += 1;
+                        f(*purpose, &scratch[..len]);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        count
+    }
+}
+
+impl PortOracle for SocketPool {
+    fn allocate_port(&mut self, purpose: PortPurpose, round: Round) -> u16 {
+        match bind_ephemeral() {
+            Ok(socket) => {
+                let port = socket.local_addr().map(|a| a.port()).unwrap_or(0);
+                self.sockets.push((socket, purpose, round));
+                port
+            }
+            Err(_) => {
+                // Out of descriptors or ports: degrade by reusing the most
+                // recent socket of the same purpose, or report port 0 (the
+                // message will simply go unanswered — the gossip redundancy
+                // absorbs it).
+                self.bind_failures += 1;
+                self.sockets
+                    .iter()
+                    .rev()
+                    .find(|(_, p, _)| *p == purpose)
+                    .and_then(|(s, _, _)| s.local_addr().ok())
+                    .map(|a| a.port())
+                    .unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_book_lookup() {
+        let (_s, addrs) = WellKnownSockets::bind().unwrap();
+        let book = AddressBook::new([(ProcessId(1), addrs)]);
+        assert_eq!(book.addrs_of(ProcessId(1)), Some(addrs));
+        assert_eq!(book.addrs_of(ProcessId(2)), None);
+        assert_eq!(book.len(), 1);
+        assert!(!book.is_empty());
+    }
+
+    #[test]
+    fn well_known_sockets_have_distinct_ports() {
+        let (_s, addrs) = WellKnownSockets::bind().unwrap();
+        assert_ne!(addrs.pull.port(), addrs.push.port());
+        assert!(addrs.pull.ip().is_loopback());
+    }
+
+    #[test]
+    fn pool_allocates_distinct_ports() {
+        let mut pool = SocketPool::new(3);
+        let p1 = pool.allocate_port(PortPurpose::PullReply, Round(1));
+        let p2 = pool.allocate_port(PortPurpose::PushReply, Round(1));
+        assert_ne!(p1, 0);
+        assert_ne!(p2, 0);
+        assert_ne!(p1, p2);
+        assert_eq!(pool.open_sockets(), 2);
+    }
+
+    #[test]
+    fn pool_expires_old_sockets() {
+        let mut pool = SocketPool::new(2);
+        pool.allocate_port(PortPurpose::PullReply, Round(1));
+        pool.allocate_port(PortPurpose::PullReply, Round(2));
+        pool.expire(Round(3));
+        assert_eq!(pool.open_sockets(), 1);
+        pool.expire(Round(10));
+        assert_eq!(pool.open_sockets(), 0);
+    }
+
+    #[test]
+    fn pool_receives_datagrams_with_purpose() {
+        let mut pool = SocketPool::new(3);
+        let port = pool.allocate_port(PortPurpose::PushData, Round(1));
+        let sender = bind_ephemeral().unwrap();
+        sender.send_to(b"hello", AddressBook::loopback(port)).unwrap();
+        // Give the loopback a moment.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut scratch = [0u8; 2048];
+        let mut got = Vec::new();
+        let n = pool.drain(&mut scratch, |purpose, bytes| {
+            got.push((purpose, bytes.to_vec()));
+        });
+        assert_eq!(n, 1);
+        assert_eq!(got[0].0, PortPurpose::PushData);
+        assert_eq!(got[0].1, b"hello");
+    }
+
+    #[test]
+    fn drain_on_empty_pool_is_zero() {
+        let mut pool = SocketPool::new(3);
+        let mut scratch = [0u8; 64];
+        assert_eq!(pool.drain(&mut scratch, |_, _| panic!("no data expected")), 0);
+    }
+}

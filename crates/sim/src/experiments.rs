@@ -1,0 +1,244 @@
+//! Canned experiment sweeps matching the paper's simulation figures.
+//!
+//! Each function returns plain data (parameter, per-protocol results) that
+//! the `drum-bench` figure binaries format into the same series the paper
+//! plots. `trials` is a parameter everywhere: the paper uses 1000 runs per
+//! point; tests and quick modes use fewer.
+
+use drum_core::ProtocolVariant;
+
+use crate::config::SimConfig;
+use crate::runner::{run_experiment, ExperimentResult};
+
+/// The three protocols compared throughout the paper.
+pub const PROTOCOLS: [ProtocolVariant; 3] = [
+    ProtocolVariant::Drum,
+    ProtocolVariant::Push,
+    ProtocolVariant::Pull,
+];
+
+/// One row of a sweep: the x-axis value and the per-protocol results in
+/// [`PROTOCOLS`] order.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The swept parameter value.
+    pub x: f64,
+    /// Results for Drum, Push, Pull (in that order).
+    pub results: Vec<ExperimentResult>,
+}
+
+/// Figure 2(a): failure-free propagation time as `n` grows.
+pub fn fig2a_scalability(ns: &[usize], trials: usize, seed: u64) -> Vec<SweepRow> {
+    ns.iter()
+        .map(|&n| SweepRow {
+            x: n as f64,
+            results: PROTOCOLS
+                .iter()
+                .map(|&p| run_experiment(&SimConfig::baseline(p, n), trials, seed, 0))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 2(b): propagation time as the fraction of crashed processes
+/// grows (`n` fixed).
+pub fn fig2b_crashes(n: usize, crash_fractions: &[f64], trials: usize, seed: u64) -> Vec<SweepRow> {
+    crash_fractions
+        .iter()
+        .map(|&frac| SweepRow {
+            x: frac,
+            results: PROTOCOLS
+                .iter()
+                .map(|&p| {
+                    let mut cfg = SimConfig::baseline(p, n);
+                    cfg.crashed = (n as f64 * frac).round() as usize;
+                    run_experiment(&cfg, trials, seed, 0)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 3(a) / Figure 9(a): targeted attack on 10% of the processes,
+/// propagation time vs. attack rate `x`.
+pub fn fig3a_attack_strength(n: usize, xs: &[f64], trials: usize, seed: u64) -> Vec<SweepRow> {
+    xs.iter()
+        .map(|&x| SweepRow {
+            x,
+            results: PROTOCOLS
+                .iter()
+                .map(|&p| {
+                    let cfg = if x == 0.0 {
+                        let mut c = SimConfig::baseline(p, n);
+                        c.malicious = n / 10;
+                        c
+                    } else {
+                        SimConfig::paper_attack(p, n, x)
+                    };
+                    run_experiment(&cfg, trials, seed, 0)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 3(b) / Figure 9(b): fixed `x`, increasing attacked fraction α.
+pub fn fig3b_attack_extent(n: usize, x: f64, alphas: &[f64], trials: usize, seed: u64) -> Vec<SweepRow> {
+    alphas
+        .iter()
+        .map(|&alpha| SweepRow {
+            x: alpha,
+            results: PROTOCOLS
+                .iter()
+                .map(|&p| {
+                    let cfg = if alpha == 0.0 {
+                        let mut c = SimConfig::baseline(p, n);
+                        c.malicious = n / 10;
+                        c
+                    } else {
+                        SimConfig::attack_alpha(p, n, alpha, x)
+                    };
+                    run_experiment(&cfg, trials, seed, 0)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figures 5 / 13 / 14: per-round CDF of the fraction of correct processes
+/// holding `M`, for one scenario.
+pub fn cdf_curve(cfg: &SimConfig, trials: usize, seed: u64, rounds: usize) -> Vec<f64> {
+    run_experiment(cfg, trials, seed, rounds).avg_fraction_per_round
+}
+
+/// Figure 7 / 8: fixed total attack strength `B = c·F·n` spread over a
+/// varying fraction of the correct processes.
+///
+/// For each α in `alphas`, each attacked process receives
+/// `x = B / (α·n)` fabricated messages per round.
+pub fn fixed_strength_sweep(
+    n: usize,
+    total_b: f64,
+    alphas: &[f64],
+    protocols: &[ProtocolVariant],
+    trials: usize,
+    seed: u64,
+) -> Vec<SweepRow> {
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let attacked = ((n as f64 * alpha).round() as usize).max(1);
+            let x = total_b / attacked as f64;
+            SweepRow {
+                x: alpha,
+                results: protocols
+                    .iter()
+                    .map(|&p| {
+                        let cfg = SimConfig::attack_alpha(p, n, alpha, x);
+                        run_experiment(&cfg, trials, seed, 0)
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 12(a): Drum with and without random ports, vs. attack rate `x`.
+/// Returns rows whose `results` hold `[with_random_ports, without]`.
+pub fn fig12a_random_ports(n: usize, xs: &[f64], trials: usize, seed: u64) -> Vec<SweepRow> {
+    xs.iter()
+        .map(|&x| {
+            let mut results = Vec::with_capacity(2);
+            for random_ports in [true, false] {
+                let mut cfg = if x == 0.0 {
+                    let mut c = SimConfig::baseline(ProtocolVariant::Drum, n);
+                    c.malicious = n / 10;
+                    c
+                } else {
+                    SimConfig::paper_attack(ProtocolVariant::Drum, n, x)
+                };
+                cfg.random_ports = random_ports;
+                results.push(run_experiment(&cfg, trials, seed, 0));
+            }
+            SweepRow { x, results }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRIALS: usize = 12;
+
+    #[test]
+    fn fig2a_rows_have_all_protocols() {
+        let rows = fig2a_scalability(&[40, 80], TRIALS, 1);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.results.len(), 3);
+            for r in &row.results {
+                assert_eq!(r.failures, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig2b_crashes_slow_but_do_not_stop() {
+        let rows = fig2b_crashes(100, &[0.0, 0.3], TRIALS, 2);
+        for row in &rows {
+            for r in &row.results {
+                assert_eq!(r.failures, 0, "crash fraction {} failed", row.x);
+            }
+        }
+        // 30% crashes slower than 0% for every protocol.
+        for i in 0..3 {
+            assert!(rows[1].results[i].mean_rounds() >= rows[0].results[i].mean_rounds() - 0.5);
+        }
+    }
+
+    #[test]
+    fn fig3a_drum_flat_push_pull_grow() {
+        let rows = fig3a_attack_strength(120, &[32.0, 256.0], TRIALS, 3);
+        let drum_growth = rows[1].results[0].mean_rounds() - rows[0].results[0].mean_rounds();
+        let push_growth = rows[1].results[1].mean_rounds() - rows[0].results[1].mean_rounds();
+        let pull_growth = rows[1].results[2].mean_rounds() - rows[0].results[2].mean_rounds();
+        assert!(drum_growth < 3.0, "drum grew by {drum_growth}");
+        assert!(push_growth > drum_growth, "push {push_growth} vs drum {drum_growth}");
+        assert!(pull_growth > drum_growth, "pull {pull_growth} vs drum {drum_growth}");
+    }
+
+    #[test]
+    fn cdf_curve_monotone() {
+        let cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 120, 64.0);
+        let curve = cdf_curve(&cfg, TRIALS, 4, 25);
+        assert_eq!(curve.len(), 25);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+        assert!(curve[24] > 0.95);
+    }
+
+    #[test]
+    fn fixed_strength_drum_worst_at_full_spread() {
+        // Lemma 2 prediction (c = 10): Drum's propagation time increases
+        // with α.
+        let n = 120;
+        let b = 36.0 * n as f64;
+        let rows = fixed_strength_sweep(n, b, &[0.1, 0.9], &[ProtocolVariant::Drum], TRIALS, 5);
+        let focused = rows[0].results[0].mean_rounds();
+        let spread = rows[1].results[0].mean_rounds();
+        assert!(
+            spread > focused,
+            "spread attack ({spread}) should hurt Drum more than focused ({focused})"
+        );
+    }
+
+    #[test]
+    fn fig12a_well_known_ports_hurt() {
+        let rows = fig12a_random_ports(120, &[256.0], TRIALS, 6);
+        let with = rows[0].results[0].mean_rounds();
+        let without = rows[0].results[1].mean_rounds();
+        assert!(without > with, "without ports {without} vs with {with}");
+    }
+}

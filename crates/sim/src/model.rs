@@ -1,0 +1,540 @@
+//! The round-synchronized simulation model (§7 and Appendix C of the
+//! paper), tracking the propagation of a single message `M`.
+//!
+//! Model recap:
+//!
+//! * rounds are synchronized; every correct process gossips every round
+//!   (buffers always hold *some* messages, so contention for reception
+//!   slots exists whether or not a process holds `M`);
+//! * push is modeled without push-offers, as in the paper's analysis and
+//!   simulations;
+//! * each transmission is independently lost with probability `loss`;
+//! * a process accepts at most `F_in-push` push messages and `F_in-pull`
+//!   pull-requests per round, chosen uniformly among valid + fabricated
+//!   arrivals — this is where the DoS attack bites;
+//! * pull-replies are always received thanks to random ports, except in the
+//!   no-random-ports ablation where the adversary splits its pull budget
+//!   between the request and reply ports (Figure 12(a));
+//! * crashed and malicious processes transmit nothing and drop everything
+//!   sent to them (correct processes still waste fan-out on them).
+
+use rand::rngs::SmallRng;
+
+use crate::config::{Role, SimConfig};
+use crate::sampling::{accepted_valid, any_interesting, binomial, randomized_round, sample_targets};
+
+/// Mutable state of one simulated trial.
+#[derive(Debug)]
+pub struct SimState {
+    cfg: SimConfig,
+    /// Whether process `i` holds `M`.
+    has_m: Vec<bool>,
+    /// Role of each process, precomputed.
+    roles: Vec<Role>,
+    /// Whether process `i` is currently under attack (dynamic when the
+    /// adversary rotates its target set).
+    attacked_flags: Vec<bool>,
+    /// Current round number (0 = initial state, only the source holds `M`).
+    round: u32,
+
+    // Scratch buffers, reused across rounds.
+    push_valid: Vec<u32>,
+    push_with_m: Vec<u32>,
+    pull_requests: Vec<Vec<u32>>,
+    reply_valid: Vec<u32>,
+    reply_with_m: Vec<u32>,
+    new_m: Vec<bool>,
+    targets: Vec<usize>,
+}
+
+impl SimState {
+    /// Initializes a trial: the source (process 0) holds `M`, nobody else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid simulation config");
+        let n = cfg.n;
+        let roles: Vec<Role> = (0..n).map(|i| cfg.role_of(i)).collect();
+        let attacked_flags: Vec<bool> = roles.iter().map(|r| *r == Role::AttackedCorrect).collect();
+        let mut has_m = vec![false; n];
+        has_m[0] = true;
+        SimState {
+            cfg,
+            has_m,
+            roles,
+            attacked_flags,
+            round: 0,
+            push_valid: vec![0; n],
+            push_with_m: vec![0; n],
+            pull_requests: vec![Vec::new(); n],
+            reply_valid: vec![0; n],
+            reply_with_m: vec![0; n],
+            new_m: vec![false; n],
+            targets: Vec::new(),
+        }
+    }
+
+    /// The scenario being simulated.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current round number.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Whether process `i` currently holds `M`.
+    pub fn has_m(&self, i: usize) -> bool {
+        self.has_m[i]
+    }
+
+    fn is_correct(&self, i: usize) -> bool {
+        matches!(self.roles[i], Role::AttackedCorrect | Role::Correct)
+    }
+
+    fn is_attacked(&self, i: usize) -> bool {
+        self.attacked_flags[i]
+    }
+
+    /// Re-draws the attacked set uniformly among correct processes
+    /// (rotating-adversary extension).
+    fn rotate_targets(&mut self, rng: &mut SmallRng) {
+        let k = self.cfg.attacked();
+        let correct: Vec<usize> = (0..self.cfg.n).filter(|&i| self.is_correct(i)).collect();
+        for flag in &mut self.attacked_flags {
+            *flag = false;
+        }
+        let mut picked = Vec::new();
+        crate::sampling::sample_targets(correct.len() + 1, correct.len(), k, rng, &mut picked);
+        for idx in picked {
+            self.attacked_flags[correct[idx]] = true;
+        }
+    }
+
+    /// Number of correct processes currently holding `M`.
+    pub fn correct_with_m(&self) -> usize {
+        (0..self.cfg.n)
+            .filter(|&i| self.is_correct(i) && self.has_m[i])
+            .count()
+    }
+
+    /// Number of attacked correct processes holding `M`.
+    pub fn attacked_with_m(&self) -> usize {
+        (0..self.cfg.n)
+            .filter(|&i| self.is_attacked(i) && self.has_m[i])
+            .count()
+    }
+
+    /// Number of non-attacked correct processes holding `M`.
+    pub fn unattacked_with_m(&self) -> usize {
+        self.correct_with_m() - self.attacked_with_m()
+    }
+
+    /// Fraction of correct processes holding `M`.
+    pub fn fraction_with_m(&self) -> f64 {
+        self.correct_with_m() as f64 / self.cfg.correct() as f64
+    }
+
+    /// Executes one synchronized gossip round.
+    pub fn step(&mut self, rng: &mut SmallRng) {
+        let n = self.cfg.n;
+        let ok = 1.0 - self.cfg.loss;
+        self.round += 1;
+
+        if let Some(k) = self.cfg.attack.and_then(|a| a.rotate_every) {
+            if k > 0 && self.round.is_multiple_of(k) {
+                self.rotate_targets(rng);
+            }
+        }
+
+        for v in &mut self.new_m {
+            *v = false;
+        }
+
+        // ---------------- Push phase ----------------
+        let view_push = self.cfg.view_push();
+        if view_push > 0 {
+            self.push_valid.iter_mut().for_each(|v| *v = 0);
+            self.push_with_m.iter_mut().for_each(|v| *v = 0);
+            for s in 0..n {
+                if !self.is_correct(s) {
+                    continue; // crashed/malicious send nothing valid
+                }
+                let mut targets = core::mem::take(&mut self.targets);
+                sample_targets(n, s, view_push, rng, &mut targets);
+                for &t in &targets {
+                    // Crashed/malicious targets silently discard.
+                    if self.is_correct(t) && rng_chance(rng, ok) {
+                        self.push_valid[t] += 1;
+                        if self.has_m[s] {
+                            self.push_with_m[t] += 1;
+                        }
+                    }
+                }
+                self.targets = targets;
+            }
+            let f_in_push = self.cfg.view_push();
+            let x_push = self.cfg.x_push();
+            for t in 0..n {
+                if !self.is_correct(t) || self.has_m[t] {
+                    continue;
+                }
+                let fakes = if self.is_attacked(t) && x_push > 0.0 {
+                    binomial(randomized_round(x_push, rng), ok, rng)
+                } else {
+                    0
+                };
+                let valid = self.push_valid[t] as usize;
+                let with_m = self.push_with_m[t] as usize;
+                let acc = accepted_valid(valid, fakes, f_in_push, rng);
+                if with_m > 0 && any_interesting(with_m, valid - with_m, acc, rng) {
+                    self.new_m[t] = true;
+                }
+            }
+        }
+
+        // ---------------- Pull phase ----------------
+        let view_pull = self.cfg.view_pull();
+        if view_pull > 0 {
+            for q in &mut self.pull_requests {
+                q.clear();
+            }
+            self.reply_valid.iter_mut().for_each(|v| *v = 0);
+            self.reply_with_m.iter_mut().for_each(|v| *v = 0);
+
+            for p in 0..n {
+                if !self.is_correct(p) {
+                    continue;
+                }
+                let mut targets = core::mem::take(&mut self.targets);
+                sample_targets(n, p, view_pull, rng, &mut targets);
+                for &t in &targets {
+                    if self.is_correct(t) && rng_chance(rng, ok) {
+                        self.pull_requests[t].push(p as u32);
+                    }
+                }
+                self.targets = targets;
+            }
+
+            let f_in_pull = self.cfg.view_pull();
+            // In the no-random-ports variant the pull attack budget is split
+            // evenly between the request port and the reply port (§9).
+            let (x_req, x_reply) = if self.cfg.random_ports {
+                (self.cfg.x_pull(), 0.0)
+            } else {
+                (self.cfg.x_pull() / 2.0, self.cfg.x_pull() / 2.0)
+            };
+
+            for t in 0..n {
+                if !self.is_correct(t) {
+                    continue;
+                }
+                let reqs = core::mem::take(&mut self.pull_requests[t]);
+                let fakes = if self.is_attacked(t) && x_req > 0.0 {
+                    binomial(randomized_round(x_req, rng), ok, rng)
+                } else {
+                    0
+                };
+                let acc = accepted_valid(reqs.len(), fakes, f_in_pull, rng);
+                // Choose which `acc` requests are served: partial
+                // Fisher-Yates over the request list.
+                let mut reqs = reqs;
+                partial_shuffle(&mut reqs, acc, rng);
+                for &p in reqs.iter().take(acc) {
+                    let p = p as usize;
+                    // The reply travels back; subject to link loss.
+                    if !rng_chance(rng, ok) {
+                        continue;
+                    }
+                    if self.cfg.random_ports {
+                        // Random reply port: always processed.
+                        if self.has_m[t] && !self.has_m[p] {
+                            self.new_m[p] = true;
+                        }
+                    } else {
+                        // Well-known reply port: contends with fakes below.
+                        self.reply_valid[p] += 1;
+                        if self.has_m[t] {
+                            self.reply_with_m[p] += 1;
+                        }
+                    }
+                }
+                self.pull_requests[t] = reqs;
+            }
+
+            if !self.cfg.random_ports {
+                for p in 0..n {
+                    if !self.is_correct(p) || self.has_m[p] {
+                        continue;
+                    }
+                    let fakes = if self.is_attacked(p) && x_reply > 0.0 {
+                        binomial(randomized_round(x_reply, rng), ok, rng)
+                    } else {
+                        0
+                    };
+                    let valid = self.reply_valid[p] as usize;
+                    let with_m = self.reply_with_m[p] as usize;
+                    let acc = accepted_valid(valid, fakes, f_in_pull, rng);
+                    if with_m > 0 && any_interesting(with_m, valid - with_m, acc, rng) {
+                        self.new_m[p] = true;
+                    }
+                }
+            }
+        }
+
+        // Simultaneous state update: messages received this round are
+        // forwarded starting next round.
+        for i in 0..n {
+            if self.new_m[i] {
+                self.has_m[i] = true;
+            }
+        }
+    }
+}
+
+#[inline]
+fn rng_chance(rng: &mut SmallRng, p: f64) -> bool {
+    use rand::RngExt;
+    p >= 1.0 || rng.random_bool(p)
+}
+
+/// Moves a uniform random `k`-subset to the front of `v` (partial
+/// Fisher-Yates).
+fn partial_shuffle(v: &mut [u32], k: usize, rng: &mut SmallRng) {
+    use rand::RngExt;
+    let k = k.min(v.len());
+    for i in 0..k {
+        let j = rng.random_range(i..v.len());
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drum_core::ProtocolVariant;
+    use rand::SeedableRng;
+
+    fn run(cfg: SimConfig, seed: u64, max_rounds: u32) -> (SimState, u32) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut state = SimState::new(cfg);
+        let mut rounds = 0;
+        while state.fraction_with_m() < state.config().threshold && rounds < max_rounds {
+            state.step(&mut rng);
+            rounds += 1;
+        }
+        (state, rounds)
+    }
+
+    #[test]
+    fn initial_state_only_source() {
+        let state = SimState::new(SimConfig::baseline(ProtocolVariant::Drum, 50));
+        assert_eq!(state.correct_with_m(), 1);
+        assert!(state.has_m(0));
+        assert!(!state.has_m(1));
+        assert_eq!(state.round(), 0);
+    }
+
+    #[test]
+    fn all_protocols_disseminate_without_failures() {
+        for p in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+            let (state, rounds) = run(SimConfig::baseline(p, 120), 7, 100);
+            assert!(state.fraction_with_m() >= 0.99, "{p} stuck at {}", state.fraction_with_m());
+            assert!(rounds <= 20, "{p} took {rounds} rounds");
+        }
+    }
+
+    #[test]
+    fn propagation_is_logarithmic_ish() {
+        // Figure 2(a): rounds grow slowly (log) with n.
+        let r = |n| {
+            let mut total = 0;
+            for seed in 0..5 {
+                total += run(SimConfig::baseline(ProtocolVariant::Drum, n), seed, 200).1;
+            }
+            total as f64 / 5.0
+        };
+        let r50 = r(50);
+        let r800 = r(800);
+        assert!(r800 < r50 * 3.0, "r50={r50} r800={r800}");
+    }
+
+    #[test]
+    fn crashes_degrade_gracefully() {
+        // Figure 2(b): even 40% crashed processes only slow things down.
+        let mut cfg = SimConfig::baseline(ProtocolVariant::Drum, 200);
+        cfg.crashed = 80;
+        let (state, rounds) = run(cfg, 3, 200);
+        assert!(state.fraction_with_m() >= 0.99, "stuck at {}", state.fraction_with_m());
+        assert!(rounds < 40);
+    }
+
+    #[test]
+    fn malicious_members_do_not_block_dissemination() {
+        let mut cfg = SimConfig::baseline(ProtocolVariant::Drum, 200);
+        cfg.malicious = 20;
+        let (state, _) = run(cfg, 3, 200);
+        assert!(state.fraction_with_m() >= 0.99);
+    }
+
+    #[test]
+    fn targeted_attack_slows_push_much_more_than_drum() {
+        // The core claim (Figure 3(a)) at small scale: α=10%, strong x.
+        let trials = 8;
+        let avg = |proto| {
+            let mut total = 0u32;
+            for seed in 0..trials {
+                let cfg = SimConfig::paper_attack(proto, 120, 256.0);
+                total += run(cfg, seed, 400).1;
+            }
+            total as f64 / trials as f64
+        };
+        let drum = avg(ProtocolVariant::Drum);
+        let push = avg(ProtocolVariant::Push);
+        assert!(
+            push > drum * 2.0,
+            "push {push} should be much slower than drum {drum}"
+        );
+    }
+
+    #[test]
+    fn attacked_source_blocks_pull_exit() {
+        // Under a strong attack on the source, Pull takes many rounds for M
+        // to leave the source at all (geometric with small p̃).
+        let cfg = SimConfig::paper_attack(ProtocolVariant::Pull, 120, 256.0);
+        let mut slow_exits = 0;
+        for seed in 0..10 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut state = SimState::new(cfg.clone());
+            let mut exit_round = None;
+            for r in 1..=100 {
+                state.step(&mut rng);
+                if state.correct_with_m() > 1 {
+                    exit_round = Some(r);
+                    break;
+                }
+            }
+            if exit_round.unwrap_or(101) > 3 {
+                slow_exits += 1;
+            }
+        }
+        assert!(slow_exits >= 3, "expected several slow source exits, got {slow_exits}");
+    }
+
+    #[test]
+    fn no_random_ports_variant_is_slower_under_attack() {
+        let trials = 8;
+        let avg = |random_ports: bool| {
+            let mut total = 0u32;
+            for seed in 0..trials {
+                let mut cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 120, 256.0);
+                cfg.random_ports = random_ports;
+                total += run(cfg, seed, 400).1;
+            }
+            total as f64 / trials as f64
+        };
+        let with_ports = avg(true);
+        let without = avg(false);
+        assert!(
+            without > with_ports * 1.3,
+            "no-random-ports {without} should be slower than {with_ports}"
+        );
+    }
+
+    #[test]
+    fn attacked_and_unattacked_counts_consistent() {
+        let cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 120, 64.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut state = SimState::new(cfg);
+        for _ in 0..10 {
+            state.step(&mut rng);
+            assert_eq!(
+                state.correct_with_m(),
+                state.attacked_with_m() + state.unattacked_with_m()
+            );
+        }
+    }
+
+    #[test]
+    fn partial_shuffle_selects_uniform_prefix() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            let mut v = [0u32, 1, 2, 3, 4];
+            partial_shuffle(&mut v, 2, &mut rng);
+            counts[v[0] as usize] += 1;
+            counts[v[1] as usize] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let p = *c as f64 / 100_000.0;
+            assert!((p - 0.2).abs() < 0.01, "element {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn rotating_adversary_moves_targets() {
+        let mut cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 60, 64.0);
+        cfg.attack.as_mut().unwrap().rotate_every = Some(2);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut state = SimState::new(cfg.clone());
+        let initial: Vec<usize> = (0..60).filter(|&i| state.is_attacked(i)).collect();
+        assert_eq!(initial.len(), 6);
+        // Run past a rotation boundary; the attacked set should change at
+        // some point (probability of re-drawing the same 6-subset is ~0).
+        let mut changed = false;
+        for _ in 0..10 {
+            state.step(&mut rng);
+            let now: Vec<usize> = (0..60).filter(|&i| state.is_attacked(i)).collect();
+            assert_eq!(now.len(), 6, "target count must be preserved");
+            // Targets are always correct processes.
+            for &t in &now {
+                assert!(matches!(
+                    cfg.role_of(t),
+                    Role::AttackedCorrect | Role::Correct
+                ));
+            }
+            if now != initial {
+                changed = true;
+            }
+        }
+        assert!(changed, "rotation never changed the target set");
+    }
+
+    #[test]
+    fn rotating_attack_does_not_beat_static_against_drum() {
+        // The extension's finding: moving the attack around gains nothing.
+        let trials = 10;
+        let mean = |rotate: Option<u32>| {
+            let mut total = 0u32;
+            for seed in 0..trials {
+                let mut cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 120, 128.0);
+                cfg.attack.as_mut().unwrap().rotate_every = rotate;
+                total += run(cfg, seed, 400).1;
+            }
+            total as f64 / trials as f64
+        };
+        let static_attack = mean(None);
+        let rotating = mean(Some(1));
+        assert!(
+            rotating < static_attack + 3.0,
+            "rotation should not help the adversary: static {static_attack:.1} vs rotating {rotating:.1}"
+        );
+    }
+
+    #[test]
+    fn fraction_never_decreases() {
+        let cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 120, 128.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut state = SimState::new(cfg);
+        let mut prev = state.fraction_with_m();
+        for _ in 0..30 {
+            state.step(&mut rng);
+            let now = state.fraction_with_m();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Trial execution and aggregation.
+//!
+//! Each data point in the paper's simulation figures averages 1000
+//! independent runs. [`run_experiment`] executes trials in parallel
+//! (crossbeam scoped threads) with per-trial deterministic seeds, so every
+//! figure is exactly reproducible from `(config, base_seed, trials)`.
+
+use crossbeam::thread;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use drum_metrics::stats::RunningStats;
+
+use crate::config::SimConfig;
+use crate::model::SimState;
+
+/// Outcome of a single simulated trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// First round at which ≥ `threshold` of the correct processes held
+    /// `M`; `None` if `max_rounds` was hit first.
+    pub rounds_to_threshold: Option<u32>,
+    /// Same threshold restricted to attacked correct processes.
+    pub rounds_attacked: Option<u32>,
+    /// Same threshold restricted to non-attacked correct processes.
+    pub rounds_unattacked: Option<u32>,
+    /// Fraction of correct processes holding `M` after each round
+    /// (index 0 = after round 1), recorded up to `cdf_rounds`.
+    pub fraction_per_round: Vec<f64>,
+}
+
+/// Runs one trial of `cfg` with the given `seed`, recording per-round
+/// fractions for the first `cdf_rounds` rounds.
+pub fn run_trial(cfg: &SimConfig, seed: u64, cdf_rounds: usize) -> TrialOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut state = SimState::new(cfg.clone());
+    let threshold = cfg.threshold;
+
+    let n_attacked = cfg.attacked();
+    let n_correct = cfg.correct();
+    let n_unattacked = n_correct - n_attacked;
+    let need_total = (threshold * n_correct as f64).ceil() as usize;
+    let need_attacked = if n_attacked > 0 {
+        (threshold * n_attacked as f64).ceil() as usize
+    } else {
+        0
+    };
+    let need_unattacked = if n_unattacked > 0 {
+        (threshold * n_unattacked as f64).ceil() as usize
+    } else {
+        0
+    };
+
+    let mut outcome = TrialOutcome {
+        rounds_to_threshold: None,
+        rounds_attacked: if n_attacked == 0 { Some(0) } else { None },
+        rounds_unattacked: if n_unattacked == 0 { Some(0) } else { None },
+        fraction_per_round: Vec::with_capacity(cdf_rounds),
+    };
+
+    for round in 1..=cfg.max_rounds {
+        state.step(&mut rng);
+        let with_m = state.correct_with_m();
+        if (round as usize) <= cdf_rounds {
+            outcome.fraction_per_round.push(with_m as f64 / n_correct as f64);
+        }
+        if outcome.rounds_to_threshold.is_none() && with_m >= need_total {
+            outcome.rounds_to_threshold = Some(round);
+        }
+        if outcome.rounds_attacked.is_none() && state.attacked_with_m() >= need_attacked {
+            outcome.rounds_attacked = Some(round);
+        }
+        if outcome.rounds_unattacked.is_none() && state.unattacked_with_m() >= need_unattacked {
+            outcome.rounds_unattacked = Some(round);
+        }
+        let done = outcome.rounds_to_threshold.is_some()
+            && outcome.rounds_attacked.is_some()
+            && outcome.rounds_unattacked.is_some()
+            && (round as usize) >= cdf_rounds;
+        if done {
+            break;
+        }
+    }
+
+    // Pad the CDF tail with the final value so ragged trials average
+    // correctly.
+    let last = outcome.fraction_per_round.last().copied().unwrap_or(
+        state.correct_with_m() as f64 / n_correct as f64,
+    );
+    while outcome.fraction_per_round.len() < cdf_rounds {
+        outcome.fraction_per_round.push(last.max(state.fraction_with_m()));
+    }
+
+    outcome
+}
+
+/// Aggregated results of many trials of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Trials executed.
+    pub trials: usize,
+    /// Trials that never reached the threshold within `max_rounds`.
+    pub failures: usize,
+    /// Rounds to the overall threshold.
+    pub rounds: RunningStats,
+    /// Rounds to the threshold among attacked correct processes.
+    pub rounds_attacked: RunningStats,
+    /// Rounds to the threshold among non-attacked correct processes.
+    pub rounds_unattacked: RunningStats,
+    /// Mean fraction of correct processes holding `M` after each round
+    /// (the CDF curves of Figures 5, 13, 14).
+    pub avg_fraction_per_round: Vec<f64>,
+}
+
+impl ExperimentResult {
+    /// Mean rounds to the threshold (successful trials only).
+    pub fn mean_rounds(&self) -> f64 {
+        self.rounds.mean()
+    }
+
+    /// Standard deviation of the rounds to the threshold.
+    pub fn std_rounds(&self) -> f64 {
+        self.rounds.population_std()
+    }
+}
+
+/// Runs `trials` independent trials of `cfg` in parallel and aggregates.
+///
+/// Trial `i` uses seed `base_seed + i`, so results are reproducible and
+/// independent of thread scheduling.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the configuration is invalid.
+pub fn run_experiment(
+    cfg: &SimConfig,
+    trials: usize,
+    base_seed: u64,
+    cdf_rounds: usize,
+) -> ExperimentResult {
+    assert!(trials > 0, "need at least one trial");
+    cfg.validate().expect("invalid simulation config");
+
+    let workers = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4)
+        .min(trials);
+
+    let chunk = trials.div_ceil(workers);
+    let partials: Vec<Partial> = thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(trials);
+            if lo >= hi {
+                break;
+            }
+            let cfg = cfg.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut part = Partial::new(cdf_rounds);
+                for i in lo..hi {
+                    let outcome = run_trial(&cfg, base_seed + i as u64, cdf_rounds);
+                    part.absorb(&outcome);
+                }
+                part
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope failed");
+
+    let mut total = Partial::new(cdf_rounds);
+    for p in &partials {
+        total.merge(p);
+    }
+
+    let avg_fraction_per_round = total
+        .fraction_sums
+        .iter()
+        .map(|s| s / trials as f64)
+        .collect();
+
+    ExperimentResult {
+        trials,
+        failures: total.failures,
+        rounds: total.rounds,
+        rounds_attacked: total.rounds_attacked,
+        rounds_unattacked: total.rounds_unattacked,
+        avg_fraction_per_round,
+    }
+}
+
+#[derive(Debug)]
+struct Partial {
+    failures: usize,
+    rounds: RunningStats,
+    rounds_attacked: RunningStats,
+    rounds_unattacked: RunningStats,
+    fraction_sums: Vec<f64>,
+}
+
+impl Partial {
+    fn new(cdf_rounds: usize) -> Self {
+        Partial {
+            failures: 0,
+            rounds: RunningStats::new(),
+            rounds_attacked: RunningStats::new(),
+            rounds_unattacked: RunningStats::new(),
+            fraction_sums: vec![0.0; cdf_rounds],
+        }
+    }
+
+    fn absorb(&mut self, outcome: &TrialOutcome) {
+        match outcome.rounds_to_threshold {
+            Some(r) => self.rounds.push(r as f64),
+            None => self.failures += 1,
+        }
+        if let Some(r) = outcome.rounds_attacked {
+            if r > 0 {
+                self.rounds_attacked.push(r as f64);
+            }
+        }
+        if let Some(r) = outcome.rounds_unattacked {
+            if r > 0 {
+                self.rounds_unattacked.push(r as f64);
+            }
+        }
+        for (sum, f) in self.fraction_sums.iter_mut().zip(&outcome.fraction_per_round) {
+            *sum += f;
+        }
+    }
+
+    fn merge(&mut self, other: &Partial) {
+        self.failures += other.failures;
+        self.rounds.merge(&other.rounds);
+        self.rounds_attacked.merge(&other.rounds_attacked);
+        self.rounds_unattacked.merge(&other.rounds_unattacked);
+        for (a, b) in self.fraction_sums.iter_mut().zip(&other.fraction_sums) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drum_core::ProtocolVariant;
+
+    #[test]
+    fn trial_reaches_threshold_without_attack() {
+        let cfg = SimConfig::baseline(ProtocolVariant::Drum, 100);
+        let outcome = run_trial(&cfg, 1, 20);
+        let r = outcome.rounds_to_threshold.expect("should converge");
+        assert!(r <= 20, "took {r} rounds");
+        assert_eq!(outcome.fraction_per_round.len(), 20);
+        // Fractions are monotone and end at ~1.
+        for w in outcome.fraction_per_round.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(*outcome.fraction_per_round.last().unwrap() >= 0.99);
+    }
+
+    #[test]
+    fn trial_is_deterministic_given_seed() {
+        let cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 120, 64.0);
+        let a = run_trial(&cfg, 11, 15);
+        let b = run_trial(&cfg, 11, 15);
+        assert_eq!(a, b);
+        let c = run_trial(&cfg, 12, 15);
+        assert!(a != c || a.rounds_to_threshold == c.rounds_to_threshold);
+    }
+
+    #[test]
+    fn experiment_aggregates() {
+        let cfg = SimConfig::baseline(ProtocolVariant::Push, 80);
+        let res = run_experiment(&cfg, 20, 42, 15);
+        assert_eq!(res.trials, 20);
+        assert_eq!(res.failures, 0);
+        assert_eq!(res.rounds.count(), 20);
+        assert!(res.mean_rounds() > 1.0 && res.mean_rounds() < 20.0);
+        assert_eq!(res.avg_fraction_per_round.len(), 15);
+        assert!(res.avg_fraction_per_round[14] > 0.99);
+    }
+
+    #[test]
+    fn experiment_deterministic_despite_parallelism() {
+        let cfg = SimConfig::paper_attack(ProtocolVariant::Pull, 60, 32.0);
+        let a = run_experiment(&cfg, 16, 7, 10);
+        let b = run_experiment(&cfg, 16, 7, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attacked_trials_record_subgroup_rounds() {
+        let cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 120, 64.0);
+        let res = run_experiment(&cfg, 8, 3, 10);
+        assert!(res.rounds_attacked.count() > 0);
+        assert!(res.rounds_unattacked.count() > 0);
+        // Non-attacked processes are reached no later on average.
+        assert!(res.rounds_unattacked.mean() <= res.rounds_attacked.mean() + 2.0);
+    }
+
+    #[test]
+    fn hopeless_scenario_counts_failures() {
+        // An absurd attack that cannot finish within 2 rounds.
+        let mut cfg = SimConfig::paper_attack(ProtocolVariant::Pull, 120, 512.0);
+        cfg.max_rounds = 2;
+        let res = run_experiment(&cfg, 5, 1, 2);
+        assert!(res.failures > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let cfg = SimConfig::baseline(ProtocolVariant::Drum, 50);
+        run_experiment(&cfg, 0, 0, 5);
+    }
+}

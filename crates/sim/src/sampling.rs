@@ -1,0 +1,231 @@
+//! Random sampling primitives for the round simulation.
+//!
+//! The reception bound is the contention mechanism of the whole study: when
+//! `v` valid and `f` fabricated messages compete for `F_in` acceptance
+//! slots, the accepted subset is uniform over the arrivals. Because `F_in`
+//! is tiny (2 or 4), the hypergeometric draws are simulated sequentially.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Draws the number of *valid* messages accepted when `valid` valid and
+/// `fake` fabricated messages compete for `f_in` slots, the accepted set
+/// being a uniform random subset of the arrivals.
+pub fn accepted_valid(valid: usize, fake: usize, f_in: usize, rng: &mut SmallRng) -> usize {
+    let mut v = valid;
+    let mut f = fake;
+    let mut accepted = 0;
+    for _ in 0..f_in {
+        let total = v + f;
+        if total == 0 {
+            break;
+        }
+        if rng.random_range(0..total) < v {
+            accepted += 1;
+            v -= 1;
+        } else {
+            f -= 1;
+        }
+    }
+    accepted
+}
+
+/// Given `with` interesting and `without` uninteresting valid messages, of
+/// which a uniform subset of size `draws` is accepted, returns whether at
+/// least one interesting message is accepted.
+pub fn any_interesting(with: usize, without: usize, draws: usize, rng: &mut SmallRng) -> bool {
+    let w = with;
+    let mut o = without;
+    for _ in 0..draws {
+        let total = w + o;
+        if total == 0 {
+            return false;
+        }
+        if rng.random_range(0..total) < w {
+            return true;
+        }
+        o -= 1;
+    }
+    false
+}
+
+/// Samples a `Binomial(n, p)` variate.
+///
+/// `n` is at most a few hundred in all call sites (fabricated messages per
+/// round), so direct Bernoulli summation with an inversion shortcut for
+/// large `n·p` is plenty fast.
+pub fn binomial(n: usize, p: f64, rng: &mut SmallRng) -> usize {
+    if p <= 0.0 || n == 0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mut count = 0;
+    for _ in 0..n {
+        if rng.random_bool(p) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Converts a possibly fractional per-round rate into an integer count by
+/// randomized rounding (expectation preserved).
+pub fn randomized_round(rate: f64, rng: &mut SmallRng) -> usize {
+    debug_assert!(rate >= 0.0);
+    let base = rate.floor();
+    let frac = rate - base;
+    base as usize + usize::from(frac > 0.0 && rng.random_bool(frac))
+}
+
+/// Samples `k` distinct indices in `0..n` excluding `me`, uniformly.
+///
+/// Used for view selection: each process gossips with `k` random *other*
+/// group members. Returns fewer than `k` only if the group is too small.
+pub fn sample_targets(n: usize, me: usize, k: usize, rng: &mut SmallRng, out: &mut Vec<usize>) {
+    out.clear();
+    if n <= 1 {
+        return;
+    }
+    let k = k.min(n - 1);
+    // Floyd's algorithm over the n-1 candidates (index-shifted around `me`).
+    // For tiny k relative to n, rejection sampling is simpler and fast.
+    while out.len() < k {
+        let cand = rng.random_range(0..n - 1);
+        let cand = if cand >= me { cand + 1 } else { cand };
+        if !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn accepted_valid_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let a = accepted_valid(5, 100, 4, &mut r);
+            assert!(a <= 4);
+        }
+        // No fakes: everything up to the bound accepted.
+        assert_eq!(accepted_valid(3, 0, 4, &mut r), 3);
+        assert_eq!(accepted_valid(10, 0, 4, &mut r), 4);
+        // Nothing arrives: nothing accepted.
+        assert_eq!(accepted_valid(0, 0, 4, &mut r), 0);
+        // Only fakes: zero valid accepted.
+        assert_eq!(accepted_valid(0, 50, 4, &mut r), 0);
+    }
+
+    #[test]
+    fn accepted_valid_mean_matches_hypergeometric() {
+        // E[accepted] = f_in * v/(v+f) when v+f >= f_in.
+        let mut r = rng();
+        let (v, f, f_in, trials) = (6usize, 18usize, 4usize, 200_000);
+        let total: usize = (0..trials).map(|_| accepted_valid(v, f, f_in, &mut r)).sum();
+        let mean = total as f64 / trials as f64;
+        let expect = f_in as f64 * v as f64 / (v + f) as f64;
+        assert!((mean - expect).abs() < 0.02, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn any_interesting_edge_cases() {
+        let mut r = rng();
+        assert!(!any_interesting(0, 5, 3, &mut r));
+        assert!(any_interesting(5, 0, 1, &mut r));
+        assert!(!any_interesting(5, 5, 0, &mut r));
+        // draws >= total with at least one interesting => always true.
+        for _ in 0..50 {
+            assert!(any_interesting(1, 3, 4, &mut r));
+        }
+    }
+
+    #[test]
+    fn any_interesting_probability() {
+        // P(miss) = C(without, draws)/C(with+without, draws).
+        // with=2, without=4, draws=3: miss = C(4,3)/C(6,3) = 4/20 = 0.2.
+        let mut r = rng();
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| any_interesting(2, 4, 3, &mut r)).count();
+        let p = hits as f64 / trials as f64;
+        assert!((p - 0.8).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn binomial_edges_and_mean() {
+        let mut r = rng();
+        assert_eq!(binomial(10, 0.0, &mut r), 0);
+        assert_eq!(binomial(10, 1.0, &mut r), 10);
+        assert_eq!(binomial(0, 0.5, &mut r), 0);
+        let total: usize = (0..20_000).map(|_| binomial(64, 0.25, &mut r)).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((mean - 16.0).abs() < 0.2, "mean = {mean}");
+    }
+
+    #[test]
+    fn randomized_round_expectation() {
+        let mut r = rng();
+        let total: usize = (0..100_000).map(|_| randomized_round(2.3, &mut r)).sum();
+        let mean = total as f64 / 100_000.0;
+        assert!((mean - 2.3).abs() < 0.02, "mean = {mean}");
+        assert_eq!(randomized_round(5.0, &mut r), 5);
+        assert_eq!(randomized_round(0.0, &mut r), 0);
+    }
+
+    #[test]
+    fn sample_targets_properties() {
+        let mut r = rng();
+        let mut out = Vec::new();
+        for me in [0usize, 5, 9] {
+            for _ in 0..50 {
+                sample_targets(10, me, 4, &mut r, &mut out);
+                assert_eq!(out.len(), 4);
+                assert!(!out.contains(&me));
+                let mut sorted = out.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 4);
+                assert!(sorted.iter().all(|&t| t < 10));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_targets_small_groups() {
+        let mut r = rng();
+        let mut out = Vec::new();
+        sample_targets(1, 0, 4, &mut r, &mut out);
+        assert!(out.is_empty());
+        sample_targets(3, 1, 4, &mut r, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn sample_targets_uniform() {
+        // Each of the 9 others should be picked ~ k/9 of the time.
+        let mut r = rng();
+        let mut out = Vec::new();
+        let mut counts = [0usize; 10];
+        let trials = 90_000;
+        for _ in 0..trials {
+            sample_targets(10, 0, 2, &mut r, &mut out);
+            for &t in &out {
+                counts[t] += 1;
+            }
+        }
+        #[allow(clippy::needless_range_loop)]
+        for t in 1..10 {
+            let p = counts[t] as f64 / trials as f64;
+            assert!((p - 2.0 / 9.0).abs() < 0.01, "target {t}: {p}");
+        }
+        assert_eq!(counts[0], 0);
+    }
+}

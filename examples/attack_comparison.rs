@@ -1,0 +1,54 @@
+//! The paper's headline result, live: Drum vs Push vs Pull under a
+//! targeted DoS attack (simulation — fast and deterministic).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p drum --example attack_comparison
+//! ```
+//!
+//! Reproduces the shape of Figure 3(a): with 10% of the group attacked,
+//! Push's and Pull's propagation time grows linearly in the attack rate
+//! `x`, while Drum's stays flat.
+
+use drum::core::config::ProtocolVariant;
+use drum::metrics::table::Table;
+use drum::sim::config::SimConfig;
+use drum::sim::runner::run_experiment;
+
+fn main() {
+    let n = 120;
+    let trials = 200;
+    let xs = [0.0, 32.0, 64.0, 128.0, 256.0];
+
+    println!("n = {n}, 10% malicious, 10% of processes attacked, F = 4, loss = 1%");
+    println!("average rounds until 99% of correct processes hold the message");
+    println!("({trials} trials per point)\n");
+
+    let mut table = Table::new(vec![
+        "x (msgs/round)".into(),
+        "Drum".into(),
+        "Push".into(),
+        "Pull".into(),
+    ]);
+
+    for &x in &xs {
+        let mut row = vec![format!("{x:.0}")];
+        for proto in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+            let cfg = if x == 0.0 {
+                let mut c = SimConfig::baseline(proto, n);
+                c.malicious = n / 10;
+                c
+            } else {
+                SimConfig::paper_attack(proto, n, x)
+            };
+            let result = run_experiment(&cfg, trials, 42, 0);
+            row.push(format!("{:.1}", result.mean_rounds()));
+        }
+        table.row(row);
+    }
+
+    println!("{table}");
+    println!("Drum's row is flat; Push and Pull degrade linearly — the");
+    println!("vulnerability the paper exposes, and the one Drum eliminates.");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: a small Drum group multicasting over loopback UDP.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p drum --example quickstart
+//! ```
+//!
+//! Spawns 8 processes (one thread group each), publishes 20 messages from
+//! a single source, and prints per-process delivery counts and latencies.
+
+use std::time::{Duration, Instant};
+
+use drum::core::config::ProtocolVariant;
+use drum::net::experiment::{decode_payload, paper_cluster_config, Cluster};
+
+fn main() -> std::io::Result<()> {
+    let n = 8;
+    let round = Duration::from_millis(100);
+    println!("starting a {n}-process Drum group (round = {round:?})...");
+
+    let config = paper_cluster_config(ProtocolVariant::Drum, n, 0, 0.0, round, 42);
+    let correct = config.correct();
+    let cluster = Cluster::start(config)?;
+    let epoch = cluster.epoch();
+
+    // Publish 20 messages at 20 msg/s from process 0.
+    let total = 20u64;
+    for seq in 0..total {
+        cluster.publish_from_source(seq, 50);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Collect deliveries for a few seconds.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut received = vec![0u64; correct];
+    let mut latency_sum_ms = vec![0.0f64; correct];
+    while Instant::now() < deadline {
+        for (i, h) in cluster.handles().iter().enumerate() {
+            for d in h.take_delivered() {
+                if let Some((_seq, sent_micros)) = decode_payload(&d.message.payload) {
+                    let now = epoch.elapsed().as_micros() as u64;
+                    latency_sum_ms[i] += (now - sent_micros) as f64 / 1000.0;
+                    received[i] += 1;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    println!("\nprocess  received  mean latency");
+    println!("-------------------------------");
+    for i in 1..correct {
+        let mean = if received[i] > 0 { latency_sum_ms[i] / received[i] as f64 } else { f64::NAN };
+        println!("p{i:<7} {:>8}  {mean:>9.1} ms", received[i]);
+    }
+
+    let stats = cluster.shutdown();
+    let rounds: u64 = stats.iter().map(|s| s.rounds).sum();
+    println!("\ntotal rounds executed across the group: {rounds}");
+    let delivered: u64 = received[1..].iter().sum();
+    println!("total deliveries: {delivered} / {}", total * (correct as u64 - 1));
+    Ok(())
+}

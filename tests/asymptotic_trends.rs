@@ -1,0 +1,176 @@
+//! §6's closed-form predictions, validated on the Monte-Carlo simulator:
+//!
+//! * **Lemma 1** — Drum's propagation time under a fixed-α attack is
+//!   bounded by a constant independent of the attack rate `x`;
+//! * **Corollary 1** — Push's grows (at least) linearly in `x`;
+//! * **Corollary 2** — Pull's grows (at least) linearly in `x`;
+//! * **Lemma 2** — with total strength fixed and `c > 5`, Drum suffers
+//!   *more* as the attack spreads to more processes (so focusing on a
+//!   small subset buys the adversary nothing).
+
+use drum::core::config::ProtocolVariant;
+use drum::sim::config::SimConfig;
+use drum::sim::experiments::fixed_strength_sweep;
+use drum::sim::runner::run_experiment;
+
+const TRIALS: usize = 60;
+const N: usize = 120;
+const SEED: u64 = 4;
+
+fn mean_rounds(proto: ProtocolVariant, x: f64) -> f64 {
+    let mut cfg = SimConfig::paper_attack(proto, N, x);
+    cfg.max_rounds = 2000;
+    run_experiment(&cfg, TRIALS, SEED, 0).mean_rounds()
+}
+
+#[test]
+fn lemma1_drum_flat_in_attack_rate() {
+    let weak = mean_rounds(ProtocolVariant::Drum, 32.0);
+    let strong = mean_rounds(ProtocolVariant::Drum, 512.0);
+    // 16x the attack strength: Drum barely moves.
+    assert!(
+        strong < weak + 3.0,
+        "Drum should be flat: {weak:.1} rounds at x=32 vs {strong:.1} at x=512"
+    );
+}
+
+#[test]
+fn corollary1_push_linear_in_attack_rate() {
+    let r64 = mean_rounds(ProtocolVariant::Push, 64.0);
+    let r128 = mean_rounds(ProtocolVariant::Push, 128.0);
+    let r256 = mean_rounds(ProtocolVariant::Push, 256.0);
+    // Roughly doubling behavior; assert super-constant growth with slack.
+    assert!(r128 > r64 * 1.4, "x=64: {r64:.1}, x=128: {r128:.1}");
+    assert!(r256 > r128 * 1.4, "x=128: {r128:.1}, x=256: {r256:.1}");
+}
+
+#[test]
+fn corollary2_pull_linear_in_attack_rate() {
+    let r64 = mean_rounds(ProtocolVariant::Pull, 64.0);
+    let r128 = mean_rounds(ProtocolVariant::Pull, 128.0);
+    let r256 = mean_rounds(ProtocolVariant::Pull, 256.0);
+    assert!(r128 > r64 * 1.3, "x=64: {r64:.1}, x=128: {r128:.1}");
+    assert!(r256 > r128 * 1.3, "x=128: {r128:.1}, x=256: {r256:.1}");
+}
+
+#[test]
+fn lemma2_spreading_a_big_budget_hurts_drum_most() {
+    // c = 10 → B = 40·n fabricated messages per round.
+    let b = 10.0 * 4.0 * N as f64;
+    let rows = fixed_strength_sweep(
+        N,
+        b,
+        &[0.1, 0.5, 0.9],
+        &[ProtocolVariant::Drum],
+        TRIALS,
+        SEED,
+    );
+    let r10 = rows[0].results[0].mean_rounds();
+    let r50 = rows[1].results[0].mean_rounds();
+    let r90 = rows[2].results[0].mean_rounds();
+    assert!(
+        r10 < r50 && r50 < r90,
+        "Drum should degrade monotonically with spread: {r10:.1}, {r50:.1}, {r90:.1}"
+    );
+}
+
+#[test]
+fn focused_attacks_hurt_push_and_pull_but_not_drum() {
+    // Same budget: focused on 10% vs spread over everyone. For Push and
+    // Pull the focused attack is far more damaging; for Drum it is not.
+    // (B = 36n, the paper's strong fixed-strength attack of Figure 7.)
+    let b = 36.0 * N as f64;
+    let rows = fixed_strength_sweep(
+        N,
+        b,
+        &[0.1, 0.9],
+        &[ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull],
+        TRIALS,
+        SEED,
+    );
+    let focused = &rows[0].results;
+    let spread = &rows[1].results;
+    // Push and Pull: focused >> spread.
+    assert!(
+        focused[1].mean_rounds() > spread[1].mean_rounds() * 1.2,
+        "push focused {:.1} vs spread {:.1}",
+        focused[1].mean_rounds(),
+        spread[1].mean_rounds()
+    );
+    // Pull's damage is dominated by the source-exit delay, so the focused
+    // advantage is smaller than Push's but still present.
+    assert!(
+        focused[2].mean_rounds() > spread[2].mean_rounds(),
+        "pull focused {:.1} vs spread {:.1}",
+        focused[2].mean_rounds(),
+        spread[2].mean_rounds()
+    );
+    // Drum: focusing does NOT help the adversary.
+    assert!(
+        focused[0].mean_rounds() <= spread[0].mean_rounds() + 1.0,
+        "drum focused {:.1} vs spread {:.1}",
+        focused[0].mean_rounds(),
+        spread[0].mean_rounds()
+    );
+}
+
+#[test]
+fn no_attack_all_protocols_equal() {
+    // Leftmost data point of Figure 3(a): without an attack the three
+    // protocols perform virtually the same.
+    let mut means = Vec::new();
+    for proto in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+        let mut cfg = SimConfig::baseline(proto, N);
+        cfg.malicious = N / 10;
+        means.push(run_experiment(&cfg, TRIALS, SEED, 0).mean_rounds());
+    }
+    let max = means.iter().fold(0.0f64, |a, &b| a.max(b));
+    let min = means.iter().fold(f64::MAX, |a, &b| a.min(b));
+    assert!(max - min < 3.0, "protocols diverge without attack: {means:?}");
+}
+
+#[test]
+fn push_reaches_unattacked_fast_but_attacked_slow() {
+    // Figure 6: Push delivers to non-attacked processes quickly while the
+    // attacked ones lag; Drum treats both similarly.
+    let cfg = SimConfig::paper_attack(ProtocolVariant::Push, N, 128.0);
+    let res = run_experiment(&cfg, TRIALS, SEED, 0);
+    assert!(
+        res.rounds_attacked.mean() > res.rounds_unattacked.mean() * 2.0,
+        "push attacked {:.1} vs unattacked {:.1}",
+        res.rounds_attacked.mean(),
+        res.rounds_unattacked.mean()
+    );
+
+    let cfg = SimConfig::paper_attack(ProtocolVariant::Drum, N, 128.0);
+    let res = run_experiment(&cfg, TRIALS, SEED, 0);
+    assert!(
+        res.rounds_attacked.mean() < res.rounds_unattacked.mean() + 4.0,
+        "drum attacked {:.1} vs unattacked {:.1}",
+        res.rounds_attacked.mean(),
+        res.rounds_unattacked.mean()
+    );
+}
+
+#[test]
+fn pull_std_much_larger_than_drum_std() {
+    // Figure 4: for α=10%, x=128, Pull's STD dwarfs Drum's.
+    let drum = run_experiment(
+        &SimConfig::paper_attack(ProtocolVariant::Drum, N, 128.0),
+        TRIALS,
+        SEED,
+        0,
+    );
+    let pull = run_experiment(
+        &SimConfig::paper_attack(ProtocolVariant::Pull, N, 128.0),
+        TRIALS,
+        SEED,
+        0,
+    );
+    assert!(
+        pull.std_rounds() > drum.std_rounds() * 2.0,
+        "pull std {:.2} vs drum std {:.2}",
+        pull.std_rounds(),
+        drum.std_rounds()
+    );
+}

@@ -1,0 +1,171 @@
+//! Membership over the multicast layer: join/leave/expel events travel as
+//! ordinary gossip payloads through real engines, databases converge, and
+//! the group's gossip views follow.
+
+use bytes::Bytes;
+use drum::core::config::GossipConfig;
+use drum::core::engine::{CountingPortOracle, Engine};
+use drum::core::ids::ProcessId;
+use drum::core::view::Membership;
+use drum::crypto::keys::KeyStore;
+use drum::membership::ca::CertificateAuthority;
+use drum::membership::database::MembershipDb;
+use drum::membership::events::MembershipEvent;
+
+/// An in-memory group of engines, each paired with a membership database.
+struct Group {
+    engines: Vec<Engine>,
+    dbs: Vec<MembershipDb>,
+    oracle: CountingPortOracle,
+}
+
+impl Group {
+    fn new(n: u64, ca: &CertificateAuthority) -> Group {
+        let members: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+        let mut engines = Vec::new();
+        let mut dbs = Vec::new();
+        for &m in &members {
+            let cert_list = ca.member_list(None);
+            let mut db = MembershipDb::new(m, ca.verification_key());
+            db.bootstrap(cert_list, 0);
+            let key = ca.key_store().key_of(m.as_u64()).unwrap();
+            engines.push(Engine::new(
+                GossipConfig::drum(),
+                Membership::new(m, members.clone()),
+                ca.key_store().clone(),
+                key,
+                m.as_u64() + 100,
+            ));
+            dbs.push(db);
+        }
+        Group { engines, dbs, oracle: CountingPortOracle::default() }
+    }
+
+    /// Originates a membership event at process `origin`: applied to its
+    /// own database immediately (the originator knows the event) and
+    /// multicast to everyone else.
+    fn publish_event(&mut self, origin: usize, event: &MembershipEvent, now: u64) {
+        let _ = self.dbs[origin].apply(event, now);
+        self.engines[origin].publish(Bytes::from(event.encode()));
+    }
+
+    /// Runs full gossip rounds, feeding every delivered payload into the
+    /// receiving process's membership database.
+    fn run_rounds(&mut self, rounds: usize, now: u64) {
+        for _ in 0..rounds {
+            let mut inflight = Vec::new();
+            for e in self.engines.iter_mut() {
+                inflight.extend(e.begin_round(&mut self.oracle));
+            }
+            while !inflight.is_empty() {
+                let mut next = Vec::new();
+                for out in inflight {
+                    let idx = out.to.as_u64() as usize;
+                    next.extend(self.engines[idx].handle(out.msg, &mut self.oracle));
+                }
+                inflight = next;
+            }
+            for (e, db) in self.engines.iter_mut().zip(self.dbs.iter_mut()) {
+                for delivered in e.take_delivered() {
+                    if let Ok(event) = MembershipEvent::decode(&delivered.payload) {
+                        let _ = db.apply(&event, now);
+                    }
+                }
+                e.end_round();
+            }
+        }
+    }
+}
+
+fn founded_group(n: u64) -> (CertificateAuthority, Group) {
+    let ca = CertificateAuthority::new([8u8; 32], KeyStore::new(77));
+    for id in 0..n {
+        ca.join(ProcessId(id), 0, 10_000).unwrap();
+    }
+    let group = Group::new(n, &ca);
+    (ca, group)
+}
+
+#[test]
+fn join_event_gossips_to_every_member() {
+    let (ca, mut group) = founded_group(8);
+
+    // A newcomer (id 100) joins; the CA's log-in message is multicast by
+    // process 0.
+    let cert = ca.join(ProcessId(100), 1, 10_000).unwrap();
+    let event = MembershipEvent::Join(cert);
+    group.publish_event(0, &event, 1);
+
+    group.run_rounds(10, 2);
+
+    for (i, db) in group.dbs.iter().enumerate() {
+        assert!(db.contains(ProcessId(100)), "p{i} never learned of the join");
+    }
+}
+
+#[test]
+fn expel_event_removes_member_everywhere() {
+    let (ca, mut group) = founded_group(8);
+
+    // Everyone already knows p3 from bootstrap.
+    for db in &group.dbs {
+        assert!(db.contains(ProcessId(3)));
+    }
+
+    let revoked = group.dbs[0].certificate_of(ProcessId(3)).unwrap().clone();
+    ca.expel(ProcessId(3)).unwrap();
+    group.publish_event(0, &MembershipEvent::Expel(revoked), 3);
+
+    group.run_rounds(10, 3);
+
+    for (i, db) in group.dbs.iter().enumerate() {
+        assert!(!db.contains(ProcessId(3)), "p{i} still lists the expelled member");
+    }
+}
+
+#[test]
+fn forged_event_never_installs() {
+    let (_, mut group) = founded_group(6);
+
+    let rogue = CertificateAuthority::new([66u8; 32], KeyStore::new(1));
+    let forged = MembershipEvent::Join(rogue.join(ProcessId(666), 1, 10_000).unwrap());
+    group.publish_event(0, &forged, 1);
+
+    group.run_rounds(10, 2);
+
+    for db in &group.dbs {
+        assert!(!db.contains(ProcessId(666)));
+    }
+}
+
+#[test]
+fn refresh_extends_membership_past_expiry() {
+    let (ca, mut group) = founded_group(6);
+
+    // p2's certificate is renewed; the refresh gossips out before the old
+    // cert would expire.
+    let renewed = ca.renew(ProcessId(2), 5_000, 20_000).unwrap();
+    group.publish_event(1, &MembershipEvent::Refresh(renewed.clone()), 5_000);
+    group.run_rounds(10, 5_001);
+
+    // Sweep at a time past the original expiry (10 000) but inside the
+    // renewed window.
+    for db in group.dbs.iter_mut() {
+        db.expire(15_000);
+        assert!(db.contains(ProcessId(2)), "renewal lost");
+        assert_eq!(db.certificate_of(ProcessId(2)).unwrap().serial, renewed.serial);
+    }
+}
+
+#[test]
+fn gossip_views_follow_database() {
+    let (ca, mut group) = founded_group(6);
+    let before = group.dbs[0].gossip_view().len();
+
+    let cert = ca.join(ProcessId(50), 1, 10_000).unwrap();
+    group.publish_event(0, &MembershipEvent::Join(cert), 1);
+    group.run_rounds(8, 2);
+
+    let after = group.dbs[0].gossip_view().len();
+    assert_eq!(after, before + 1);
+}
