@@ -77,7 +77,11 @@ pub fn p_tilde_weak(n: usize, fan_out: usize, x: u64) -> f64 {
             // For x < F the "all slots filled by fakes" event is impossible
             // (not enough fakes to occupy every slot), so some valid request
             // is always read.
-            if x < f { 1.0 } else { 1.0 - ln_none.exp() }
+            if x < f {
+                1.0
+            } else {
+                1.0 - ln_none.exp()
+            }
         };
         acc += p_read * pr_y;
     }

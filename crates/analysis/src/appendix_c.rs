@@ -185,7 +185,11 @@ impl PairProbabilities {
 /// `x` is the total fabricated-message rate per attacked process per round;
 /// Drum splits it `x/2` push + `x/2` pull, Push and Pull take all of it on
 /// their single channel (§5).
-pub fn pair_probabilities(protocol: Protocol, params: &DetailedParams, x: u64) -> PairProbabilities {
+pub fn pair_probabilities(
+    protocol: Protocol,
+    params: &DetailedParams,
+    x: u64,
+) -> PairProbabilities {
     let lf = LogFactorial::up_to(params.n + x as usize + 4);
     let (x_push, x_pull) = match protocol {
         Protocol::Drum => (x / 2, x - x / 2),
@@ -209,12 +213,20 @@ pub fn pair_probabilities(protocol: Protocol, params: &DetailedParams, x: u64) -
         let d_u = discard_prob(&lf, params, params.view_pull, params.f_in_pull);
         let d_a = discard_prob_attacked(&lf, params, params.view_pull, params.f_in_pull, x_pull);
         // Pull needs the request (1 loss draw) and the reply (a second one).
-        (q_pull * ok * ok * (1.0 - d_u), q_pull * ok * ok * (1.0 - d_a))
+        (
+            q_pull * ok * ok * (1.0 - d_u),
+            q_pull * ok * ok * (1.0 - d_a),
+        )
     } else {
         (0.0, 0.0)
     };
 
-    PairProbabilities { push_u, push_a, pull_u, pull_a }
+    PairProbabilities {
+        push_u,
+        push_a,
+        pull_u,
+        pull_a,
+    }
 }
 
 /// Result of a recursion run: per-round expected number (and fraction) of
@@ -502,7 +514,11 @@ mod tests {
         for w in curve.fraction.windows(2) {
             assert!(w[1] >= w[0] - 1e-12, "fraction must be non-decreasing");
         }
-        assert!(curve.fraction[30] > 0.99, "should converge: {}", curve.fraction[30]);
+        assert!(
+            curve.fraction[30] > 0.99,
+            "should converge: {}",
+            curve.fraction[30]
+        );
         assert!(curve.rounds_to_fraction(0.99).is_some());
     }
 
@@ -561,15 +577,29 @@ mod tests {
         let drum_256 = r(Protocol::Drum, 256);
         let push_64 = r(Protocol::Push, 64);
         let push_256 = r(Protocol::Push, 256);
-        assert!(drum_256 <= drum_64 + 2, "Drum ~constant: {drum_64} -> {drum_256}");
-        assert!(push_256 > push_64 + 4, "Push grows: {push_64} -> {push_256}");
+        assert!(
+            drum_256 <= drum_64 + 2,
+            "Drum ~constant: {drum_64} -> {drum_256}"
+        );
+        assert!(
+            push_256 > push_64 + 4,
+            "Push grows: {push_64} -> {push_256}"
+        );
     }
 
     #[test]
     fn thinning_identity_matches_double_sum() {
         // Cross-check the binomial-thinning shortcut against the paper's
         // double sum for a small instance.
-        let params = DetailedParams { n: 12, b: 2, loss: 0.1, view_push: 2, view_pull: 2, f_in_push: 2, f_in_pull: 2 };
+        let params = DetailedParams {
+            n: 12,
+            b: 2,
+            loss: 0.1,
+            view_push: 2,
+            view_pull: 2,
+            f_in_push: 2,
+            f_in_pull: 2,
+        };
         let lf = LogFactorial::up_to(64);
         let nb = params.correct();
         let qv = params.view_push as f64 / (params.n - 1) as f64;

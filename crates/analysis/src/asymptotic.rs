@@ -40,7 +40,13 @@ pub enum Proto {
 ///
 /// `alpha` is the attacked fraction; `p_att`/`p_unatt` the per-message
 /// acceptance probabilities (use [`p_a`]/[`p_u`] or supply your own).
-pub fn effective_rates(proto: Proto, fan_out: usize, alpha: f64, p_att: f64, p_unatt: f64) -> EffectiveRates {
+pub fn effective_rates(
+    proto: Proto,
+    fan_out: usize,
+    alpha: f64,
+    p_att: f64,
+    p_unatt: f64,
+) -> EffectiveRates {
     let f = fan_out as f64;
     let mix = alpha * p_att + (1.0 - alpha) * p_unatt;
     match proto {
@@ -72,7 +78,13 @@ pub fn effective_rates(proto: Proto, fan_out: usize, alpha: f64, p_att: f64, p_u
 }
 
 /// Convenience wrapper computing `p_a`/`p_u` from Appendix A first.
-pub fn effective_rates_for(proto: Proto, n: usize, fan_out: usize, alpha: f64, x: u64) -> EffectiveRates {
+pub fn effective_rates_for(
+    proto: Proto,
+    n: usize,
+    fan_out: usize,
+    alpha: f64,
+    x: u64,
+) -> EffectiveRates {
     effective_rates(proto, fan_out, alpha, p_a(n, fan_out, x), p_u(n, fan_out))
 }
 
@@ -207,7 +219,10 @@ mod tests {
             let x = (c * F as f64 / alpha).round() as u64;
             let r = effective_rates_for(Proto::Drum, N, F, alpha, x);
             assert!(r.fan_in_attacked < prev_attacked + 1e-9, "alpha = {alpha}");
-            assert!(r.fan_in_unattacked < prev_unattacked + 1e-9, "alpha = {alpha}");
+            assert!(
+                r.fan_in_unattacked < prev_unattacked + 1e-9,
+                "alpha = {alpha}"
+            );
             prev_attacked = r.fan_in_attacked;
             prev_unattacked = r.fan_in_unattacked;
         }
@@ -255,7 +270,10 @@ mod tests {
         // estimated propagation time by only a small constant.
         let weak = drum_propagation_estimate(N, F, 0.1, 32);
         let strong = drum_propagation_estimate(N, F, 0.1, 512);
-        assert!(strong < weak + 2.0, "estimate should be flat: {weak:.1} -> {strong:.1}");
+        assert!(
+            strong < weak + 2.0,
+            "estimate should be flat: {weak:.1} -> {strong:.1}"
+        );
         // And it lands in the plausible range the simulations show.
         assert!((3.0..15.0).contains(&strong), "estimate {strong:.1}");
     }

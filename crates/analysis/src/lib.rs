@@ -63,35 +63,57 @@ mod proptests {
     use crate::appendix_a::{p_a, p_u};
     use crate::appendix_c::{pair_probabilities, DetailedParams, Protocol};
     use crate::logmath::LogFactorial;
-    use proptest::prelude::*;
+    use drum_testkit::prop::{check, Config};
+    use drum_testkit::prop_assert;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn p_u_always_in_unit_interval(n in 10usize..400, f in 1usize..8) {
+    #[test]
+    fn p_u_always_in_unit_interval() {
+        check("p_u_always_in_unit_interval", Config::with_cases(64), |g| {
+            let n = g.usize_in(10..400);
+            let f = g.usize_in(1..8);
             let v = p_u(n, f);
             prop_assert!((0.0..=1.0).contains(&v));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn p_a_below_bound_and_in_range(n in 10usize..300, f in 1usize..6, x in 1u64..600) {
-            let v = p_a(n, f, x);
-            prop_assert!((0.0..=1.0).contains(&v));
-            if x >= f as u64 {
-                prop_assert!(v <= f as f64 / x as f64 + 1e-12);
-            }
-        }
+    #[test]
+    fn p_a_below_bound_and_in_range() {
+        check(
+            "p_a_below_bound_and_in_range",
+            Config::with_cases(64),
+            |g| {
+                let n = g.usize_in(10..300);
+                let f = g.usize_in(1..6);
+                let x = g.u64_in(1..600);
+                let v = p_a(n, f, x);
+                prop_assert!((0.0..=1.0).contains(&v));
+                if x >= f as u64 {
+                    prop_assert!(v <= f as f64 / x as f64 + 1e-12);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn binom_mass_conserved(n in 0usize..200, p in 0.0f64..=1.0) {
+    #[test]
+    fn binom_mass_conserved() {
+        check("binom_mass_conserved", Config::with_cases(64), |g| {
+            let n = g.usize_in(0..200);
+            // f64_in is half-open; nudge the span so p = 1.0 stays reachable.
+            let p = g.f64_in(0.0..1.0 + f64::EPSILON).min(1.0);
             let lf = LogFactorial::up_to(n);
             let total: f64 = (0..=n).map(|k| lf.binom_pmf(n, k, p)).sum();
             prop_assert!((total - 1.0).abs() < 1e-8);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn pair_probabilities_valid(x in 0u64..300, b in 0usize..20) {
+    #[test]
+    fn pair_probabilities_valid() {
+        check("pair_probabilities_valid", Config::with_cases(64), |g| {
+            let x = g.u64_in(0..300);
+            let b = g.usize_in(0..20);
             for proto in [Protocol::Drum, Protocol::Push, Protocol::Pull] {
                 let params = DetailedParams::paper(proto, 120, b, 0.01, 4);
                 let pr = pair_probabilities(proto, &params, x);
@@ -102,6 +124,7 @@ mod proptests {
                 prop_assert!(pr.push_a <= pr.push_u + 1e-12);
                 prop_assert!(pr.pull_a <= pr.pull_u + 1e-12);
             }
-        }
+            Ok(())
+        });
     }
 }

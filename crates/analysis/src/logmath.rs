@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn choose_values() {
         let lf = LogFactorial::up_to(50);
-        assert!((lf.ln_choose(50, 25).exp() - 126_410_606_437_752.0).abs() / 126_410_606_437_752.0 < 1e-9);
+        assert!(
+            (lf.ln_choose(50, 25).exp() - 126_410_606_437_752.0).abs() / 126_410_606_437_752.0
+                < 1e-9
+        );
         assert_eq!(lf.ln_choose(5, 6), f64::NEG_INFINITY);
         assert_eq!(lf.ln_choose(5, 0), 0.0);
         assert_eq!(lf.ln_choose(5, 5), 0.0);

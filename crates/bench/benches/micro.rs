@@ -5,10 +5,11 @@
 //! application-level DoS attack is *for the victim* — the quantity the
 //! paper's resource-bound design keeps constant per round.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use drum_bench::harness::{BatchSize, Criterion, Throughput};
+use drum_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
-use bytes::Bytes;
+use drum_core::bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -31,12 +32,19 @@ fn bench_crypto(c: &mut Criterion) {
 
     let data_1k = vec![0xA5u8; 1024];
     group.throughput(Throughput::Bytes(1024));
-    group.bench_function("sha256_1k", |b| b.iter(|| Sha256::digest(black_box(&data_1k))));
+    group.bench_function("sha256_1k", |b| {
+        b.iter(|| Sha256::digest(black_box(&data_1k)))
+    });
 
     let msg_50 = vec![0x5Au8; 50];
     group.throughput(Throughput::Elements(1));
     group.bench_function("hmac_sign_50b_message", |b| {
-        b.iter(|| hmac_sha256(black_box(b"key material 32 bytes long......"), black_box(&msg_50)))
+        b.iter(|| {
+            hmac_sha256(
+                black_box(b"key material 32 bytes long......"),
+                black_box(&msg_50),
+            )
+        })
     });
 
     let key = SecretKey::from_bytes([7u8; 32]);
@@ -49,7 +57,9 @@ fn bench_crypto(c: &mut Criterion) {
     });
 
     let sealed = seal_port(&key, 1, 54321).unwrap();
-    group.bench_function("open_port", |b| b.iter(|| open_port(black_box(&key), black_box(&sealed))));
+    group.bench_function("open_port", |b| {
+        b.iter(|| open_port(black_box(&key), black_box(&sealed)))
+    });
 
     group.finish();
 }
@@ -87,7 +97,9 @@ fn bench_digest_and_buffer(c: &mut Criterion) {
             Round(0),
         );
     }
-    let their: Digest = (0..400u64).map(|q| MessageId::new(ProcessId(1), q)).collect();
+    let their: Digest = (0..400u64)
+        .map(|q| MessageId::new(ProcessId(1), q))
+        .collect();
     group.bench_function("buffer_select_missing_80_of_800", |b| {
         let mut rng = SmallRng::seed_from_u64(5);
         b.iter(|| buffer.select_missing(black_box(&their), 80, &mut rng))
@@ -103,7 +115,9 @@ fn bench_codec(c: &mut Criterion) {
     let key = SecretKey::from_bytes([2u8; 32]);
     let pull_request = GossipMessage::PullRequest {
         from: ProcessId(5),
-        digest: (0..500u64).map(|q| MessageId::new(ProcessId(q % 4), q / 4)).collect(),
+        digest: (0..500u64)
+            .map(|q| MessageId::new(ProcessId(q % 4), q / 4))
+            .collect(),
         reply_port: PortRef::Sealed(seal_port(&key, 9, 50123).unwrap()),
         nonce: 9,
     };
@@ -215,7 +229,8 @@ fn bench_membership(c: &mut Criterion) {
         b.iter_batched(
             || drum_membership::database::MembershipDb::new(ProcessId(0), ca.verification_key()),
             |mut db| {
-                let e = drum_membership::events::MembershipEvent::decode(black_box(&encoded)).unwrap();
+                let e =
+                    drum_membership::events::MembershipEvent::decode(black_box(&encoded)).unwrap();
                 let _ = db.apply(&e, 1);
                 black_box(db)
             },

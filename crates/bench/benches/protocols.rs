@@ -2,7 +2,8 @@
 //! attack, and the closed-form analysis kernels — plus the ablation
 //! comparisons called out in `DESIGN.md` §10.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drum_bench::harness::{BenchmarkId, Criterion};
+use drum_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use rand::rngs::SmallRng;
@@ -19,7 +20,11 @@ fn bench_sim_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_round");
     group.sample_size(20);
 
-    for proto in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+    for proto in [
+        ProtocolVariant::Drum,
+        ProtocolVariant::Push,
+        ProtocolVariant::Pull,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("step_n1000_attacked", proto.to_string()),
             &proto,
@@ -41,7 +46,11 @@ fn bench_sim_trial(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_trial");
     group.sample_size(10);
 
-    for proto in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+    for proto in [
+        ProtocolVariant::Drum,
+        ProtocolVariant::Push,
+        ProtocolVariant::Pull,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("trial_n120_x128", proto.to_string()),
             &proto,
@@ -81,7 +90,9 @@ fn bench_analysis(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("p_u_n1000_f4", |b| b.iter(|| black_box(p_u(1000, 4))));
-    group.bench_function("p_a_n1000_f4_x128", |b| b.iter(|| black_box(p_a(1000, 4, 128))));
+    group.bench_function("p_a_n1000_f4_x128", |b| {
+        b.iter(|| black_box(p_a(1000, 4, 128)))
+    });
 
     group.bench_function("joint_recursion_n120_alpha10_x128", |b| {
         b.iter(|| black_box(analysis_cdf(Protocol::Drum, 120, 12, 0.01, 4, 12, 128, 30)))

@@ -16,7 +16,10 @@ use drum_sim::config::SimConfig;
 use drum_sim::runner::run_experiment;
 
 fn main() {
-    banner("Extension: fan-out sensitivity", "rounds to 99% vs F, with and without attack");
+    banner(
+        "Extension: fan-out sensitivity",
+        "rounds to 99% vs F, with and without attack",
+    );
     let trials = trials();
     let n = scaled(120, 1000);
 
@@ -30,7 +33,11 @@ fn main() {
         ]);
         for fan_out in [2usize, 4, 8, 12] {
             let mut cells = vec![fan_out.to_string()];
-            for proto in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+            for proto in [
+                ProtocolVariant::Drum,
+                ProtocolVariant::Push,
+                ProtocolVariant::Pull,
+            ] {
                 let mut cfg = if x > 0.0 {
                     SimConfig::paper_attack(proto, n, x)
                 } else {

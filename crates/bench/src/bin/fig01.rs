@@ -9,7 +9,10 @@ use drum_bench::{banner, scaled};
 use drum_metrics::table::Table;
 
 fn main() {
-    banner("Figure 1", "p_u vs F and p_a vs F/x (numerical, Appendix A)");
+    banner(
+        "Figure 1",
+        "p_u vs F and p_a vs F/x (numerical, Appendix A)",
+    );
     let n = scaled(1000, 1000);
 
     println!("(a) probability p_u that a non-attacked process accepts a valid message, n = {n}");
@@ -20,10 +23,16 @@ fn main() {
     println!("{t}");
     println!("paper: p_u > 0.6 for every F >= 1 (Lemma 8 / Fig 1(a))\n");
 
-    println!("(b) probability p_a that an attacked process accepts a valid message, F = 4, n = {n}");
+    println!(
+        "(b) probability p_a that an attacked process accepts a valid message, F = 4, n = {n}"
+    );
     let mut t = Table::new(vec!["x".into(), "p_a".into(), "bound F/x".into()]);
     for (x, pa, bound) in figure_1b(n, 4, &[8, 16, 32, 64, 128, 256, 512]) {
-        t.row(vec![x.to_string(), format!("{pa:.4}"), format!("{bound:.4}")]);
+        t.row(vec![
+            x.to_string(),
+            format!("{pa:.4}"),
+            format!("{bound:.4}"),
+        ]);
     }
     println!("{t}");
     println!("paper: p_a < F/x (used by Lemmas 1-6); both columns shrink like 1/x");

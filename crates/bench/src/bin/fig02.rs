@@ -7,7 +7,10 @@ use drum_bench::{banner, scaled, sweep_table, trials, PROTOCOL_NAMES, SEED};
 use drum_sim::experiments::{fig2a_scalability, fig2b_crashes};
 
 fn main() {
-    banner("Figure 2", "failure-free scalability and crash-failure degradation");
+    banner(
+        "Figure 2",
+        "failure-free scalability and crash-failure degradation",
+    );
     let trials = trials();
 
     let ns: Vec<usize> = if drum_bench::full_scale() {

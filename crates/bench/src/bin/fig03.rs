@@ -10,10 +10,16 @@ use drum_sim::experiments::{fig3a_attack_strength, fig3b_attack_extent};
 fn main() {
     banner("Figure 3", "propagation time under targeted DoS attacks");
     let trials = trials();
-    let ns: Vec<usize> = if drum_bench::full_scale() { vec![120, 1000] } else { vec![120] };
+    let ns: Vec<usize> = if drum_bench::full_scale() {
+        vec![120, 1000]
+    } else {
+        vec![120]
+    };
     let xs: Vec<f64> = scaled(
         vec![0.0, 32.0, 64.0, 128.0, 256.0, 512.0],
-        vec![0.0, 32.0, 64.0, 96.0, 128.0, 192.0, 256.0, 320.0, 384.0, 448.0, 512.0],
+        vec![
+            0.0, 32.0, 64.0, 96.0, 128.0, 192.0, 256.0, 320.0, 384.0, 448.0, 512.0,
+        ],
     );
 
     for &n in &ns {

@@ -9,7 +9,10 @@ use drum_bench::{banner, scaled, sweep_table_std, trials, PROTOCOL_NAMES, SEED};
 use drum_sim::experiments::{fig3a_attack_strength, fig3b_attack_extent};
 
 fn main() {
-    banner("Figure 4", "STD of the propagation time under targeted attacks");
+    banner(
+        "Figure 4",
+        "STD of the propagation time under targeted attacks",
+    );
     let trials = trials();
     let n = scaled(120, 1000);
 

@@ -6,7 +6,10 @@ use drum_sim::config::SimConfig;
 use drum_sim::experiments::cdf_curve;
 
 fn main() {
-    banner("Figure 5", "CDF of the fraction of correct processes holding M per round");
+    banner(
+        "Figure 5",
+        "CDF of the fraction of correct processes holding M per round",
+    );
     let trials = trials();
     let n = scaled(120, 1000);
     let rounds = 40;

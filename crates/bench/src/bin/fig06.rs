@@ -8,10 +8,16 @@ use drum_sim::config::SimConfig;
 use drum_sim::runner::run_experiment;
 
 fn main() {
-    banner("Figure 6", "propagation time to non-attacked vs attacked processes");
+    banner(
+        "Figure 6",
+        "propagation time to non-attacked vs attacked processes",
+    );
     let trials = trials();
     let n = scaled(120, 1000);
-    let xs: Vec<f64> = scaled(vec![32.0, 64.0, 128.0, 256.0], vec![32.0, 64.0, 128.0, 256.0, 512.0]);
+    let xs: Vec<f64> = scaled(
+        vec![32.0, 64.0, 128.0, 256.0],
+        vec![32.0, 64.0, 128.0, 256.0, 512.0],
+    );
 
     let mut to_unattacked = Table::new(
         std::iter::once("x".to_string())

@@ -12,8 +12,15 @@ use drum_sim::runner::run_experiment;
 fn main() {
     banner("Figure 8", "weak fixed-strength attacks on Drum");
     let trials = trials();
-    let ns: Vec<usize> = if drum_bench::full_scale() { vec![120, 500] } else { vec![120] };
-    let alphas = scaled(vec![0.1, 0.3, 0.5, 0.7, 0.9], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]);
+    let ns: Vec<usize> = if drum_bench::full_scale() {
+        vec![120, 500]
+    } else {
+        vec![120]
+    };
+    let alphas = scaled(
+        vec![0.1, 0.3, 0.5, 0.7, 0.9],
+        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+    );
 
     for &n in &ns {
         // Baseline without any attack (but with 10% malicious members).

@@ -41,9 +41,11 @@ fn main() {
             };
             let sim = run_experiment(&sim_cfg, sim_trials, SEED, 0).mean_rounds();
 
-            let net_cfg = paper_cluster_config(p, n, if x == 0.0 { 0 } else { n / 10 }, x, round, SEED);
-            let report = propagation_experiment(net_cfg, messages, 2, Duration::from_secs(scaled(15, 120)))
-                .expect("cluster failed");
+            let net_cfg =
+                paper_cluster_config(p, n, if x == 0.0 { 0 } else { n / 10 }, x, round, SEED);
+            let report =
+                propagation_experiment(net_cfg, messages, 2, Duration::from_secs(scaled(15, 120)))
+                    .expect("cluster failed");
             let net = if report.rounds_to_99.count() > 0 {
                 format!("{:.1}", report.rounds_to_99.mean())
             } else {
@@ -71,8 +73,9 @@ fn main() {
             let sim = run_experiment(&sim_cfg, sim_trials, SEED, 0).mean_rounds();
 
             let net_cfg = paper_cluster_config(p, n, attacked, 128.0, round, SEED);
-            let report = propagation_experiment(net_cfg, messages, 2, Duration::from_secs(scaled(20, 180)))
-                .expect("cluster failed");
+            let report =
+                propagation_experiment(net_cfg, messages, 2, Duration::from_secs(scaled(20, 180)))
+                    .expect("cluster failed");
             let net = if report.rounds_to_99.count() > 0 {
                 format!("{:.1}", report.rounds_to_99.mean())
             } else {

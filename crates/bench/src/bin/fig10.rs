@@ -15,14 +15,20 @@ use drum_metrics::table::Table;
 use drum_net::experiment::{paper_cluster_config, throughput_experiment};
 
 fn main() {
-    banner("Figure 10", "average received throughput under attack (measurements)");
+    banner(
+        "Figure 10",
+        "average received throughput under attack (measurements)",
+    );
     let n = scaled(20, 50);
     let round = Duration::from_millis(scaled(100, 1000));
     let messages = scaled(300, 10_000);
     let rate = 40.0;
     println!("n = {n}, round = {round:?}, {messages} messages at {rate} msg/s\n");
 
-    let xs: Vec<f64> = scaled(vec![0.0, 64.0, 128.0, 256.0], vec![0.0, 32.0, 64.0, 128.0, 256.0, 512.0]);
+    let xs: Vec<f64> = scaled(
+        vec![0.0, 64.0, 128.0, 256.0],
+        vec![0.0, 32.0, 64.0, 128.0, 256.0, 512.0],
+    );
     println!("(a) alpha = 10%: mean received throughput (msg/s) vs x");
     let mut table = Table::new(
         std::iter::once("x".to_string())

@@ -12,7 +12,10 @@ use drum_metrics::table::Table;
 use drum_net::experiment::{paper_cluster_config, throughput_experiment};
 
 fn main() {
-    banner("Figure 11", "CDF of per-process average delivery latency (measurements)");
+    banner(
+        "Figure 11",
+        "CDF of per-process average delivery latency (measurements)",
+    );
     let n = scaled(20, 50);
     let round = Duration::from_millis(scaled(100, 1000));
     let messages = scaled(300, 10_000);

@@ -25,16 +25,26 @@ fn main() {
     );
     println!("(a) alpha = 10%, n = {n} (simulation): rounds to 99% vs x");
     let rows = fig12a_random_ports(n, &xs, trials, SEED);
-    println!("{}", sweep_table("x", &rows, &["random ports", "well-known ports"]));
+    println!(
+        "{}",
+        sweep_table("x", &rows, &["random ports", "well-known ports"])
+    );
     println!("paper: random ports flat; well-known ports linear in x\n");
 
     // (b) — real measurements with the engine's bound modes.
     let net_n = scaled(16, 50);
     let round = Duration::from_millis(scaled(80, 1000));
     let messages = scaled(6, 30);
-    let net_xs: Vec<f64> = scaled(vec![0.0, 128.0, 256.0], vec![0.0, 64.0, 128.0, 256.0, 512.0]);
+    let net_xs: Vec<f64> = scaled(
+        vec![0.0, 128.0, 256.0],
+        vec![0.0, 64.0, 128.0, 256.0, 512.0],
+    );
     println!("(b) alpha = 10%, n = {net_n} (measurement): rounds to 99% vs x");
-    let mut table = Table::new(vec!["x".into(), "separate bounds".into(), "shared bounds".into()]);
+    let mut table = Table::new(vec![
+        "x".into(),
+        "separate bounds".into(),
+        "shared bounds".into(),
+    ]);
     for &x in &net_xs {
         let mut cells = vec![format!("{x:.0}")];
         for mode in [BoundMode::Separate, BoundMode::SharedControl] {

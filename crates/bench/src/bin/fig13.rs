@@ -18,7 +18,10 @@ fn sim_variant(p: Protocol) -> ProtocolVariant {
 }
 
 fn main() {
-    banner("Figure 13", "analysis vs simulation CDFs without DoS attacks");
+    banner(
+        "Figure 13",
+        "analysis vs simulation CDFs without DoS attacks",
+    );
     let trials = trials();
     let n = scaled(120, 1000);
     let rounds = 20;

@@ -16,7 +16,10 @@ fn sim_variant(p: Protocol) -> ProtocolVariant {
 }
 
 fn main() {
-    banner("Figure 14", "analysis vs simulation CDFs under DoS attacks, n = 120");
+    banner(
+        "Figure 14",
+        "analysis vs simulation CDFs under DoS attacks, n = 120",
+    );
     let trials = trials();
     let n = 120;
     let b = 12;

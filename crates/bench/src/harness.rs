@@ -1,0 +1,292 @@
+//! A minimal, criterion-shaped benchmark harness on `std::time::Instant`.
+//!
+//! The workspace builds with zero crates.io dependencies, so the bench
+//! targets (gated behind the `criterion` cargo feature) link against this
+//! module instead of the criterion crate. It reproduces the small API
+//! surface the benches use — groups, sample sizes, throughput annotations,
+//! `iter`/`iter_batched` and the `criterion_group!`/`criterion_main!`
+//! macros — and prints one line of wall-clock statistics per benchmark.
+//! It performs no statistical outlier analysis; the numbers are honest
+//! means/minima over `sample_size` samples, good enough for spotting
+//! order-of-magnitude regressions offline.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(2);
+
+/// Top-level handle passed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Work-rate annotation attached to subsequent benchmarks of a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; this harness times one batch per sample regardless).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl core::fmt::Display, parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(id, &b, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(&id.full, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Measures a routine handed to it by the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            sample_ns: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine`, amortizing it over enough iterations that each
+    /// sample spans roughly [`SAMPLE_TARGET`].
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibrate: double the batch until it takes a measurable time.
+        let mut batch = 1u64;
+        let per_iter_secs = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(200) || batch >= 1 << 24 {
+                break elapsed.as_secs_f64() / batch as f64;
+            }
+            batch *= 2;
+        };
+        let per_sample = if per_iter_secs > 0.0 {
+            ((SAMPLE_TARGET.as_secs_f64() / per_iter_secs) as u64).clamp(1, 1 << 24)
+        } else {
+            1 << 24
+        };
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.sample_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; the setup cost is
+    /// excluded from the measurement. One batch element per sample.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.sample_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.sample_ns.is_empty() {
+        println!("  {id:<44} (no samples)");
+        return;
+    }
+    let mean = b.sample_ns.iter().sum::<f64>() / b.sample_ns.len() as f64;
+    let min = b.sample_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let rate = throughput.map(|t| {
+        let per_sec = 1e9 / mean;
+        match t {
+            Throughput::Bytes(n) => {
+                format!("  {:>10.1} MiB/s", per_sec * n as f64 / (1 << 20) as f64)
+            }
+            Throughput::Elements(n) => format!("  {:>10.0} elem/s", per_sec * n as f64),
+        }
+    });
+    println!(
+        "  {id:<44} {:>12} /iter (min {:>12}){}",
+        format_ns(mean),
+        format_ns(min),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Expands to a function running each benchmark target in order, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `fn main` invoking each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut b = Bencher::new(3);
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.sample_ns.len(), 3);
+        assert!(b.sample_ns.iter().all(|&ns| ns >= 0.0));
+        assert!(count > 3);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(4);
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.sample_ns.len(), 4);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("harness_self_test");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(8));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("trial", "drum").full, "trial/drum");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+}

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use drum_core::ProtocolVariant;
 use drum_metrics::table::Table;
 use drum_sim::experiments::SweepRow;
@@ -23,7 +25,9 @@ use drum_sim::experiments::SweepRow;
 /// Whether the binary was invoked at full (paper) scale.
 pub fn full_scale() -> bool {
     std::env::args().any(|a| a == "--full")
-        || std::env::var("DRUM_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("DRUM_BENCH_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }
 
 /// Picks between the quick and full value of a parameter.
@@ -48,7 +52,11 @@ pub fn banner(fig: &str, what: &str) {
     println!("=== {fig}: {what} ===");
     println!(
         "scale: {} (run with --full for the paper's parameters)\n",
-        if full_scale() { "FULL (paper)" } else { "quick" }
+        if full_scale() {
+            "FULL (paper)"
+        } else {
+            "quick"
+        }
     );
 }
 

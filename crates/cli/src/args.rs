@@ -168,9 +168,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ArgError::MissingValue("n".into()).to_string().contains("--n"));
-        assert!(ArgError::BadValue { key: "x".into(), value: "y".into(), wanted: "f64" }
+        assert!(ArgError::MissingValue("n".into())
             .to_string()
-            .contains("expected"));
+            .contains("--n"));
+        assert!(ArgError::BadValue {
+            key: "x".into(),
+            value: "y".into(),
+            wanted: "f64"
+        }
+        .to_string()
+        .contains("expected"));
     }
 }

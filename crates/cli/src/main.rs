@@ -118,8 +118,14 @@ fn run() -> Result<(), String> {
             );
             let res = run_experiment(&cfg, trials, seed, 0);
             let mut t = Table::new(vec!["metric".into(), "value".into()]);
-            t.row(vec!["rounds to 99% (mean)".into(), format!("{:.2}", res.mean_rounds())]);
-            t.row(vec!["rounds to 99% (std)".into(), format!("{:.2}", res.std_rounds())]);
+            t.row(vec![
+                "rounds to 99% (mean)".into(),
+                format!("{:.2}", res.mean_rounds()),
+            ]);
+            t.row(vec![
+                "rounds to 99% (std)".into(),
+                format!("{:.2}", res.std_rounds()),
+            ]);
             t.row(vec![
                 "rounds, attacked subset".into(),
                 format!("{:.2}", res.rounds_attacked.mean()),
@@ -160,9 +166,18 @@ fn run() -> Result<(), String> {
             let f = args.get_or("f", 4usize).map_err(err)?;
             let x = args.get_or("x", 128u64).map_err(err)?;
             let mut t = Table::new(vec!["quantity".into(), "value".into()]);
-            t.row(vec!["p_u (non-attacked acceptance)".into(), format!("{:.4}", drum_analysis::p_u(n, f))]);
-            t.row(vec![format!("p_a (x={x})"), format!("{:.4}", drum_analysis::p_a(n, f, x))]);
-            t.row(vec!["bound F/x".into(), format!("{:.4}", f as f64 / x as f64)]);
+            t.row(vec![
+                "p_u (non-attacked acceptance)".into(),
+                format!("{:.4}", drum_analysis::p_u(n, f)),
+            ]);
+            t.row(vec![
+                format!("p_a (x={x})"),
+                format!("{:.4}", drum_analysis::p_a(n, f, x)),
+            ]);
+            t.row(vec![
+                "bound F/x".into(),
+                format!("{:.4}", f as f64 / x as f64),
+            ]);
             if x >= f as u64 {
                 t.row(vec![
                     format!("p~ (Pull source escape, x={x})"),
@@ -170,7 +185,10 @@ fn run() -> Result<(), String> {
                 ]);
                 t.row(vec![
                     "E[rounds to escape source]".into(),
-                    format!("{:.2}", drum_analysis::expected_rounds_to_leave_source(n, f, x)),
+                    format!(
+                        "{:.2}",
+                        drum_analysis::expected_rounds_to_leave_source(n, f, x)
+                    ),
                 ]);
             }
             println!("{t}");
@@ -215,7 +233,11 @@ fn run() -> Result<(), String> {
             for r in &report.receivers {
                 t.row(vec![
                     r.id.to_string(),
-                    if r.attacked { "yes".into() } else { "no".into() },
+                    if r.attacked {
+                        "yes".into()
+                    } else {
+                        "no".into()
+                    },
                     r.received.to_string(),
                     format!("{:.1}/s", r.throughput),
                     format!("{:.1} ms", r.mean_latency_ms),

@@ -35,7 +35,10 @@ pub enum Channel {
 impl Channel {
     /// Whether this is a control channel (vs. data).
     pub fn is_control(self) -> bool {
-        matches!(self, Channel::PullRequest | Channel::PushOffer | Channel::PushReply)
+        matches!(
+            self,
+            Channel::PullRequest | Channel::PushOffer | Channel::PushReply
+        )
     }
 
     /// Maps an incoming message kind to the channel it consumes.
@@ -122,7 +125,13 @@ impl RoundBudget {
     /// Builds a budget with explicit per-channel caps (tests, simulator).
     pub fn with_caps(mode: BoundMode, caps: [usize; 5]) -> Self {
         let shared_control_cap = caps[0] + caps[1] + caps[2];
-        RoundBudget { mode, caps, used: [0; 5], shared_control_cap, shared_control_used: 0 }
+        RoundBudget {
+            mode,
+            caps,
+            used: [0; 5],
+            shared_control_cap,
+            shared_control_used: 0,
+        }
     }
 
     /// Attempts to consume one acceptance slot on `ch`. Returns whether the
@@ -248,11 +257,26 @@ mod tests {
 
     #[test]
     fn channel_kind_mapping() {
-        assert_eq!(Channel::for_kind(MessageKind::PullRequest), Channel::PullRequest);
-        assert_eq!(Channel::for_kind(MessageKind::PushOffer), Channel::PushOffer);
-        assert_eq!(Channel::for_kind(MessageKind::PushReply), Channel::PushReply);
-        assert_eq!(Channel::for_kind(MessageKind::PullReply), Channel::PullReplyData);
-        assert_eq!(Channel::for_kind(MessageKind::PushData), Channel::PushRespData);
+        assert_eq!(
+            Channel::for_kind(MessageKind::PullRequest),
+            Channel::PullRequest
+        );
+        assert_eq!(
+            Channel::for_kind(MessageKind::PushOffer),
+            Channel::PushOffer
+        );
+        assert_eq!(
+            Channel::for_kind(MessageKind::PushReply),
+            Channel::PushReply
+        );
+        assert_eq!(
+            Channel::for_kind(MessageKind::PullReply),
+            Channel::PullReplyData
+        );
+        assert_eq!(
+            Channel::for_kind(MessageKind::PushData),
+            Channel::PushRespData
+        );
     }
 
     #[test]

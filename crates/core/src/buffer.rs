@@ -18,7 +18,7 @@ use crate::message::DataMessage;
 /// # Examples
 ///
 /// ```
-/// use bytes::Bytes;
+/// use drum_core::bytes::Bytes;
 /// use drum_core::buffer::MessageBuffer;
 /// use drum_core::ids::{MessageId, ProcessId, Round};
 /// use drum_core::message::DataMessage;
@@ -52,7 +52,11 @@ impl MessageBuffer {
     /// `max_age = 0` means "never purge" (the analysis/simulation setting
     /// where `M` is never purged).
     pub fn new(max_age: u64) -> Self {
-        MessageBuffer { entries: HashMap::new(), seen: Digest::new(), max_age }
+        MessageBuffer {
+            entries: HashMap::new(),
+            seen: Digest::new(),
+            max_age,
+        }
     }
 
     /// Inserts a message at local round `now`.
@@ -112,7 +116,8 @@ impl MessageBuffer {
         }
         let max_age = self.max_age;
         let before = self.entries.len();
-        self.entries.retain(|_, (_, inserted)| now.since(*inserted) < max_age);
+        self.entries
+            .retain(|_, (_, inserted)| now.since(*inserted) < max_age);
         before - self.entries.len()
     }
 
@@ -151,8 +156,8 @@ impl MessageBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytes::Bytes;
     use crate::ids::ProcessId;
-    use bytes::Bytes;
     use drum_crypto::auth::AuthTag;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -254,8 +259,16 @@ mod tests {
         }
         let mut rng1 = SmallRng::seed_from_u64(1);
         let mut rng2 = SmallRng::seed_from_u64(2);
-        let s1: Vec<MessageId> = buf.select_missing(&Digest::new(), 5, &mut rng1).iter().map(|m| m.id).collect();
-        let s2: Vec<MessageId> = buf.select_missing(&Digest::new(), 5, &mut rng2).iter().map(|m| m.id).collect();
+        let s1: Vec<MessageId> = buf
+            .select_missing(&Digest::new(), 5, &mut rng1)
+            .iter()
+            .map(|m| m.id)
+            .collect();
+        let s2: Vec<MessageId> = buf
+            .select_missing(&Digest::new(), 5, &mut rng2)
+            .iter()
+            .map(|m| m.id)
+            .collect();
         // Overwhelmingly likely to differ for 50-choose-5.
         assert_ne!(s1, s2);
     }

@@ -1,0 +1,375 @@
+//! Cheaply-cloneable byte buffers, replacing the crates.io `bytes` crate.
+//!
+//! The workspace builds hermetically with zero external dependencies, so the
+//! small slice of `bytes::Bytes`/`bytes::BytesMut` the protocol stack uses is
+//! provided here: [`Bytes`] is an `Arc<[u8]>` with a cursor window — cloning
+//! a payload shares the allocation, and the consuming `get_*`/`copy_to_*`
+//! readers advance the window without copying the tail — and [`BytesMut`] is
+//! a thin `Vec<u8>` writer that freezes into a `Bytes`.
+//!
+//! All multi-byte integers are big-endian, matching both the crates.io crate
+//! and the wire format in `drum-net::codec`.
+//!
+//! # Examples
+//!
+//! ```
+//! use drum_core::bytes::{Bytes, BytesMut};
+//!
+//! let mut w = BytesMut::with_capacity(6);
+//! w.put_u16(0xBEEF);
+//! w.put_slice(b"data");
+//! let mut b = w.freeze();
+//! let cheap_copy = b.clone(); // shares the allocation
+//! assert_eq!(b.get_u16(), 0xBEEF);
+//! assert_eq!(&b[..], b"data");
+//! assert_eq!(cheap_copy.len(), 6);
+//! ```
+
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable byte buffer with a consuming read cursor.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static slice (copied once into a shared allocation).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Copies a slice into a new shared allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
+    /// Bytes left to read.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes are left.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Bytes left to read (alias used by codec-style consumers).
+    pub fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    /// Whether any bytes are left.
+    pub fn has_remaining(&self) -> bool {
+        !self.is_empty()
+    }
+
+    /// The unread window as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn advance_checked(&mut self, n: usize) -> &[u8] {
+        assert!(
+            n <= self.len(),
+            "advance past end of buffer: {n} > {}",
+            self.len()
+        );
+        let window = self.start..self.start + n;
+        self.start += n;
+        &self.data[window]
+    }
+
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// All `get_*`/`copy_to_*` readers panic when fewer bytes remain than
+    /// requested, matching the crates.io `bytes` contract.
+    pub fn get_u8(&mut self) -> u8 {
+        self.advance_checked(1)[0]
+    }
+
+    /// Reads a big-endian `u16`, advancing the cursor.
+    pub fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.advance_checked(2).try_into().expect("2 bytes"))
+    }
+
+    /// Reads a big-endian `u32`, advancing the cursor.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.advance_checked(4).try_into().expect("4 bytes"))
+    }
+
+    /// Reads a big-endian `u64`, advancing the cursor.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.advance_checked(8).try_into().expect("8 bytes"))
+    }
+
+    /// Fills `dest` from the front of the buffer, advancing the cursor.
+    pub fn copy_to_slice(&mut self, dest: &mut [u8]) {
+        let src = self.advance_checked(dest.len());
+        dest.copy_from_slice(src);
+    }
+
+    /// Splits off the next `n` bytes as a `Bytes` sharing this allocation.
+    pub fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(
+            n <= self.len(),
+            "copy_to_bytes past end of buffer: {n} > {}",
+            self.len()
+        );
+        let out = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        out
+    }
+}
+
+impl core::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let len = data.len();
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end: len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl core::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for c in core::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl core::hash::Hash for Bytes {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// A growable byte writer that freezes into an immutable [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty writer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty writer with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a slice.
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Converts the written bytes into an immutable shared [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl core::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert!(Arc::ptr_eq(&b.data, &c.data));
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn consuming_reads_advance() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u16(0x0102);
+        w.put_u32(0x03040506);
+        w.put_u64(0x0708090A0B0C0D0E);
+        let mut b = w.freeze();
+        assert_eq!(b.remaining(), 15);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0x0102);
+        assert_eq!(b.get_u32(), 0x03040506);
+        assert_eq!(b.get_u64(), 0x0708090A0B0C0D0E);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn copy_to_bytes_shares_and_advances() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let head = b.copy_to_bytes(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+        assert!(Arc::ptr_eq(&head.data, &b.data));
+    }
+
+    #[test]
+    fn copy_to_slice_reads_exact() {
+        let mut b = Bytes::from_static(b"abcdef");
+        let mut dest = [0u8; 4];
+        b.copy_to_slice(&mut dest);
+        assert_eq!(&dest, b"abcd");
+        assert_eq!(&b[..], b"ef");
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn over_read_panics() {
+        let mut b = Bytes::from_static(b"x");
+        b.get_u16();
+    }
+
+    #[test]
+    fn equality_ignores_cursor_offsets() {
+        let mut a = Bytes::from(vec![9u8, 1, 2]);
+        a.get_u8();
+        let b = Bytes::from(vec![1u8, 2]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |x: &Bytes| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn slice_conveniences() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(b.to_vec(), b"hello".to_vec());
+        assert_eq!(b.split_first(), Some((&b'h', &b"ello"[..])));
+        assert_eq!(b, &b"hello"[..]);
+        assert_eq!(b[1], b'e');
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let b = Bytes::from(vec![b'a', 0, b'"']);
+        assert_eq!(format!("{b:?}"), "b\"a\\x00\\\"\"");
+    }
+
+    #[test]
+    fn empty_defaults() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::default().len(), 0);
+        assert!(BytesMut::new().is_empty());
+    }
+}

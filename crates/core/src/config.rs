@@ -54,7 +54,10 @@ impl core::fmt::Display for ConfigError {
         match self {
             ConfigError::ZeroFanOut => write!(f, "fan-out must be at least 1"),
             ConfigError::OddDrumFanOut { fan_out } => {
-                write!(f, "Drum requires an even fan-out to split push/pull, got {fan_out}")
+                write!(
+                    f,
+                    "Drum requires an even fan-out to split push/pull, got {fan_out}"
+                )
             }
         }
     }
@@ -115,12 +118,18 @@ impl GossipConfig {
 
     /// Push-only baseline with F=4 on the push channel.
     pub fn push() -> Self {
-        GossipConfig { variant: ProtocolVariant::Push, ..Self::drum() }
+        GossipConfig {
+            variant: ProtocolVariant::Push,
+            ..Self::drum()
+        }
     }
 
     /// Pull-only baseline with F=4 on the pull channel.
     pub fn pull() -> Self {
-        GossipConfig { variant: ProtocolVariant::Pull, ..Self::drum() }
+        GossipConfig {
+            variant: ProtocolVariant::Pull,
+            ..Self::drum()
+        }
     }
 
     /// Returns a copy with a different fan-out.
@@ -244,7 +253,10 @@ mod tests {
 
     #[test]
     fn fan_out_validation() {
-        assert_eq!(GossipConfig::drum().with_fan_out(0).unwrap_err(), ConfigError::ZeroFanOut);
+        assert_eq!(
+            GossipConfig::drum().with_fan_out(0).unwrap_err(),
+            ConfigError::ZeroFanOut
+        );
         assert_eq!(
             GossipConfig::drum().with_fan_out(5).unwrap_err(),
             ConfigError::OddDrumFanOut { fan_out: 5 }
@@ -282,6 +294,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(ConfigError::ZeroFanOut.to_string().contains("at least 1"));
-        assert!(ConfigError::OddDrumFanOut { fan_out: 3 }.to_string().contains('3'));
+        assert!(ConfigError::OddDrumFanOut { fan_out: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

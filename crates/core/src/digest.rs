@@ -276,17 +276,18 @@ mod tests {
         let ids = [id(2, 3), id(1, 0), id(1, 1), id(1, 7), id(2, 4)];
         let d: Digest = ids.into_iter().collect();
         let collected: Vec<MessageId> = d.iter().collect();
-        assert_eq!(collected, vec![id(1, 0), id(1, 1), id(1, 7), id(2, 3), id(2, 4)]);
+        assert_eq!(
+            collected,
+            vec![id(1, 0), id(1, 1), id(1, 7), id(2, 3), id(2, 4)]
+        );
     }
 
     #[test]
     fn interval_round_trip() {
         let ids = [id(1, 0), id(1, 1), id(1, 5), id(3, 2)];
         let d: Digest = ids.into_iter().collect();
-        let raw: Vec<(ProcessId, Vec<(u64, u64)>)> = d
-            .intervals()
-            .map(|(s, v)| (s, v.to_vec()))
-            .collect();
+        let raw: Vec<(ProcessId, Vec<(u64, u64)>)> =
+            d.intervals().map(|(s, v)| (s, v.to_vec())).collect();
         let d2 = Digest::from_intervals(raw).unwrap();
         assert_eq!(d, d2);
     }
@@ -331,7 +332,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = DigestError::InvertedInterval { source: ProcessId(1), lo: 5, hi: 3 };
+        let e = DigestError::InvertedInterval {
+            source: ProcessId(1),
+            lo: 5,
+            hi: 3,
+        };
         assert!(e.to_string().contains("p1"));
     }
 
@@ -352,6 +357,8 @@ mod tests {
             d.intervals().map(|(s, v)| (s, v.to_vec())).collect();
         assert_eq!(Digest::from_intervals(raw).unwrap(), d);
         // An interval "following" u64::MAX is always invalid.
-        assert!(Digest::from_intervals([(ProcessId(1), vec![(u64::MAX, u64::MAX), (0, 1)])]).is_err());
+        assert!(
+            Digest::from_intervals([(ProcessId(1), vec![(u64::MAX, u64::MAX), (0, 1)])]).is_err()
+        );
     }
 }

@@ -17,7 +17,7 @@
 //! key, and everything beyond the per-channel bounds is dropped, exactly as
 //! the paper prescribes.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -351,7 +351,11 @@ impl Engine {
             out.push(Outbound {
                 to: target,
                 port: SendPort::WellKnownPush,
-                msg: GossipMessage::PushOffer { from: self.me(), reply_port, nonce },
+                msg: GossipMessage::PushOffer {
+                    from: self.me(),
+                    reply_port,
+                    nonce,
+                },
             });
         }
 
@@ -360,7 +364,11 @@ impl Engine {
 
     /// Processes one incoming message, applying resource bounds, and
     /// returns any responses to transmit.
-    pub fn handle<O: PortOracle>(&mut self, incoming: GossipMessage, oracle: &mut O) -> Vec<Outbound> {
+    pub fn handle<O: PortOracle>(
+        &mut self,
+        incoming: GossipMessage,
+        oracle: &mut O,
+    ) -> Vec<Outbound> {
         let kind = incoming.kind();
         let channel = Channel::for_kind(kind);
         if !self.budget.try_accept(channel) {
@@ -370,7 +378,12 @@ impl Engine {
         self.stats.accepted[RoundStats::kind_index(kind)] += 1;
 
         match incoming {
-            GossipMessage::PullRequest { from, digest, reply_port, .. } => {
+            GossipMessage::PullRequest {
+                from,
+                digest,
+                reply_port,
+                ..
+            } => {
                 let Some(port) = self.resolve_port(&reply_port) else {
                     return Vec::new();
                 };
@@ -382,10 +395,15 @@ impl Engine {
                 vec![Outbound {
                     to: from,
                     port: SendPort::Port(port),
-                    msg: GossipMessage::PullReply { from: self.me(), messages },
+                    msg: GossipMessage::PullReply {
+                        from: self.me(),
+                        messages,
+                    },
                 }]
             }
-            GossipMessage::PushOffer { from, reply_port, .. } => {
+            GossipMessage::PushOffer {
+                from, reply_port, ..
+            } => {
                 let Some(port) = self.resolve_port(&reply_port) else {
                     return Vec::new();
                 };
@@ -406,7 +424,12 @@ impl Engine {
                     },
                 }]
             }
-            GossipMessage::PushReply { from, digest, data_port, .. } => {
+            GossipMessage::PushReply {
+                from,
+                digest,
+                data_port,
+                ..
+            } => {
                 if !self.offered_to.contains(&from) {
                     self.stats.dropped_unsolicited += 1;
                     return Vec::new();
@@ -427,10 +450,14 @@ impl Engine {
                 vec![Outbound {
                     to: from,
                     port: SendPort::Port(port),
-                    msg: GossipMessage::PushData { from: self.me(), messages },
+                    msg: GossipMessage::PushData {
+                        from: self.me(),
+                        messages,
+                    },
                 }]
             }
-            GossipMessage::PullReply { messages, .. } | GossipMessage::PushData { messages, .. } => {
+            GossipMessage::PullReply { messages, .. }
+            | GossipMessage::PushData { messages, .. } => {
                 self.receive_data(messages);
                 Vec::new()
             }
@@ -574,7 +601,10 @@ mod tests {
         let mut oracle = CountingPortOracle::default();
         engines[1].begin_round(&mut oracle);
         engines[1].handle(
-            GossipMessage::PushData { from: ProcessId(0), messages: vec![fake.clone()] },
+            GossipMessage::PushData {
+                from: ProcessId(0),
+                messages: vec![fake.clone()],
+            },
             &mut oracle,
         );
         assert!(!engines[1].buffer().seen(fake.id));

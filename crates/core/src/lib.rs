@@ -22,7 +22,7 @@
 //! Two engines exchanging a message through an in-memory "network":
 //!
 //! ```
-//! use bytes::Bytes;
+//! use drum_core::bytes::Bytes;
 //! use drum_core::config::GossipConfig;
 //! use drum_core::engine::{CountingPortOracle, Engine};
 //! use drum_core::ids::ProcessId;
@@ -60,6 +60,7 @@
 
 pub mod bounds;
 pub mod buffer;
+pub mod bytes;
 pub mod config;
 pub mod digest;
 pub mod engine;
@@ -69,6 +70,7 @@ pub mod view;
 
 pub use bounds::{Channel, RoundBudget};
 pub use buffer::MessageBuffer;
+pub use bytes::{Bytes, BytesMut};
 pub use config::{BoundMode, ConfigError, GossipConfig, ProtocolVariant};
 pub use digest::{Digest, DigestError};
 pub use engine::{Engine, Outbound, PortOracle, PortPurpose, RoundStats, SendPort};
@@ -96,17 +98,21 @@ pub const WELL_KNOWN_PUSH_DATA_PORT: u16 = 4;
 mod proptests {
     use crate::digest::Digest;
     use crate::ids::{MessageId, ProcessId};
-    use proptest::prelude::*;
+    use drum_testkit::prop::{check, Config, Gen};
+    use drum_testkit::{prop_assert, prop_assert_eq};
     use std::collections::BTreeSet;
 
-    fn arb_ids() -> impl Strategy<Value = Vec<MessageId>> {
-        proptest::collection::vec((0u64..8, 0u64..64), 0..200)
-            .prop_map(|v| v.into_iter().map(|(s, q)| MessageId::new(ProcessId(s), q)).collect())
+    fn arb_ids(g: &mut Gen) -> Vec<MessageId> {
+        g.vec_with(0..200, |g| {
+            MessageId::new(ProcessId(g.u64_in(0..8)), g.u64_in(0..64))
+        })
     }
 
-    proptest! {
-        #[test]
-        fn digest_matches_btreeset(ids in arb_ids(), probes in arb_ids()) {
+    #[test]
+    fn digest_matches_btreeset() {
+        check("digest_matches_btreeset", Config::default(), |g| {
+            let ids = arb_ids(g);
+            let probes = arb_ids(g);
             let digest: Digest = ids.iter().copied().collect();
             let reference: BTreeSet<MessageId> = ids.iter().copied().collect();
             prop_assert_eq!(digest.len(), reference.len());
@@ -116,19 +122,27 @@ mod proptests {
             let expanded: Vec<MessageId> = digest.iter().collect();
             let sorted: Vec<MessageId> = reference.into_iter().collect();
             prop_assert_eq!(expanded, sorted);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn digest_wire_round_trip(ids in arb_ids()) {
+    #[test]
+    fn digest_wire_round_trip() {
+        check("digest_wire_round_trip", Config::default(), |g| {
+            let ids = arb_ids(g);
             let digest: Digest = ids.iter().copied().collect();
             let raw: Vec<(ProcessId, Vec<(u64, u64)>)> =
                 digest.intervals().map(|(s, v)| (s, v.to_vec())).collect();
             let decoded = Digest::from_intervals(raw).unwrap();
             prop_assert_eq!(digest, decoded);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn digest_insert_idempotent(ids in arb_ids()) {
+    #[test]
+    fn digest_insert_idempotent() {
+        check("digest_insert_idempotent", Config::default(), |g| {
+            let ids = arb_ids(g);
             let mut digest: Digest = ids.iter().copied().collect();
             let len = digest.len();
             let intervals = digest.interval_count();
@@ -137,82 +151,103 @@ mod proptests {
             }
             prop_assert_eq!(digest.len(), len);
             prop_assert_eq!(digest.interval_count(), intervals);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn engine_survives_arbitrary_message_sequences(
-            msgs in proptest::collection::vec((0u8..5, 0u64..6, 0u64..16, any::<u16>()), 1..80),
-            seed in 0u64..1000,
-        ) {
-            use crate::config::GossipConfig;
-            use crate::engine::{CountingPortOracle, Engine};
-            use crate::message::{DataMessage, GossipMessage, PortRef};
-            use crate::view::Membership;
-            use drum_crypto::auth::AuthTag;
-            use drum_crypto::keys::KeyStore;
+    #[test]
+    fn engine_survives_arbitrary_message_sequences() {
+        check(
+            "engine_survives_arbitrary_message_sequences",
+            Config::default(),
+            |g| {
+                use crate::config::GossipConfig;
+                use crate::engine::{CountingPortOracle, Engine};
+                use crate::message::{DataMessage, GossipMessage, PortRef};
+                use crate::view::Membership;
+                use drum_crypto::auth::AuthTag;
+                use drum_crypto::keys::KeyStore;
 
-            // Fuzz the engine with arbitrary (unauthenticated) protocol
-            // messages: it must never panic and never deliver a message
-            // that fails source authentication.
-            let store = KeyStore::new(seed);
-            let members: Vec<ProcessId> = (0..6).map(ProcessId).collect();
-            for m in &members {
-                store.register(m.as_u64());
-            }
-            let key = store.key_of(0).unwrap();
-            let mut engine = Engine::new(
-                GossipConfig::drum(),
-                Membership::new(ProcessId(0), members),
-                store,
-                key,
-                seed,
-            );
-            let mut oracle = CountingPortOracle::default();
-            engine.begin_round(&mut oracle);
+                let msgs = g.vec_with(1..80, |g| {
+                    (g.u8() % 5, g.u64_in(0..6), g.u64_in(0..16), g.u16())
+                });
+                let seed = g.u64_in(0..1000);
 
-            for (kind, from, seq, port) in msgs {
-                let from = ProcessId(from);
-                let data = DataMessage {
-                    id: MessageId::new(from, seq),
-                    hops: 0,
-                    payload: bytes::Bytes::from_static(b"fuzz"),
-                    auth: AuthTag::zero(),
-                };
-                let msg = match kind {
-                    0 => GossipMessage::PullRequest {
-                        from,
-                        digest: Digest::new(),
-                        reply_port: PortRef::Plain(port),
-                        nonce: seq,
-                    },
-                    1 => GossipMessage::PullReply { from, messages: vec![data] },
-                    2 => GossipMessage::PushOffer {
-                        from,
-                        reply_port: PortRef::Plain(port),
-                        nonce: seq,
-                    },
-                    3 => GossipMessage::PushReply {
-                        from,
-                        digest: Digest::new(),
-                        data_port: PortRef::Plain(port),
-                        nonce: seq,
-                    },
-                    _ => GossipMessage::PushData { from, messages: vec![data] },
-                };
-                let _ = engine.handle(msg, &mut oracle);
-            }
-            // Zero-tagged data never authenticates, so nothing delivers.
-            prop_assert!(engine.take_delivered().is_empty());
-            prop_assert!(engine.buffer().is_empty());
-        }
+                // Fuzz the engine with arbitrary (unauthenticated) protocol
+                // messages: it must never panic and never deliver a message
+                // that fails source authentication.
+                let store = KeyStore::new(seed);
+                let members: Vec<ProcessId> = (0..6).map(ProcessId).collect();
+                for m in &members {
+                    store.register(m.as_u64());
+                }
+                let key = store.key_of(0).unwrap();
+                let mut engine = Engine::new(
+                    GossipConfig::drum(),
+                    Membership::new(ProcessId(0), members),
+                    store,
+                    key,
+                    seed,
+                );
+                let mut oracle = CountingPortOracle::default();
+                engine.begin_round(&mut oracle);
 
-        #[test]
-        fn buffer_never_redelivers(ops in proptest::collection::vec((0u64..4, 0u64..32, 0u64..5), 1..100)) {
+                for (kind, from, seq, port) in msgs {
+                    let from = ProcessId(from);
+                    let data = DataMessage {
+                        id: MessageId::new(from, seq),
+                        hops: 0,
+                        payload: crate::bytes::Bytes::from_static(b"fuzz"),
+                        auth: AuthTag::zero(),
+                    };
+                    let msg = match kind {
+                        0 => GossipMessage::PullRequest {
+                            from,
+                            digest: Digest::new(),
+                            reply_port: PortRef::Plain(port),
+                            nonce: seq,
+                        },
+                        1 => GossipMessage::PullReply {
+                            from,
+                            messages: vec![data],
+                        },
+                        2 => GossipMessage::PushOffer {
+                            from,
+                            reply_port: PortRef::Plain(port),
+                            nonce: seq,
+                        },
+                        3 => GossipMessage::PushReply {
+                            from,
+                            digest: Digest::new(),
+                            data_port: PortRef::Plain(port),
+                            nonce: seq,
+                        },
+                        _ => GossipMessage::PushData {
+                            from,
+                            messages: vec![data],
+                        },
+                    };
+                    let _ = engine.handle(msg, &mut oracle);
+                }
+                // Zero-tagged data never authenticates, so nothing delivers.
+                prop_assert!(engine.take_delivered().is_empty());
+                prop_assert!(engine.buffer().is_empty());
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn buffer_never_redelivers() {
+        check("buffer_never_redelivers", Config::default(), |g| {
             use crate::buffer::MessageBuffer;
+            use crate::bytes::Bytes;
             use crate::ids::Round;
-            use bytes::Bytes;
             use drum_crypto::auth::AuthTag;
 
+            let ops = g.vec_with(1..100, |g| {
+                (g.u64_in(0..4), g.u64_in(0..32), g.u64_in(0..5))
+            });
             let mut buf = MessageBuffer::new(3);
             let mut delivered = BTreeSet::new();
             let mut round = Round(0);
@@ -221,12 +256,16 @@ mod proptests {
                 buf.purge(round);
                 let id = MessageId::new(ProcessId(s), q);
                 let msg = crate::message::DataMessage {
-                    id, hops: 0, payload: Bytes::new(), auth: AuthTag::zero(),
+                    id,
+                    hops: 0,
+                    payload: Bytes::new(),
+                    auth: AuthTag::zero(),
                 };
                 let fresh = buf.insert(msg, round);
                 // A message is "delivered" at most once ever.
                 prop_assert_eq!(fresh, delivered.insert(id));
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -1,6 +1,6 @@
 //! Data and wire message types of the Drum protocol (§4 of the paper).
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use drum_crypto::auth::AuthTag;
 use drum_crypto::seal::SealedBox;
 
@@ -34,7 +34,12 @@ impl DataMessage {
         payload: Bytes,
     ) -> Self {
         let auth = drum_crypto::auth::sign(source_key, id.source.as_u64(), id.seq, &payload);
-        DataMessage { id, hops: 0, payload, auth }
+        DataMessage {
+            id,
+            hops: 0,
+            payload,
+            auth,
+        }
     }
 
     /// Verifies the source-authentication tag against the key store.
@@ -43,8 +48,17 @@ impl DataMessage {
     ///
     /// Propagates [`drum_crypto::auth::AuthError`] for unknown sources and
     /// forged tags.
-    pub fn verify(&self, store: &drum_crypto::keys::KeyStore) -> Result<(), drum_crypto::auth::AuthError> {
-        drum_crypto::auth::verify(store, self.id.source.as_u64(), self.id.seq, &self.payload, &self.auth)
+    pub fn verify(
+        &self,
+        store: &drum_crypto::keys::KeyStore,
+    ) -> Result<(), drum_crypto::auth::AuthError> {
+        drum_crypto::auth::verify(
+            store,
+            self.id.source.as_u64(),
+            self.id.seq,
+            &self.payload,
+            &self.auth,
+        )
     }
 }
 
@@ -194,15 +208,22 @@ mod tests {
     #[test]
     fn sign_and_verify_data_message() {
         let (store, key) = store_and_key(4);
-        let msg = DataMessage::sign_new(&key, MessageId::new(ProcessId(4), 0), Bytes::from_static(b"m"));
+        let msg = DataMessage::sign_new(
+            &key,
+            MessageId::new(ProcessId(4), 0),
+            Bytes::from_static(b"m"),
+        );
         assert!(msg.verify(&store).is_ok());
     }
 
     #[test]
     fn tampered_payload_fails_verification() {
         let (store, key) = store_and_key(4);
-        let mut msg =
-            DataMessage::sign_new(&key, MessageId::new(ProcessId(4), 0), Bytes::from_static(b"m"));
+        let mut msg = DataMessage::sign_new(
+            &key,
+            MessageId::new(ProcessId(4), 0),
+            Bytes::from_static(b"m"),
+        );
         msg.payload = Bytes::from_static(b"x");
         assert!(msg.verify(&store).is_err());
     }
@@ -221,7 +242,11 @@ mod tests {
 
     #[test]
     fn gossip_message_from_and_kind() {
-        let m = GossipMessage::PushOffer { from: ProcessId(9), reply_port: PortRef::None, nonce: 0 };
+        let m = GossipMessage::PushOffer {
+            from: ProcessId(9),
+            reply_port: PortRef::None,
+            nonce: 0,
+        };
         assert_eq!(m.from(), ProcessId(9));
         assert_eq!(m.kind(), MessageKind::PushOffer);
         assert_eq!(m.kind().to_string(), "push-offer");

@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn excludes_self_and_dedups() {
-        let m = Membership::new(ProcessId(1), vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(2)]);
+        let m = Membership::new(
+            ProcessId(1),
+            vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(2)],
+        );
         assert_eq!(m.len(), 2);
         assert!(!m.contains(ProcessId(1)));
         assert!(m.contains(ProcessId(0)));

@@ -64,7 +64,10 @@ fn tag_input(source: u64, seq: u64, payload: &[u8]) -> Vec<u8> {
 /// Computes the authentication tag for a `(source, seq, payload)` triple
 /// using the source's own key.
 pub fn sign(source_key: &SecretKey, source: u64, seq: u64, payload: &[u8]) -> AuthTag {
-    AuthTag(hmac_sha256(source_key.as_bytes(), &tag_input(source, seq, payload)))
+    AuthTag(hmac_sha256(
+        source_key.as_bytes(),
+        &tag_input(source, seq, payload),
+    ))
 }
 
 /// Verifies a tag against the key registered for `source` in `store`.
@@ -110,14 +113,20 @@ mod tests {
     fn wrong_payload_rejected() {
         let (store, key) = store_with(1);
         let tag = sign(&key, 1, 42, b"payload");
-        assert_eq!(verify(&store, 1, 42, b"other", &tag), Err(AuthError::Forged));
+        assert_eq!(
+            verify(&store, 1, 42, b"other", &tag),
+            Err(AuthError::Forged)
+        );
     }
 
     #[test]
     fn wrong_seq_rejected() {
         let (store, key) = store_with(1);
         let tag = sign(&key, 1, 42, b"payload");
-        assert_eq!(verify(&store, 1, 43, b"payload", &tag), Err(AuthError::Forged));
+        assert_eq!(
+            verify(&store, 1, 43, b"payload", &tag),
+            Err(AuthError::Forged)
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(s.len() / 2);
     for i in (0..bytes.len()).step_by(2) {
-        let hi = (bytes[i] as char).to_digit(16).ok_or(DecodeHexError::InvalidDigit(i))?;
+        let hi = (bytes[i] as char)
+            .to_digit(16)
+            .ok_or(DecodeHexError::InvalidDigit(i))?;
         let lo = (bytes[i + 1] as char)
             .to_digit(16)
             .ok_or(DecodeHexError::InvalidDigit(i + 1))?;

@@ -16,11 +16,10 @@
 //! properties the protocol actually relies on: unforgeability of sources and
 //! confidentiality of sealed ports.
 
-use parking_lot::RwLock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::hmac::hmac_sha256;
 
@@ -107,38 +106,54 @@ impl KeyStore {
         }
     }
 
+    // Key material is valid even if another thread panicked mid-operation,
+    // so lock poisoning is recovered rather than propagated.
+    fn read_keys(&self) -> RwLockReadGuard<'_, HashMap<u64, SecretKey>> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_keys(&self) -> RwLockWriteGuard<'_, HashMap<u64, SecretKey>> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Registers a fresh key for `peer`, replacing any existing one.
     /// Returns the generated key.
     pub fn register(&self, peer: u64) -> SecretKey {
-        let key = SecretKey::generate(&mut *self.seed_rng.write());
-        self.inner.write().insert(peer, key.clone());
+        let key = {
+            let mut rng = self
+                .seed_rng
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            SecretKey::generate(&mut *rng)
+        };
+        self.write_keys().insert(peer, key.clone());
         key
     }
 
     /// Registers an externally generated key for `peer`.
     pub fn register_key(&self, peer: u64, key: SecretKey) {
-        self.inner.write().insert(peer, key);
+        self.write_keys().insert(peer, key);
     }
 
     /// Removes `peer`'s key (e.g. after certificate revocation).
     /// Returns `true` if a key was present.
     pub fn revoke(&self, peer: u64) -> bool {
-        self.inner.write().remove(&peer).is_some()
+        self.write_keys().remove(&peer).is_some()
     }
 
     /// Whether a key is registered for `peer`.
     pub fn contains(&self, peer: u64) -> bool {
-        self.inner.read().contains_key(&peer)
+        self.read_keys().contains_key(&peer)
     }
 
     /// Number of registered peers.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.read_keys().len()
     }
 
     /// Whether no peers are registered.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.read_keys().is_empty()
     }
 
     /// Fetches the key for `peer`.
@@ -148,8 +163,7 @@ impl KeyStore {
     /// Returns [`UnknownPeerError`] if `peer` was never registered (or was
     /// revoked).
     pub fn key_of(&self, peer: u64) -> Result<SecretKey, UnknownPeerError> {
-        self.inner
-            .read()
+        self.read_keys()
             .get(&peer)
             .cloned()
             .ok_or(UnknownPeerError { peer })

@@ -55,46 +55,80 @@ mod proptests {
     use crate::keys::SecretKey;
     use crate::seal::{open, seal, MAX_SEALED_LEN};
     use crate::sha256::Sha256;
-    use proptest::prelude::*;
+    use drum_testkit::prop::{check, Config, Gen};
+    use drum_testkit::{prop_assert, prop_assert_eq};
 
-    proptest! {
-        #[test]
-        fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
-            let split = split.min(data.len());
-            let mut h = Sha256::new();
-            h.update(&data[..split]);
-            h.update(&data[split..]);
-            prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    fn key_bytes(g: &mut Gen) -> [u8; 32] {
+        let mut key = [0u8; 32];
+        for b in &mut key {
+            *b = g.u8();
         }
+        key
+    }
 
-        #[test]
-        fn hmac_deterministic(key in proptest::collection::vec(any::<u8>(), 0..100),
-                              data in proptest::collection::vec(any::<u8>(), 0..200)) {
+    #[test]
+    fn sha256_incremental_equals_oneshot() {
+        check(
+            "sha256_incremental_equals_oneshot",
+            Config::default(),
+            |g| {
+                let data = g.bytes(0..512);
+                let split = g.usize_in(0..512).min(data.len());
+                let mut h = Sha256::new();
+                h.update(&data[..split]);
+                h.update(&data[split..]);
+                prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn hmac_deterministic() {
+        check("hmac_deterministic", Config::default(), |g| {
+            let key = g.bytes(0..100);
+            let data = g.bytes(0..200);
             prop_assert_eq!(hmac_sha256(&key, &data), hmac_sha256(&key, &data));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn seal_round_trips(key in any::<[u8; 32]>(), nonce in any::<u64>(),
-                            pt in proptest::collection::vec(any::<u8>(), 0..=MAX_SEALED_LEN)) {
-            let k = SecretKey::from_bytes(key);
+    #[test]
+    fn seal_round_trips() {
+        check("seal_round_trips", Config::default(), |g| {
+            let k = SecretKey::from_bytes(key_bytes(g));
+            let nonce = g.u64();
+            let pt = g.bytes(0..MAX_SEALED_LEN + 1);
             let sealed = seal(&k, nonce, &pt).unwrap();
             prop_assert_eq!(open(&k, &sealed).unwrap(), pt);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn seal_tamper_detected(key in any::<[u8; 32]>(), nonce in any::<u64>(),
-                                pt in proptest::collection::vec(any::<u8>(), 1..=MAX_SEALED_LEN),
-                                flip in 1u8..=255, pos in any::<proptest::sample::Index>()) {
-            let k = SecretKey::from_bytes(key);
+    #[test]
+    fn seal_tamper_detected() {
+        check("seal_tamper_detected", Config::default(), |g| {
+            let k = SecretKey::from_bytes(key_bytes(g));
+            let nonce = g.u64();
+            let pt = g.bytes(1..MAX_SEALED_LEN + 1);
+            let flip = g.u8() | 1; // non-zero XOR mask
             let mut sealed = seal(&k, nonce, &pt).unwrap();
-            let i = pos.index(sealed.ciphertext.len());
+            let i = g.index(sealed.ciphertext.len());
             sealed.ciphertext[i] ^= flip;
             prop_assert!(open(&k, &sealed).is_err());
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn hex_round_trips(data in proptest::collection::vec(any::<u8>(), 0..64)) {
-            prop_assert_eq!(crate::hex::decode(&crate::hex::encode(&data)).unwrap(), data);
-        }
+    #[test]
+    fn hex_round_trips() {
+        check("hex_round_trips", Config::default(), |g| {
+            let data = g.bytes(0..64);
+            prop_assert_eq!(
+                crate::hex::decode(&crate::hex::encode(&data)).unwrap(),
+                data
+            );
+            Ok(())
+        });
     }
 }

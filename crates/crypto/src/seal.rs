@@ -52,7 +52,10 @@ impl core::fmt::Display for SealError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             SealError::TooLong { len } => {
-                write!(f, "plaintext of {len} bytes exceeds seal capacity {MAX_SEALED_LEN}")
+                write!(
+                    f,
+                    "plaintext of {len} bytes exceeds seal capacity {MAX_SEALED_LEN}"
+                )
             }
             SealError::BadTag => write!(f, "seal authentication failed"),
         }
@@ -85,14 +88,28 @@ fn auth_tag(key: &SecretKey, nonce: u64, ct: &[u8]) -> [u8; TAG_LEN] {
 /// # Errors
 ///
 /// Returns [`SealError::TooLong`] if `plaintext` exceeds [`MAX_SEALED_LEN`].
-pub fn seal(recipient_key: &SecretKey, nonce: u64, plaintext: &[u8]) -> Result<SealedBox, SealError> {
+pub fn seal(
+    recipient_key: &SecretKey,
+    nonce: u64,
+    plaintext: &[u8],
+) -> Result<SealedBox, SealError> {
     if plaintext.len() > MAX_SEALED_LEN {
-        return Err(SealError::TooLong { len: plaintext.len() });
+        return Err(SealError::TooLong {
+            len: plaintext.len(),
+        });
     }
     let ks = keystream(recipient_key, nonce);
-    let ciphertext: Vec<u8> = plaintext.iter().zip(ks.iter()).map(|(p, k)| p ^ k).collect();
+    let ciphertext: Vec<u8> = plaintext
+        .iter()
+        .zip(ks.iter())
+        .map(|(p, k)| p ^ k)
+        .collect();
     let tag = auth_tag(recipient_key, nonce, &ciphertext);
-    Ok(SealedBox { nonce, ciphertext, tag })
+    Ok(SealedBox {
+        nonce,
+        ciphertext,
+        tag,
+    })
 }
 
 /// Opens a [`SealedBox`] with the recipient's key.

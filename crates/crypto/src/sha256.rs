@@ -65,14 +65,21 @@ impl Default for Sha256 {
 
 impl core::fmt::Debug for Sha256 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("Sha256").field("len", &self.len).finish_non_exhaustive()
+        f.debug_struct("Sha256")
+            .field("len", &self.len)
+            .finish_non_exhaustive()
     }
 }
 
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, len: 0, buf: [0u8; BLOCK_LEN], buf_len: 0 }
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+        }
     }
 
     /// One-shot convenience: hash `data` and return the 32-byte digest.
@@ -118,7 +125,7 @@ impl Sha256 {
         // Append the 0x80 terminator.
         self.update(&[0x80]);
         self.len = self.len.wrapping_sub(1); // update() counted the pad byte
-        // Pad with zeros until 8 bytes remain in the block.
+                                             // Pad with zeros until 8 bytes remain in the block.
         while self.buf_len != BLOCK_LEN - 8 {
             self.update(&[0]);
             self.len = self.len.wrapping_sub(1);

@@ -11,9 +11,8 @@
 //! tests; the paper notes that distributed Byzantine-fault-tolerant CA
 //! implementations exist and are orthogonal to Drum itself.
 
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use drum_core::ids::ProcessId;
 use drum_crypto::hmac::hmac_sha256;
@@ -80,7 +79,7 @@ pub struct CertificateAuthority {
 
 impl core::fmt::Debug for CertificateAuthority {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         f.debug_struct("CertificateAuthority")
             .field("members", &inner.members.len())
             .field("revoked", &inner.revoked.len())
@@ -117,6 +116,12 @@ impl CertificateAuthority {
         }
     }
 
+    // CA state stays consistent operation-by-operation, so a lock poisoned
+    // by a panicking test thread is recovered rather than propagated.
+    fn lock(&self) -> MutexGuard<'_, CaInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The key other processes use to verify certificates. (With HMAC this
     /// equals the signing key; with real signatures it would be the public
     /// half.)
@@ -129,12 +134,24 @@ impl CertificateAuthority {
         &self.key_store
     }
 
-    fn sign(&self, subject: ProcessId, serial: u64, issued: Timestamp, expires: Timestamp) -> Certificate {
+    fn sign(
+        &self,
+        subject: ProcessId,
+        serial: u64,
+        issued: Timestamp,
+        expires: Timestamp,
+    ) -> Certificate {
         let signature = hmac_sha256(
             self.key.as_bytes(),
             &Certificate::signing_input(subject, serial, issued, expires),
         );
-        Certificate { subject, serial, issued_at: issued, expires_at: expires, signature }
+        Certificate {
+            subject,
+            serial,
+            issued_at: issued,
+            expires_at: expires,
+            signature,
+        }
     }
 
     /// Admits `subject` to the group at time `now` with the given validity,
@@ -144,11 +161,16 @@ impl CertificateAuthority {
     ///
     /// * [`CaError::AlreadyMember`] if it holds a current certificate.
     /// * [`CaError::EmptyValidity`] if `validity == 0`.
-    pub fn join(&self, subject: ProcessId, now: Timestamp, validity: u64) -> Result<Certificate, CaError> {
+    pub fn join(
+        &self,
+        subject: ProcessId,
+        now: Timestamp,
+        validity: u64,
+    ) -> Result<Certificate, CaError> {
         if validity == 0 {
             return Err(CaError::EmptyValidity);
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         if let Some(existing) = inner.members.get(&subject) {
             if existing.is_current(now) && !inner.revoked.contains(&existing.serial) {
                 return Err(CaError::AlreadyMember(subject));
@@ -170,11 +192,16 @@ impl CertificateAuthority {
     ///
     /// [`CaError::NotMember`] if the subject holds no certificate, or
     /// [`CaError::EmptyValidity`].
-    pub fn renew(&self, subject: ProcessId, now: Timestamp, validity: u64) -> Result<Certificate, CaError> {
+    pub fn renew(
+        &self,
+        subject: ProcessId,
+        now: Timestamp,
+        validity: u64,
+    ) -> Result<Certificate, CaError> {
         if validity == 0 {
             return Err(CaError::EmptyValidity);
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         if !inner.members.contains_key(&subject) {
             return Err(CaError::NotMember(subject));
         }
@@ -201,7 +228,7 @@ impl CertificateAuthority {
     ///
     /// [`CaError::NotMember`] if the subject is unknown.
     pub fn expel(&self, subject: ProcessId) -> Result<(), CaError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let Some(cert) = inner.members.remove(&subject) else {
             return Err(CaError::NotMember(subject));
         };
@@ -213,12 +240,12 @@ impl CertificateAuthority {
 
     /// Whether `serial` is on the revocation list.
     pub fn is_revoked(&self, serial: u64) -> bool {
-        self.inner.lock().revoked.contains(&serial)
+        self.lock().revoked.contains(&serial)
     }
 
     /// Whether `subject` currently holds an (unrevoked) certificate.
     pub fn is_member(&self, subject: ProcessId) -> bool {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         inner
             .members
             .get(&subject)
@@ -231,7 +258,7 @@ impl CertificateAuthority {
     /// other processes in the group"). `limit` truncates the list to model
     /// a *partial* initial view; `None` returns everyone.
     pub fn member_list(&self, limit: Option<usize>) -> Vec<Certificate> {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         let mut list: Vec<Certificate> = inner.members.values().cloned().collect();
         list.sort_by_key(|c| c.subject);
         if let Some(l) = limit {
@@ -264,7 +291,10 @@ mod tests {
     fn double_join_rejected_while_current() {
         let ca = ca();
         ca.join(ProcessId(1), 0, 100).unwrap();
-        assert_eq!(ca.join(ProcessId(1), 50, 100), Err(CaError::AlreadyMember(ProcessId(1))));
+        assert_eq!(
+            ca.join(ProcessId(1), 50, 100),
+            Err(CaError::AlreadyMember(ProcessId(1)))
+        );
         // After expiry a re-join succeeds.
         assert!(ca.join(ProcessId(1), 150, 100).is_ok());
     }
@@ -281,7 +311,10 @@ mod tests {
 
     #[test]
     fn renew_requires_membership() {
-        assert_eq!(ca().renew(ProcessId(9), 0, 10), Err(CaError::NotMember(ProcessId(9))));
+        assert_eq!(
+            ca().renew(ProcessId(9), 0, 10),
+            Err(CaError::NotMember(ProcessId(9)))
+        );
     }
 
     #[test]
@@ -292,7 +325,10 @@ mod tests {
         assert!(!ca.is_member(ProcessId(1)));
         assert!(ca.is_revoked(cert.serial));
         assert!(!ca.key_store().contains(1));
-        assert_eq!(ca.leave(ProcessId(1)), Err(CaError::NotMember(ProcessId(1))));
+        assert_eq!(
+            ca.leave(ProcessId(1)),
+            Err(CaError::NotMember(ProcessId(1)))
+        );
     }
 
     #[test]
@@ -302,7 +338,10 @@ mod tests {
             ca.join(ProcessId(id), 0, 100).unwrap();
         }
         let all = ca.member_list(None);
-        assert_eq!(all.iter().map(|c| c.subject.as_u64()).collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(
+            all.iter().map(|c| c.subject.as_u64()).collect::<Vec<_>>(),
+            vec![1, 3, 5]
+        );
         assert_eq!(ca.member_list(Some(2)).len(), 2);
     }
 
@@ -322,7 +361,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CaError::AlreadyMember(ProcessId(1)).to_string().contains("p1"));
+        assert!(CaError::AlreadyMember(ProcessId(1))
+            .to_string()
+            .contains("p1"));
         assert!(CaError::NotMember(ProcessId(2)).to_string().contains("p2"));
     }
 }

@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_length() {
-        assert_eq!(Certificate::decode(&[0u8; 10]), Err(CertDecodeError { len: 10 }));
+        assert_eq!(
+            Certificate::decode(&[0u8; 10]),
+            Err(CertDecodeError { len: 10 })
+        );
         assert!(CertDecodeError { len: 10 }.to_string().contains("10"));
     }
 }

@@ -73,7 +73,11 @@ impl MembershipDb {
 
     /// Bootstraps from the CA-provided initial list (possibly partial).
     /// Invalid certificates are skipped; returns how many were installed.
-    pub fn bootstrap(&mut self, certs: impl IntoIterator<Item = Certificate>, now: Timestamp) -> usize {
+    pub fn bootstrap(
+        &mut self,
+        certs: impl IntoIterator<Item = Certificate>,
+        now: Timestamp,
+    ) -> usize {
         let mut installed = 0;
         for cert in certs {
             if self.install(cert, now).is_ok() {
@@ -232,7 +236,10 @@ mod tests {
         let (_, mut db) = setup();
         let rogue_ca = CertificateAuthority::new([9u8; 32], KeyStore::new(3));
         let cert = rogue_ca.join(ProcessId(66), 0, 100).unwrap();
-        assert_eq!(db.apply(&MembershipEvent::Join(cert), 5), Err(ApplyError::BadSignature));
+        assert_eq!(
+            db.apply(&MembershipEvent::Join(cert), 5),
+            Err(ApplyError::BadSignature)
+        );
         assert!(!db.contains(ProcessId(66)));
     }
 
@@ -240,7 +247,10 @@ mod tests {
     fn expired_event_rejected() {
         let (ca, mut db) = setup();
         let cert = ca.join(ProcessId(7), 0, 10).unwrap();
-        assert_eq!(db.apply(&MembershipEvent::Join(cert), 50), Err(ApplyError::Expired));
+        assert_eq!(
+            db.apply(&MembershipEvent::Join(cert), 50),
+            Err(ApplyError::Expired)
+        );
     }
 
     #[test]
@@ -251,7 +261,10 @@ mod tests {
         db.apply(&MembershipEvent::Leave(cert.clone()), 2).unwrap();
         assert!(!db.contains(ProcessId(7)));
         // Replaying the old join must not resurrect the member.
-        assert_eq!(db.apply(&MembershipEvent::Join(cert), 3), Err(ApplyError::Stale));
+        assert_eq!(
+            db.apply(&MembershipEvent::Join(cert), 3),
+            Err(ApplyError::Stale)
+        );
     }
 
     #[test]
@@ -263,7 +276,10 @@ mod tests {
         db.apply(&MembershipEvent::Refresh(c2.clone()), 41).unwrap();
         assert_eq!(db.certificate_of(ProcessId(7)).unwrap().serial, c2.serial);
         // The stale one cannot come back.
-        assert_eq!(db.apply(&MembershipEvent::Refresh(c1), 42), Err(ApplyError::Stale));
+        assert_eq!(
+            db.apply(&MembershipEvent::Refresh(c1), 42),
+            Err(ApplyError::Stale)
+        );
     }
 
     #[test]

@@ -120,7 +120,13 @@ mod tests {
             key.as_bytes(),
             &Certificate::signing_input(ProcessId(subject), 1, 0, 100),
         );
-        Certificate { subject: ProcessId(subject), serial: 1, issued_at: 0, expires_at: 100, signature: sig }
+        Certificate {
+            subject: ProcessId(subject),
+            serial: 1,
+            issued_at: 0,
+            expires_at: 100,
+            signature: sig,
+        }
     }
 
     #[test]
@@ -146,7 +152,10 @@ mod tests {
         assert_eq!(MembershipEvent::decode(&[]), Err(EventDecodeError::Empty));
         let mut buf = MembershipEvent::Join(cert(1)).encode();
         buf[0] = 99;
-        assert_eq!(MembershipEvent::decode(&buf), Err(EventDecodeError::UnknownTag(99)));
+        assert_eq!(
+            MembershipEvent::decode(&buf),
+            Err(EventDecodeError::UnknownTag(99))
+        );
         assert!(matches!(
             MembershipEvent::decode(&[1, 2, 3]),
             Err(EventDecodeError::BadCertificate(_))

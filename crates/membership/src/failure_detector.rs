@@ -47,7 +47,10 @@ impl FailureDetector {
     /// Panics if `suspect_after == 0`.
     pub fn new(suspect_after: u32) -> Self {
         assert!(suspect_after > 0, "suspect_after must be positive");
-        FailureDetector { suspect_after, misses: HashMap::new() }
+        FailureDetector {
+            suspect_after,
+            misses: HashMap::new(),
+        }
     }
 
     /// Records that a probe (or any expected-to-be-answered message) was

@@ -67,65 +67,76 @@ mod proptests {
     use crate::events::MembershipEvent;
     use drum_core::ids::ProcessId;
     use drum_crypto::keys::KeyStore;
-    use proptest::prelude::*;
+    use drum_testkit::prop::{check, Config};
+    use drum_testkit::{prop_assert, prop_assert_eq};
 
-    proptest! {
-        #[test]
-        fn certificate_encoding_round_trips(subject in any::<u64>(), serial in any::<u64>(),
-                                            issued in any::<u64>(), len in 0u64..1_000_000,
-                                            sig in any::<[u8; 32]>()) {
+    #[test]
+    fn certificate_encoding_round_trips() {
+        check("certificate_encoding_round_trips", Config::default(), |g| {
+            let issued = g.u64();
+            let mut sig = [0u8; 32];
+            for b in &mut sig {
+                *b = g.u8();
+            }
             let cert = Certificate {
-                subject: ProcessId(subject),
-                serial,
+                subject: ProcessId(g.u64()),
+                serial: g.u64(),
                 issued_at: issued,
-                expires_at: issued.saturating_add(len),
+                expires_at: issued.saturating_add(g.u64_in(0..1_000_000)),
                 signature: sig,
             };
             prop_assert_eq!(Certificate::decode(&cert.encode()).unwrap(), cert);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn random_event_streams_keep_db_consistent(
-            ops in proptest::collection::vec((0u8..4, 0u64..8, 0u64..50), 1..60)
-        ) {
-            let ca = CertificateAuthority::new([5u8; 32], KeyStore::new(1));
-            let mut db = MembershipDb::new(ProcessId(100), ca.verification_key());
-            let mut now = 0u64;
-            for (op, id, dt) in ops {
-                now += dt;
-                let subject = ProcessId(id);
-                match op {
-                    0 => {
-                        if let Ok(cert) = ca.join(subject, now, 100) {
-                            let _ = db.apply(&MembershipEvent::Join(cert), now);
-                        }
-                    }
-                    1 => {
-                        if ca.is_member(subject) {
-                            if let Ok(cert) = ca.renew(subject, now, 100) {
-                                let _ = db.apply(&MembershipEvent::Refresh(cert), now);
+    #[test]
+    fn random_event_streams_keep_db_consistent() {
+        check(
+            "random_event_streams_keep_db_consistent",
+            Config::default(),
+            |g| {
+                let ops = g.vec_with(1..60, |g| (g.u8() % 4, g.u64_in(0..8), g.u64_in(0..50)));
+                let ca = CertificateAuthority::new([5u8; 32], KeyStore::new(1));
+                let mut db = MembershipDb::new(ProcessId(100), ca.verification_key());
+                let mut now = 0u64;
+                for (op, id, dt) in ops {
+                    now += dt;
+                    let subject = ProcessId(id);
+                    match op {
+                        0 => {
+                            if let Ok(cert) = ca.join(subject, now, 100) {
+                                let _ = db.apply(&MembershipEvent::Join(cert), now);
                             }
                         }
-                    }
-                    2 => {
-                        if let Some(cert) = db.certificate_of(subject).cloned() {
-                            let _ = ca.expel(subject);
-                            let _ = db.apply(&MembershipEvent::Expel(cert), now);
+                        1 => {
+                            if ca.is_member(subject) {
+                                if let Ok(cert) = ca.renew(subject, now, 100) {
+                                    let _ = db.apply(&MembershipEvent::Refresh(cert), now);
+                                }
+                            }
+                        }
+                        2 => {
+                            if let Some(cert) = db.certificate_of(subject).cloned() {
+                                let _ = ca.expel(subject);
+                                let _ = db.apply(&MembershipEvent::Expel(cert), now);
+                            }
+                        }
+                        _ => {
+                            db.expire(now);
                         }
                     }
-                    _ => {
-                        db.expire(now);
+                    // Invariant: every member in the view has a CA-signed
+                    // certificate (modulo not-yet-swept expiry).
+                    for p in db.member_ids() {
+                        let cert = db.certificate_of(p).unwrap();
+                        prop_assert!(cert.verify(&ca.verification_key()));
                     }
+                    // The gossip view never contains the local process.
+                    prop_assert!(!db.gossip_view().contains(ProcessId(100)));
                 }
-                // Invariant: every member in the view has a CA-signed
-                // certificate (modulo not-yet-swept expiry).
-                for p in db.member_ids() {
-                    let cert = db.certificate_of(p).unwrap();
-                    prop_assert!(cert.verify(&ca.verification_key()));
-                }
-                // The gossip view never contains the local process.
-                prop_assert!(!db.gossip_view().contains(ProcessId(100)));
-            }
-        }
+                Ok(())
+            },
+        );
     }
 }

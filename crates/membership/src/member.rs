@@ -10,7 +10,7 @@
 //! follows the database, and failure-detector suspicions gate partner
 //! selection without ever touching membership.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use drum_core::bytes::{Bytes, BytesMut};
 
 use drum_core::config::GossipConfig;
 use drum_core::engine::{Engine, Outbound, PortOracle};
@@ -39,7 +39,11 @@ pub struct GroupMemberConfig {
 
 impl Default for GroupMemberConfig {
     fn default() -> Self {
-        GroupMemberConfig { refresh_interval: 600, renewal_margin: 300, suspect_after: 3 }
+        GroupMemberConfig {
+            refresh_interval: 600,
+            renewal_margin: 300,
+            suspect_after: 3,
+        }
     }
 }
 
@@ -94,7 +98,13 @@ impl GroupMember {
             .key_store()
             .key_of(me.as_u64())
             .expect("join registered our key");
-        let engine = Engine::new(gossip, db.gossip_view(), ca.key_store().clone(), my_key, seed);
+        let engine = Engine::new(
+            gossip,
+            db.gossip_view(),
+            ca.key_store().clone(),
+            my_key,
+            seed,
+        );
         Ok(GroupMember {
             engine,
             db,
@@ -258,7 +268,11 @@ mod tests {
         (ca, members)
     }
 
-    fn run_rounds(members: &mut [GroupMember], rounds: usize, now: Timestamp) -> Vec<Vec<AppDelivery>> {
+    fn run_rounds(
+        members: &mut [GroupMember],
+        rounds: usize,
+        now: Timestamp,
+    ) -> Vec<Vec<AppDelivery>> {
         let mut oracle = CountingPortOracle::default();
         let mut all: Vec<Vec<AppDelivery>> = vec![Vec::new(); members.len()];
         for _ in 0..rounds {
@@ -326,7 +340,11 @@ mod tests {
         members[2].announce(MembershipEvent::Join(cert), 1);
         run_rounds(&mut members, 8, 1);
         for m in &members {
-            assert!(m.db().contains(ProcessId(50)), "{:?} missing the join", m.me());
+            assert!(
+                m.db().contains(ProcessId(50)),
+                "{:?} missing the join",
+                m.me()
+            );
         }
     }
 

@@ -5,7 +5,7 @@
 //! distribution of per-process average latency (Figure 11). [`Cdf`] supports
 //! both: it maps a monotonically increasing x-axis to cumulative fractions.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 
 /// An empirical CDF: a sequence of `(x, fraction)` points with
 /// non-decreasing `x` and non-decreasing `fraction ∈ [0, 1]`.
@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cdf.fraction_at(2.0), 0.75);
 /// assert_eq!(cdf.fraction_at(10.0), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Cdf {
     points: Vec<(f64, f64)>,
 }
@@ -94,6 +94,51 @@ impl Cdf {
     /// Whether the CDF has no points.
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
+    }
+
+    /// Serializes the CDF as a JSON array of `[x, fraction]` pairs.
+    pub fn to_json(&self) -> String {
+        Json::Arr(
+            self.points
+                .iter()
+                .map(|(x, f)| Json::Arr(vec![Json::num(*x), Json::num(*f)]))
+                .collect(),
+        )
+        .to_string()
+    }
+
+    /// Restores a CDF from [`Cdf::to_json`] output, re-validating the
+    /// monotonicity invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input, or [`CdfError`] (wrapped in
+    /// the `Result`'s `Err` via [`JsonError::MissingField`]) if the points
+    /// violate the CDF invariants.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(text)?;
+        let items = v
+            .as_array()
+            .ok_or(JsonError::MissingField { name: "points" })?;
+        let mut points = Vec::with_capacity(items.len());
+        for item in items {
+            let pair = item
+                .as_array()
+                .ok_or(JsonError::MissingField { name: "point" })?;
+            if pair.len() != 2 {
+                return Err(JsonError::MissingField { name: "point" });
+            }
+            let x = pair[0]
+                .as_f64()
+                .ok_or(JsonError::MissingField { name: "x" })?;
+            let f = pair[1]
+                .as_f64()
+                .ok_or(JsonError::MissingField { name: "fraction" })?;
+            points.push((x, f));
+        }
+        Cdf::from_points(points).map_err(|_| JsonError::MissingField {
+            name: "valid points",
+        })
     }
 
     /// Maximum absolute difference to another CDF evaluated on the union of
@@ -226,6 +271,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CdfError::NonIncreasingX { x: 1.0 }.to_string().contains('1'));
+        assert!(CdfError::NonIncreasingX { x: 1.0 }
+            .to_string()
+            .contains('1'));
     }
 }

@@ -1,6 +1,6 @@
 //! Fixed-bucket histograms for latency distributions.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 
 /// A histogram with uniform-width buckets over `[lo, hi)` plus overflow /
 /// underflow counters.
@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.count(), 3);
 /// assert_eq!(h.bucket_count(1), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -61,7 +61,13 @@ impl Histogram {
         if n == 0 {
             return Err(HistogramError::NoBuckets);
         }
-        Ok(Histogram { lo, hi, buckets: vec![0; n], underflow: 0, overflow: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        })
     }
 
     /// Records one observation.
@@ -113,6 +119,45 @@ impl Histogram {
         self.overflow
     }
 
+    /// Serializes the histogram as a JSON object.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("lo".into(), Json::num(self.lo)),
+            ("hi".into(), Json::num(self.hi)),
+            (
+                "buckets".into(),
+                Json::Arr(self.buckets.iter().map(|c| Json::num(*c as f64)).collect()),
+            ),
+            ("underflow".into(), Json::num(self.underflow as f64)),
+            ("overflow".into(), Json::num(self.overflow as f64)),
+        ])
+        .to_string()
+    }
+
+    /// Restores a histogram from [`Histogram::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input, missing fields or an
+    /// invalid geometry.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(text)?;
+        let lo = v.field_f64("lo")?;
+        let hi = v.field_f64("hi")?;
+        let buckets: Vec<u64> = v
+            .field_array("buckets")?
+            .iter()
+            .map(|b| b.as_u64().ok_or(JsonError::MissingField { name: "bucket" }))
+            .collect::<Result<_, _>>()?;
+        let mut h = Histogram::new(lo, hi, buckets.len()).map_err(|_| JsonError::MissingField {
+            name: "valid geometry",
+        })?;
+        h.buckets = buckets;
+        h.underflow = v.field_u64("underflow")?;
+        h.overflow = v.field_u64("overflow")?;
+        Ok(h)
+    }
+
     /// Merges another histogram with identical geometry.
     ///
     /// # Panics
@@ -121,7 +166,11 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.lo, other.lo, "histogram lo mismatch");
         assert_eq!(self.hi, other.hi, "histogram hi mismatch");
-        assert_eq!(self.buckets.len(), other.buckets.len(), "bucket count mismatch");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "bucket count mismatch"
+        );
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
@@ -136,10 +185,22 @@ mod tests {
 
     #[test]
     fn construction_validation() {
-        assert_eq!(Histogram::new(1.0, 1.0, 4).unwrap_err(), HistogramError::BadRange);
-        assert_eq!(Histogram::new(2.0, 1.0, 4).unwrap_err(), HistogramError::BadRange);
-        assert_eq!(Histogram::new(f64::NAN, 1.0, 4).unwrap_err(), HistogramError::BadRange);
-        assert_eq!(Histogram::new(0.0, 1.0, 0).unwrap_err(), HistogramError::NoBuckets);
+        assert_eq!(
+            Histogram::new(1.0, 1.0, 4).unwrap_err(),
+            HistogramError::BadRange
+        );
+        assert_eq!(
+            Histogram::new(2.0, 1.0, 4).unwrap_err(),
+            HistogramError::BadRange
+        );
+        assert_eq!(
+            Histogram::new(f64::NAN, 1.0, 4).unwrap_err(),
+            HistogramError::BadRange
+        );
+        assert_eq!(
+            Histogram::new(0.0, 1.0, 0).unwrap_err(),
+            HistogramError::NoBuckets
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! **average latency** of successfully received messages. These recorders
 //! reproduce that accounting.
 
+use crate::json::{Json, JsonError};
 use crate::stats::RunningStats;
-use serde::{Deserialize, Serialize};
 
 /// Records per-message receive latencies for one process.
 ///
@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(r.received(), 2);
 /// assert_eq!(r.mean_ms(), 16.25);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
     stats: RunningStats,
 }
@@ -58,12 +58,28 @@ impl LatencyRecorder {
     pub fn max_ms(&self) -> f64 {
         self.stats.max()
     }
+
+    /// Serializes the recorder as JSON (its underlying streaming stats).
+    pub fn to_json(&self) -> String {
+        self.stats.to_json()
+    }
+
+    /// Restores a recorder from [`LatencyRecorder::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        Ok(LatencyRecorder {
+            stats: RunningStats::from_json(text)?,
+        })
+    }
 }
 
 /// Records message arrival times and computes steady-state throughput,
 /// trimming a warm-up/cool-down fraction of the experiment duration exactly
 /// as in the paper ("ignoring the first and last 5% of the time").
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ThroughputRecorder {
     /// Arrival times (seconds since experiment start) of delivered messages.
     arrivals: Vec<f64>,
@@ -94,7 +110,10 @@ impl ThroughputRecorder {
     ///
     /// Panics if `trim` is not in `[0, 0.5)`.
     pub fn steady_state_throughput(&self, duration_secs: f64, trim: f64) -> f64 {
-        assert!((0.0..0.5).contains(&trim), "trim must be in [0, 0.5): {trim}");
+        assert!(
+            (0.0..0.5).contains(&trim),
+            "trim must be in [0, 0.5): {trim}"
+        );
         let lo = duration_secs * trim;
         let hi = duration_secs * (1.0 - trim);
         let window = hi - lo;
@@ -112,6 +131,33 @@ impl ThroughputRecorder {
     /// Throughput over the paper's standard 5% trim.
     pub fn paper_throughput(&self, duration_secs: f64) -> f64 {
         self.steady_state_throughput(duration_secs, 0.05)
+    }
+
+    /// Serializes the arrival times as a JSON object.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![(
+            "arrivals".into(),
+            Json::Arr(self.arrivals.iter().map(|t| Json::num(*t)).collect()),
+        )])
+        .to_string()
+    }
+
+    /// Restores a recorder from [`ThroughputRecorder::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(text)?;
+        let arrivals = v
+            .field_array("arrivals")?
+            .iter()
+            .map(|t| {
+                t.as_f64()
+                    .ok_or(JsonError::MissingField { name: "arrival" })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(ThroughputRecorder { arrivals })
     }
 }
 

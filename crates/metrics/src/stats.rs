@@ -4,7 +4,7 @@
 //! times (Figures 2–9) and per-process latencies (Figures 10–11) without
 //! retaining every sample.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Json, JsonError};
 
 /// Numerically stable streaming mean/variance (Welford's algorithm).
 ///
@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert!((s.population_std() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
@@ -32,7 +32,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -103,6 +109,34 @@ impl RunningStats {
         } else {
             self.max
         }
+    }
+
+    /// Serializes the accumulator state as a JSON object.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("count".into(), Json::num(self.count as f64)),
+            ("mean".into(), Json::num(self.mean)),
+            ("m2".into(), Json::num(self.m2)),
+            ("min".into(), Json::num(self.min)),
+            ("max".into(), Json::num(self.max)),
+        ])
+        .to_string()
+    }
+
+    /// Restores an accumulator from [`RunningStats::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input or missing fields.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(text)?;
+        Ok(RunningStats {
+            count: v.field_u64("count")?,
+            mean: v.field_f64("mean")?,
+            m2: v.field_f64("m2")?,
+            min: v.field_f64("min")?,
+            max: v.field_f64("max")?,
+        })
     }
 
     /// Merges another accumulator into this one (parallel aggregation).

@@ -41,7 +41,12 @@ pub struct AttackerConfig {
 impl AttackerConfig {
     /// Standard attacker: floods only the well-known ports.
     pub fn new(x_per_round: f64, round: Duration, victim_protocol: ProtocolVariant) -> Self {
-        AttackerConfig { x_per_round, round, victim_protocol, reply_port_targets: Vec::new() }
+        AttackerConfig {
+            x_per_round,
+            round,
+            victim_protocol,
+            reply_port_targets: Vec::new(),
+        }
     }
 }
 
@@ -75,7 +80,7 @@ pub fn fabricated_pull_reply(seq: u64) -> GossipMessage {
         messages: vec![drum_core::message::DataMessage {
             id: MessageId::new(ProcessId(0xDEAD_0000 + (seq & 0xFFFF)), seq),
             hops: 0,
-            payload: bytes::Bytes::from(vec![0u8; 50]),
+            payload: drum_core::bytes::Bytes::from(vec![0u8; 50]),
             auth: drum_crypto::auth::AuthTag::zero(),
         }],
     }
@@ -92,7 +97,11 @@ impl AttackerHandle {
     /// Stops the attacker; returns the number of datagrams it sent.
     pub fn shutdown(mut self) -> u64 {
         self.stop.store(true, Ordering::Relaxed);
-        self.join.take().expect("shutdown called once").join().unwrap_or(0)
+        self.join
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .unwrap_or(0)
     }
 }
 
@@ -134,8 +143,11 @@ pub fn spawn_attacker(
             // Against the no-random-ports ablation the pull budget is split
             // between the request port and the (knowable) reply port (§9).
             let attack_replies = !config.reply_port_targets.is_empty();
-            let (x_pull_req, x_pull_reply) =
-                if attack_replies { (x_pull / 2.0, x_pull / 2.0) } else { (x_pull, 0.0) };
+            let (x_pull_req, x_pull_reply) = if attack_replies {
+                (x_pull / 2.0, x_pull / 2.0)
+            } else {
+                (x_pull, 0.0)
+            };
             // Send in `BATCHES` evenly spaced bursts per round so victims
             // see pressure throughout their (unaligned) rounds.
             const BATCHES: u32 = 10;
@@ -194,7 +206,10 @@ pub fn spawn_attacker(
         })
         .expect("failed to spawn attacker thread");
 
-    Ok(AttackerHandle { stop, join: Some(join) })
+    Ok(AttackerHandle {
+        stop,
+        join: Some(join),
+    })
 }
 
 #[cfg(test)]

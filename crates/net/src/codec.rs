@@ -1,12 +1,12 @@
 //! Binary wire codec for [`GossipMessage`].
 //!
-//! A hand-rolled, length-checked format on top of `bytes` (no general
-//! serialization framework is available offline, and a fixed format keeps
-//! datagrams compact). All integers are big-endian. Every decoder is
+//! A hand-rolled, length-checked format on top of `drum_core::bytes` (no
+//! general serialization framework is available offline, and a fixed format
+//! keeps datagrams compact). All integers are big-endian. Every decoder is
 //! hardened against truncated, oversized and garbage input — a DoS-resistant
 //! endpoint must survive arbitrary bytes on its well-known ports.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use drum_core::bytes::{Bytes, BytesMut};
 
 use drum_core::digest::Digest;
 use drum_core::ids::{MessageId, ProcessId};
@@ -64,7 +64,7 @@ impl core::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+fn need(buf: &Bytes, n: usize) -> Result<(), DecodeError> {
     if buf.remaining() < n {
         Err(DecodeError::Truncated)
     } else {
@@ -148,7 +148,11 @@ fn get_port(buf: &mut Bytes) -> Result<PortRef, DecodeError> {
             buf.copy_to_slice(&mut ciphertext);
             let mut tag = [0u8; 32];
             buf.copy_to_slice(&mut tag);
-            Ok(PortRef::Sealed(SealedBox { nonce, ciphertext, tag }))
+            Ok(PortRef::Sealed(SealedBox {
+                nonce,
+                ciphertext,
+                tag,
+            }))
         }
         _ => Err(DecodeError::BadTag),
     }
@@ -176,7 +180,12 @@ fn get_data_message(buf: &mut Bytes) -> Result<DataMessage, DecodeError> {
     let payload = buf.copy_to_bytes(payload_len);
     let mut tag = [0u8; 32];
     buf.copy_to_slice(&mut tag);
-    Ok(DataMessage { id: MessageId::new(source, seq), hops, payload, auth: AuthTag(tag) })
+    Ok(DataMessage {
+        id: MessageId::new(source, seq),
+        hops,
+        payload,
+        auth: AuthTag(tag),
+    })
 }
 
 fn put_messages(out: &mut BytesMut, messages: &[DataMessage]) {
@@ -203,7 +212,12 @@ fn get_messages(buf: &mut Bytes) -> Result<Vec<DataMessage>, DecodeError> {
 pub fn encode(msg: &GossipMessage) -> Bytes {
     let mut out = BytesMut::with_capacity(128);
     match msg {
-        GossipMessage::PullRequest { from, digest, reply_port, nonce } => {
+        GossipMessage::PullRequest {
+            from,
+            digest,
+            reply_port,
+            nonce,
+        } => {
             out.put_u8(TAG_PULL_REQUEST);
             out.put_u64(from.as_u64());
             out.put_u64(*nonce);
@@ -215,13 +229,22 @@ pub fn encode(msg: &GossipMessage) -> Bytes {
             out.put_u64(from.as_u64());
             put_messages(&mut out, messages);
         }
-        GossipMessage::PushOffer { from, reply_port, nonce } => {
+        GossipMessage::PushOffer {
+            from,
+            reply_port,
+            nonce,
+        } => {
             out.put_u8(TAG_PUSH_OFFER);
             out.put_u64(from.as_u64());
             out.put_u64(*nonce);
             put_port(&mut out, reply_port);
         }
-        GossipMessage::PushReply { from, digest, data_port, nonce } => {
+        GossipMessage::PushReply {
+            from,
+            digest,
+            data_port,
+            nonce,
+        } => {
             out.put_u8(TAG_PUSH_REPLY);
             out.put_u64(from.as_u64());
             out.put_u64(*nonce);
@@ -257,23 +280,43 @@ pub fn decode(bytes: &[u8]) -> Result<GossipMessage, DecodeError> {
             let nonce = buf.get_u64();
             let reply_port = get_port(&mut buf)?;
             let digest = get_digest(&mut buf)?;
-            GossipMessage::PullRequest { from, digest, reply_port, nonce }
+            GossipMessage::PullRequest {
+                from,
+                digest,
+                reply_port,
+                nonce,
+            }
         }
-        TAG_PULL_REPLY => GossipMessage::PullReply { from, messages: get_messages(&mut buf)? },
+        TAG_PULL_REPLY => GossipMessage::PullReply {
+            from,
+            messages: get_messages(&mut buf)?,
+        },
         TAG_PUSH_OFFER => {
             need(&buf, 8)?;
             let nonce = buf.get_u64();
             let reply_port = get_port(&mut buf)?;
-            GossipMessage::PushOffer { from, reply_port, nonce }
+            GossipMessage::PushOffer {
+                from,
+                reply_port,
+                nonce,
+            }
         }
         TAG_PUSH_REPLY => {
             need(&buf, 8)?;
             let nonce = buf.get_u64();
             let data_port = get_port(&mut buf)?;
             let digest = get_digest(&mut buf)?;
-            GossipMessage::PushReply { from, digest, data_port, nonce }
+            GossipMessage::PushReply {
+                from,
+                digest,
+                data_port,
+                nonce,
+            }
         }
-        TAG_PUSH_DATA => GossipMessage::PushData { from, messages: get_messages(&mut buf)? },
+        TAG_PUSH_DATA => GossipMessage::PushData {
+            from,
+            messages: get_messages(&mut buf)?,
+        },
         _ => return Err(DecodeError::BadTag),
     };
     if buf.has_remaining() {
@@ -367,12 +410,18 @@ mod tests {
 
     #[test]
     fn push_data_round_trip() {
-        round_trip(GossipMessage::PushData { from: ProcessId(2), messages: vec![sample_data(7)] });
+        round_trip(GossipMessage::PushData {
+            from: ProcessId(2),
+            messages: vec![sample_data(7)],
+        });
     }
 
     #[test]
     fn empty_messages_round_trip() {
-        round_trip(GossipMessage::PullReply { from: ProcessId(1), messages: vec![] });
+        round_trip(GossipMessage::PullReply {
+            from: ProcessId(1),
+            messages: vec![],
+        });
     }
 
     #[test]
@@ -384,7 +433,10 @@ mod tests {
             nonce: 42,
         });
         for len in 0..encoded.len() {
-            assert!(decode(&encoded[..len]).is_err(), "prefix of len {len} accepted");
+            assert!(
+                decode(&encoded[..len]).is_err(),
+                "prefix of len {len} accepted"
+            );
         }
     }
 

@@ -4,13 +4,13 @@
 
 use std::time::{Duration, Instant};
 
-use bytes::{BufMut, Bytes, BytesMut};
+use drum_core::bytes::{Bytes, BytesMut};
 
 use drum_core::config::ProtocolVariant;
 use drum_core::ids::ProcessId;
+use drum_crypto::keys::KeyStore;
 use drum_metrics::recorder::{LatencyRecorder, ThroughputRecorder};
 use drum_metrics::stats::{quantile_in_place, RunningStats};
-use drum_crypto::keys::KeyStore;
 
 use crate::attack::{spawn_attacker, AttackerConfig, AttackerHandle};
 use crate::runtime::{seed_of, spawn_process, NetConfig, NetStats, ProcessHandle, ProcessSpec};
@@ -66,7 +66,10 @@ impl Cluster {
     /// Panics if `malicious + 1 > n` or `attacked > correct`.
     pub fn start(config: ClusterConfig) -> std::io::Result<Cluster> {
         assert!(config.correct() >= 2, "need at least two correct processes");
-        assert!(config.attacked <= config.correct(), "attacked exceeds correct processes");
+        assert!(
+            config.attacked <= config.correct(),
+            "attacked exceeds correct processes"
+        );
 
         let key_store = KeyStore::new(config.seed);
         let members: Vec<ProcessId> = (0..config.n as u64).map(ProcessId).collect();
@@ -173,7 +176,10 @@ impl Cluster {
         if let Some(a) = self.attacker.take() {
             a.shutdown();
         }
-        self.handles.drain(..).map(ProcessHandle::shutdown).collect()
+        self.handles
+            .drain(..)
+            .map(ProcessHandle::shutdown)
+            .collect()
     }
 }
 
@@ -278,8 +284,8 @@ pub fn throughput_experiment(
     let mut throughput = vec![ThroughputRecorder::new(); correct];
 
     let drain_deliveries = |latency: &mut Vec<LatencyRecorder>,
-                                throughput: &mut Vec<ThroughputRecorder>,
-                                cluster: &Cluster| {
+                            throughput: &mut Vec<ThroughputRecorder>,
+                            cluster: &Cluster| {
         for (i, h) in cluster.handles().iter().enumerate() {
             for d in h.take_delivered() {
                 let now_micros = epoch.elapsed().as_micros() as u64;
@@ -325,7 +331,11 @@ pub fn throughput_experiment(
         .collect();
 
     cluster.shutdown();
-    Ok(ThroughputReport { receivers, duration_secs, published: total_messages })
+    Ok(ThroughputReport {
+        receivers,
+        duration_secs,
+        published: total_messages,
+    })
 }
 
 /// Result of a propagation-rounds experiment (Figure 9).
@@ -387,7 +397,10 @@ pub fn propagation_experiment(
     }
 
     cluster.shutdown();
-    Ok(PropagationReport { rounds_to_99: stats, incomplete })
+    Ok(PropagationReport {
+        rounds_to_99: stats,
+        incomplete,
+    })
 }
 
 /// Convenience constructor matching the paper's §8 scenario shape:

@@ -58,7 +58,9 @@ pub use experiment::{
     paper_cluster_config, propagation_experiment, throughput_experiment, Cluster, ClusterConfig,
     PropagationReport, ReceiverReport, ThroughputReport,
 };
-pub use runtime::{spawn_process, Delivery, NetConfig, NetStats, ProcessHandle, ProcessSpec};
+pub use runtime::{
+    os_random_seed, spawn_process, Delivery, NetConfig, NetStats, ProcessHandle, ProcessSpec,
+};
 pub use transport::{AddressBook, SocketPool, WellKnownAddrs, WellKnownSockets};
 
 #[cfg(test)]
@@ -68,81 +70,104 @@ mod proptests {
     use drum_core::ids::{MessageId, ProcessId};
     use drum_core::message::{DataMessage, GossipMessage, PortRef};
     use drum_crypto::auth::AuthTag;
-    use proptest::prelude::*;
+    use drum_testkit::prop::{check, Config, Gen};
+    use drum_testkit::prop_assert_eq;
 
-    fn arb_digest() -> impl Strategy<Value = Digest> {
-        proptest::collection::vec((0u64..16, 0u64..128), 0..64)
-            .prop_map(|v| v.into_iter().map(|(s, q)| MessageId::new(ProcessId(s), q)).collect())
+    fn arb_digest(g: &mut Gen) -> Digest {
+        g.vec_with(0..64, |g| (g.u64_in(0..16), g.u64_in(0..128)))
+            .into_iter()
+            .map(|(s, q)| MessageId::new(ProcessId(s), q))
+            .collect()
     }
 
-    fn arb_port() -> impl Strategy<Value = PortRef> {
-        prop_oneof![
-            Just(PortRef::None),
-            any::<u16>().prop_map(PortRef::Plain),
-            (any::<u64>(), any::<[u8; 32]>(), any::<u16>()).prop_map(|(nonce, key, port)| {
-                let k = drum_crypto::keys::SecretKey::from_bytes(key);
-                PortRef::Sealed(drum_crypto::seal::seal_port(&k, nonce, port).unwrap())
-            }),
-        ]
+    fn arb_key(g: &mut Gen) -> [u8; 32] {
+        let mut key = [0u8; 32];
+        for b in &mut key {
+            *b = g.u8();
+        }
+        key
     }
 
-    fn arb_messages() -> impl Strategy<Value = Vec<DataMessage>> {
-        proptest::collection::vec(
-            (any::<u64>(), any::<u64>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..100), any::<[u8; 32]>()),
-            0..8,
-        )
-        .prop_map(|v| {
-            v.into_iter()
-                .map(|(s, q, hops, payload, tag)| DataMessage {
-                    id: MessageId::new(ProcessId(s), q),
-                    hops,
-                    payload: payload.into(),
-                    auth: AuthTag(tag),
-                })
-                .collect()
+    fn arb_port(g: &mut Gen) -> PortRef {
+        match g.u64_in(0..3) {
+            0 => PortRef::None,
+            1 => PortRef::Plain(g.u16()),
+            _ => {
+                let k = drum_crypto::keys::SecretKey::from_bytes(arb_key(g));
+                PortRef::Sealed(drum_crypto::seal::seal_port(&k, g.u64(), g.u16()).unwrap())
+            }
+        }
+    }
+
+    fn arb_messages(g: &mut Gen) -> Vec<DataMessage> {
+        g.vec_with(0..8, |g| DataMessage {
+            id: MessageId::new(ProcessId(g.u64()), g.u64()),
+            hops: g.u32_in(0..u32::MAX),
+            payload: g.bytes(0..100).into(),
+            auth: AuthTag(arb_key(g)),
         })
     }
 
-    fn arb_message() -> impl Strategy<Value = GossipMessage> {
-        prop_oneof![
-            (any::<u64>(), arb_digest(), arb_port(), any::<u64>()).prop_map(|(f, d, p, n)| {
-                GossipMessage::PullRequest { from: ProcessId(f), digest: d, reply_port: p, nonce: n }
-            }),
-            (any::<u64>(), arb_messages())
-                .prop_map(|(f, m)| GossipMessage::PullReply { from: ProcessId(f), messages: m }),
-            (any::<u64>(), arb_port(), any::<u64>()).prop_map(|(f, p, n)| {
-                GossipMessage::PushOffer { from: ProcessId(f), reply_port: p, nonce: n }
-            }),
-            (any::<u64>(), arb_digest(), arb_port(), any::<u64>()).prop_map(|(f, d, p, n)| {
-                GossipMessage::PushReply { from: ProcessId(f), digest: d, data_port: p, nonce: n }
-            }),
-            (any::<u64>(), arb_messages())
-                .prop_map(|(f, m)| GossipMessage::PushData { from: ProcessId(f), messages: m }),
-        ]
+    fn arb_message(g: &mut Gen) -> GossipMessage {
+        match g.u64_in(0..5) {
+            0 => GossipMessage::PullRequest {
+                from: ProcessId(g.u64()),
+                digest: arb_digest(g),
+                reply_port: arb_port(g),
+                nonce: g.u64(),
+            },
+            1 => GossipMessage::PullReply {
+                from: ProcessId(g.u64()),
+                messages: arb_messages(g),
+            },
+            2 => GossipMessage::PushOffer {
+                from: ProcessId(g.u64()),
+                reply_port: arb_port(g),
+                nonce: g.u64(),
+            },
+            3 => GossipMessage::PushReply {
+                from: ProcessId(g.u64()),
+                digest: arb_digest(g),
+                data_port: arb_port(g),
+                nonce: g.u64(),
+            },
+            _ => GossipMessage::PushData {
+                from: ProcessId(g.u64()),
+                messages: arb_messages(g),
+            },
+        }
     }
 
-    proptest! {
-        #[test]
-        fn codec_round_trips(msg in arb_message()) {
+    #[test]
+    fn codec_round_trips() {
+        check("codec_round_trips", Config::default(), |g| {
+            let msg = arb_message(g);
             let bytes = encode(&msg);
             prop_assert_eq!(decode(&bytes).unwrap(), msg);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+    #[test]
+    fn decode_never_panics_on_garbage() {
+        check("decode_never_panics_on_garbage", Config::default(), |g| {
+            let bytes = g.bytes(0..512);
             let _ = decode(&bytes);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn decode_never_panics_on_mutations(msg in arb_message(),
-                                            pos in any::<proptest::sample::Index>(),
-                                            val in any::<u8>()) {
+    #[test]
+    fn decode_never_panics_on_mutations() {
+        check("decode_never_panics_on_mutations", Config::default(), |g| {
+            let msg = arb_message(g);
             let mut bytes = encode(&msg).to_vec();
             if !bytes.is_empty() {
-                let i = pos.index(bytes.len());
-                bytes[i] = val;
+                let i = g.index(bytes.len());
+                bytes[i] = g.u8();
             }
             let _ = decode(&bytes);
-        }
+            Ok(())
+        });
     }
 }

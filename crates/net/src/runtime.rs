@@ -17,8 +17,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use drum_core::bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -30,7 +31,9 @@ use drum_core::view::Membership;
 use drum_crypto::keys::{KeyStore, SecretKey};
 
 use crate::codec;
-use crate::transport::{bind_ephemeral, AblationSockets, AddressBook, SocketPool, WellKnownSockets};
+use crate::transport::{
+    bind_ephemeral, AblationSockets, AddressBook, SocketPool, WellKnownSockets,
+};
 
 /// Configuration of the networked runtime.
 #[derive(Debug, Clone)]
@@ -197,8 +200,8 @@ pub struct ProcessSpec {
 /// Returns an [`io::Error`] if the outbound send socket cannot be bound.
 pub fn spawn_process(spec: ProcessSpec) -> io::Result<ProcessHandle> {
     let send_socket = bind_ephemeral()?;
-    let (publish_tx, publish_rx) = unbounded::<Bytes>();
-    let (delivered_tx, delivered_rx) = unbounded::<Delivery>();
+    let (publish_tx, publish_rx) = channel::<Bytes>();
+    let (delivered_tx, delivered_rx) = channel::<Delivery>();
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = stop.clone();
     let id = spec.me;
@@ -208,7 +211,13 @@ pub fn spawn_process(spec: ProcessSpec) -> io::Result<ProcessHandle> {
         .spawn(move || run_process(spec, send_socket, publish_rx, delivered_tx, stop_flag))
         .expect("failed to spawn process thread");
 
-    Ok(ProcessHandle { id, publish_tx, delivered_rx, stop, join: Some(join) })
+    Ok(ProcessHandle {
+        id,
+        publish_tx,
+        delivered_rx,
+        stop,
+        join: Some(join),
+    })
 }
 
 fn shuffle_in_place(v: &mut [GossipMessage], rng: &mut SmallRng) {
@@ -233,14 +242,28 @@ fn run_process(
     delivered_tx: Sender<Delivery>,
     stop: Arc<AtomicBool>,
 ) -> NetStats {
-    let ProcessSpec { me, members, book, key_store, my_key, sockets, ablation, config, seed } = spec;
+    let ProcessSpec {
+        me,
+        members,
+        book,
+        key_store,
+        my_key,
+        sockets,
+        ablation,
+        config,
+        seed,
+    } = spec;
     let membership = Membership::new(me, members);
     let mut engine = Engine::new(config.gossip.clone(), membership, key_store, my_key, seed);
     if let Some(ab) = &ablation {
         // Figure 12(a) ablation: fixed reply ports that the engine will
         // advertise instead of fresh random ones.
         let port = |s: &UdpSocket| s.local_addr().map(|a| a.port()).unwrap_or(0);
-        engine.set_fixed_ports(port(&ab.pull_reply), port(&ab.push_reply), port(&ab.push_data));
+        engine.set_fixed_ports(
+            port(&ab.pull_reply),
+            port(&ab.push_reply),
+            port(&ab.push_data),
+        );
     }
     let mut rng = SmallRng::seed_from_u64(seed ^ seed_of(me));
     let mut pool = SocketPool::new(config.gossip.port_lifetime_rounds.max(1));
@@ -319,7 +342,10 @@ fn run_process(
         {
             let now = Instant::now();
             for msg in engine.take_delivered() {
-                let _ = delivered_tx.send(Delivery { message: msg, at: now });
+                let _ = delivered_tx.send(Delivery {
+                    message: msg,
+                    at: now,
+                });
             }
         }
 
@@ -327,10 +353,10 @@ fn run_process(
             let mut responses: Vec<Outbound> = Vec::new();
 
             let stage = |slot: usize,
-                             msg: GossipMessage,
-                             staged: &mut [Vec<GossipMessage>; 5],
-                             staged_seen: &mut [u64; 5],
-                             rng: &mut SmallRng| {
+                         msg: GossipMessage,
+                         staged: &mut [Vec<GossipMessage>; 5],
+                         staged_seen: &mut [u64; 5],
+                         rng: &mut SmallRng| {
                 staged_seen[slot] += 1;
                 let q = &mut staged[slot];
                 if q.len() < STAGE_CAP {
@@ -346,9 +372,10 @@ fn run_process(
             };
 
             // Well-known ports: stage their designated message kinds.
-            for (socket, expected, slot) in
-                [(&sockets.pull, MessageKind::PullRequest, 0usize), (&sockets.push, MessageKind::PushOffer, 1)]
-            {
+            for (socket, expected, slot) in [
+                (&sockets.pull, MessageKind::PullRequest, 0usize),
+                (&sockets.push, MessageKind::PushOffer, 1),
+            ] {
                 loop {
                     match socket.recv_from(&mut scratch) {
                         Ok((len, _)) => match codec::decode(&scratch[..len]) {
@@ -413,7 +440,10 @@ fn run_process(
 
             let now = Instant::now();
             for msg in engine.take_delivered() {
-                let _ = delivered_tx.send(Delivery { message: msg, at: now });
+                let _ = delivered_tx.send(Delivery {
+                    message: msg,
+                    at: now,
+                });
             }
 
             if Instant::now() >= deadline || stop.load(Ordering::Relaxed) {
@@ -437,6 +467,14 @@ fn run_process(
 /// every process its own RNG stream.
 pub fn seed_of(me: ProcessId) -> u64 {
     me.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Draws a base seed from OS entropy, for deployments where the port and
+/// peer randomization must be unpredictable to an outside observer rather
+/// than reproducible. Experiments that need replayable runs should keep
+/// passing a fixed [`ProcessSpec::seed`] instead.
+pub fn os_random_seed() -> u64 {
+    SmallRng::from_os_rng().next_u64()
 }
 
 #[cfg(test)]
@@ -526,9 +564,8 @@ mod tests {
     fn with_loss_validates_range() {
         let cfg = NetConfig::new(GossipConfig::drum()).with_loss(0.25);
         assert_eq!(cfg.loss, 0.25);
-        let result = std::panic::catch_unwind(|| {
-            NetConfig::new(GossipConfig::drum()).with_loss(1.0)
-        });
+        let result =
+            std::panic::catch_unwind(|| NetConfig::new(GossipConfig::drum()).with_loss(1.0));
         assert!(result.is_err(), "loss = 1.0 must be rejected");
     }
 

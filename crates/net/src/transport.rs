@@ -38,7 +38,9 @@ pub struct WellKnownAddrs {
 impl AddressBook {
     /// Builds a book from explicit entries.
     pub fn new(entries: impl IntoIterator<Item = (ProcessId, WellKnownAddrs)>) -> Self {
-        AddressBook { inner: Arc::new(entries.into_iter().collect()) }
+        AddressBook {
+            inner: Arc::new(entries.into_iter().collect()),
+        }
     }
 
     /// The well-known addresses of `p`, if registered.
@@ -108,7 +110,14 @@ impl AblationSockets {
             push_reply: push_reply.local_addr()?,
             push_data: push_data.local_addr()?,
         };
-        Ok((AblationSockets { pull_reply, push_reply, push_data }, addrs))
+        Ok((
+            AblationSockets {
+                pull_reply,
+                push_reply,
+                push_data,
+            },
+            addrs,
+        ))
     }
 }
 
@@ -130,7 +139,10 @@ impl WellKnownSockets {
     pub fn bind() -> io::Result<(Self, WellKnownAddrs)> {
         let pull = bind_ephemeral()?;
         let push = bind_ephemeral()?;
-        let addrs = WellKnownAddrs { pull: pull.local_addr()?, push: push.local_addr()? };
+        let addrs = WellKnownAddrs {
+            pull: pull.local_addr()?,
+            push: push.local_addr()?,
+        };
         Ok((WellKnownSockets { pull, push }, addrs))
     }
 }
@@ -151,7 +163,11 @@ pub struct SocketPool {
 impl SocketPool {
     /// Creates a pool whose sockets live for `lifetime` rounds.
     pub fn new(lifetime: u64) -> Self {
-        SocketPool { lifetime, sockets: Vec::new(), bind_failures: 0 }
+        SocketPool {
+            lifetime,
+            sockets: Vec::new(),
+            bind_failures: 0,
+        }
     }
 
     /// Number of currently open random-port sockets.
@@ -167,7 +183,8 @@ impl SocketPool {
     /// Closes sockets allocated more than `lifetime` rounds ago.
     pub fn expire(&mut self, now: Round) {
         let lifetime = self.lifetime;
-        self.sockets.retain(|(_, _, born)| now.since(*born) < lifetime);
+        self.sockets
+            .retain(|(_, _, born)| now.since(*born) < lifetime);
     }
 
     /// Receives all pending datagrams from the pool, invoking
@@ -264,7 +281,9 @@ mod tests {
         let mut pool = SocketPool::new(3);
         let port = pool.allocate_port(PortPurpose::PushData, Round(1));
         let sender = bind_ephemeral().unwrap();
-        sender.send_to(b"hello", AddressBook::loopback(port)).unwrap();
+        sender
+            .send_to(b"hello", AddressBook::loopback(port))
+            .unwrap();
         // Give the loopback a moment.
         std::thread::sleep(std::time::Duration::from_millis(20));
         let mut scratch = [0u8; 2048];
@@ -281,6 +300,9 @@ mod tests {
     fn drain_on_empty_pool_is_zero() {
         let mut pool = SocketPool::new(3);
         let mut scratch = [0u8; 64];
-        assert_eq!(pool.drain(&mut scratch, |_, _| panic!("no data expected")), 0);
+        assert_eq!(
+            pool.drain(&mut scratch, |_, _| panic!("no data expected")),
+            0
+        );
     }
 }

@@ -1,0 +1,93 @@
+//! Sequence-related sampling: [`index::sample`] without replacement.
+
+pub mod index {
+    //! Sampling of distinct indices, mirroring `rand::seq::index`.
+
+    use crate::Rng;
+
+    /// The result of [`sample`]: `amount` distinct indices in `0..length`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Iterates over the sampled indices in selection order.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Consumes the sample into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length`, uniformly over
+    /// all subsets, by partial Fisher–Yates: each of the first `amount`
+    /// slots swaps with a uniform choice from the not-yet-fixed suffix.
+    ///
+    /// If `amount >= length` every index is returned (in shuffled order),
+    /// matching the saturating behaviour the engine's view/buffer selection
+    /// relies on when fewer candidates than requested exist.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        let amount = amount.min(length);
+        let mut indices: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.random_range(i..length);
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        IndexVec(indices)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::rngs::SmallRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn sample_is_distinct_and_in_range() {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let picked = sample(&mut rng, 50, 10);
+            assert_eq!(picked.len(), 10);
+            let set: std::collections::BTreeSet<usize> = picked.iter().collect();
+            assert_eq!(set.len(), 10);
+            assert!(set.iter().all(|&i| i < 50));
+        }
+
+        #[test]
+        fn oversized_amount_saturates() {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let picked = sample(&mut rng, 4, 100);
+            let mut all = picked.into_vec();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3]);
+        }
+
+        #[test]
+        fn zero_cases() {
+            let mut rng = SmallRng::seed_from_u64(3);
+            assert!(sample(&mut rng, 0, 5).is_empty());
+            assert!(sample(&mut rng, 5, 0).is_empty());
+        }
+    }
+}

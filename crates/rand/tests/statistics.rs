@@ -1,0 +1,168 @@
+//! Statistical sanity checks for the in-tree generators.
+//!
+//! These are not rigorous randomness tests (xoshiro256++ has those in its
+//! published analysis); they guard against *implementation* bugs — a biased
+//! range reduction, a miswired probability comparison, an off-by-one in
+//! sampling without replacement — with fixed seeds so they never flake.
+
+use rand::rngs::{SmallRng, SplitMix64};
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+
+/// Chi-squared statistic of `draws` uniform draws over `buckets` buckets.
+fn chi_squared(rng: &mut SmallRng, buckets: u64, draws: u64) -> f64 {
+    let mut counts = vec![0u64; buckets as usize];
+    for _ in 0..draws {
+        counts[rng.random_range(0..buckets) as usize] += 1;
+    }
+    let expected = draws as f64 / buckets as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[test]
+fn random_range_is_uniform_chi_squared() {
+    // 64 buckets → 63 degrees of freedom. The p = 0.001 critical value is
+    // ≈ 103.4; a correct generator with these fixed seeds sits far below,
+    // while a modulo-bias or shifted-range bug blows the statistic up by
+    // orders of magnitude.
+    for seed in [11u64, 222, 3333] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let stat = chi_squared(&mut rng, 64, 64_000);
+        assert!(
+            stat < 110.0,
+            "chi-squared {stat:.1} too large for seed {seed} (expect < 110)"
+        );
+    }
+}
+
+#[test]
+fn random_range_covers_non_power_of_two_spans() {
+    // Spans that are not powers of two are exactly where naive `% span`
+    // reductions show bias; verify every value is reachable and the counts
+    // are balanced.
+    let mut rng = SmallRng::seed_from_u64(17);
+    let span = 10u64;
+    let draws = 50_000u64;
+    let mut counts = [0u64; 10];
+    for _ in 0..draws {
+        counts[rng.random_range(100..100 + span) as usize - 100] += 1;
+    }
+    let expected = draws as f64 / span as f64;
+    for (v, &c) in counts.iter().enumerate() {
+        let rel = (c as f64 - expected).abs() / expected;
+        assert!(
+            rel < 0.05,
+            "value {v} count {c} deviates {rel:.3} from uniform"
+        );
+    }
+}
+
+#[test]
+fn random_bool_mean_matches_probability() {
+    let n = 40_000u64;
+    for (seed, p) in [(21u64, 0.1f64), (22, 0.5), (23, 0.9), (24, 0.01)] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let hits = (0..n).filter(|_| rng.random_bool(p)).count() as f64;
+        let mean = hits / n as f64;
+        // 5 standard errors of a Bernoulli(p) mean — effectively never
+        // trips on a correct implementation, always trips on p misuse.
+        let tol = 5.0 * (p * (1.0 - p) / n as f64).sqrt();
+        assert!(
+            (mean - p).abs() <= tol,
+            "random_bool({p}): observed mean {mean:.4}, tolerance {tol:.4}"
+        );
+    }
+}
+
+#[test]
+fn f64_range_mean_is_centered() {
+    let mut rng = SmallRng::seed_from_u64(31);
+    let n = 50_000;
+    let sum: f64 = (0..n).map(|_| rng.random_range(-3.0..5.0f64)).sum();
+    let mean = sum / n as f64;
+    // Uniform on [-3, 5): mean 1, sd 8/sqrt(12); 5 standard errors.
+    let tol = 5.0 * (8.0 / 12.0f64.sqrt()) / (n as f64).sqrt();
+    assert!((mean - 1.0).abs() < tol, "mean {mean:.4} off-center");
+}
+
+#[test]
+fn sample_without_replacement_is_correct_and_uniform() {
+    let mut rng = SmallRng::seed_from_u64(41);
+
+    // Correctness: distinct, in range, right count — including the full
+    // permutation edge case.
+    for (len, amount) in [(10usize, 3usize), (10, 10), (1, 1), (100, 99)] {
+        let picked = sample(&mut rng, len, amount).into_vec();
+        assert_eq!(picked.len(), amount);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            amount,
+            "duplicates in sample({len}, {amount})"
+        );
+        assert!(picked.iter().all(|&i| i < len));
+    }
+
+    // Uniformity: each index appears in a 2-of-8 sample with probability
+    // 1/4; check the per-index inclusion frequency.
+    let trials = 20_000u64;
+    let mut hits = [0u64; 8];
+    for _ in 0..trials {
+        for i in sample(&mut rng, 8, 2).into_vec() {
+            hits[i] += 1;
+        }
+    }
+    let expected = trials as f64 * 2.0 / 8.0;
+    for (i, &h) in hits.iter().enumerate() {
+        let rel = (h as f64 - expected).abs() / expected;
+        assert!(rel < 0.06, "index {i} inclusion rate deviates {rel:.3}");
+    }
+}
+
+#[test]
+fn identical_seeds_give_identical_streams() {
+    let mut a = SmallRng::seed_from_u64(0xDEAD_BEEF);
+    let mut b = SmallRng::seed_from_u64(0xDEAD_BEEF);
+    for _ in 0..256 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+    let mut a = SplitMix64::new(99);
+    let mut b = SplitMix64::new(99);
+    for _ in 0..256 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
+
+#[test]
+fn nearby_seeds_decorrelate() {
+    // SplitMix64 expansion must keep adjacent u64 seeds from producing
+    // correlated xoshiro states.
+    let mut a = SmallRng::seed_from_u64(1000);
+    let mut b = SmallRng::seed_from_u64(1001);
+    let matches = (0..1024).filter(|_| a.next_u64() == b.next_u64()).count();
+    assert_eq!(matches, 0, "adjacent seeds produced colliding outputs");
+}
+
+#[test]
+fn fill_bytes_bits_are_balanced() {
+    let mut rng = SmallRng::seed_from_u64(51);
+    let mut buf = vec![0u8; 8192];
+    rng.fill_bytes(&mut buf);
+    let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+    let total = (buf.len() * 8) as f64;
+    let frac = ones as f64 / total;
+    // 5 standard errors of a fair-coin bit fraction.
+    let tol = 5.0 * 0.5 / total.sqrt();
+    assert!(
+        (frac - 0.5).abs() < tol,
+        "bit fraction {frac:.4} unbalanced"
+    );
+}

@@ -135,7 +135,11 @@ impl SimConfig {
         let tenth = n / 10;
         SimConfig {
             malicious: tenth,
-            attack: Some(AttackConfig { attacked: tenth, x_per_round: x, rotate_every: None }),
+            attack: Some(AttackConfig {
+                attacked: tenth,
+                x_per_round: x,
+                rotate_every: None,
+            }),
             ..Self::baseline(protocol, n)
         }
     }
@@ -146,7 +150,11 @@ impl SimConfig {
         let attacked = ((n as f64 * alpha).round() as usize).max(1);
         SimConfig {
             malicious: n / 10,
-            attack: Some(AttackConfig { attacked, x_per_round: x, rotate_every: None }),
+            attack: Some(AttackConfig {
+                attacked,
+                x_per_round: x,
+                rotate_every: None,
+            }),
             ..Self::baseline(protocol, n)
         }
     }
@@ -227,7 +235,10 @@ impl SimConfig {
         if self.n < 2 || self.malicious + self.crashed >= self.n {
             return Err(SimConfigError::BadPopulation);
         }
-        if !(0.0..1.0).contains(&self.loss) || !(0.0..=1.0).contains(&self.threshold) || self.threshold == 0.0 {
+        if !(0.0..1.0).contains(&self.loss)
+            || !(0.0..=1.0).contains(&self.threshold)
+            || self.threshold == 0.0
+        {
             return Err(SimConfigError::BadProbability);
         }
         if self.fan_out == 0
@@ -253,7 +264,11 @@ mod tests {
 
     #[test]
     fn baseline_is_valid() {
-        for p in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+        for p in [
+            ProtocolVariant::Drum,
+            ProtocolVariant::Push,
+            ProtocolVariant::Pull,
+        ] {
             SimConfig::baseline(p, 120).validate().unwrap();
         }
     }
@@ -323,11 +338,19 @@ mod tests {
         assert_eq!(cfg.validate(), Err(SimConfigError::BadPopulation));
 
         let mut cfg = SimConfig::baseline(ProtocolVariant::Drum, 120);
-        cfg.attack = Some(AttackConfig { attacked: 0, x_per_round: 10.0, rotate_every: None });
+        cfg.attack = Some(AttackConfig {
+            attacked: 0,
+            x_per_round: 10.0,
+            rotate_every: None,
+        });
         assert_eq!(cfg.validate(), Err(SimConfigError::EmptyAttack));
 
         let mut cfg = SimConfig::baseline(ProtocolVariant::Drum, 120);
-        cfg.attack = Some(AttackConfig { attacked: 500, x_per_round: 10.0, rotate_every: None });
+        cfg.attack = Some(AttackConfig {
+            attacked: 500,
+            x_per_round: 10.0,
+            rotate_every: None,
+        });
         assert_eq!(cfg.validate(), Err(SimConfigError::BadPopulation));
     }
 

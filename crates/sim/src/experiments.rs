@@ -83,7 +83,13 @@ pub fn fig3a_attack_strength(n: usize, xs: &[f64], trials: usize, seed: u64) -> 
 }
 
 /// Figure 3(b) / Figure 9(b): fixed `x`, increasing attacked fraction α.
-pub fn fig3b_attack_extent(n: usize, x: f64, alphas: &[f64], trials: usize, seed: u64) -> Vec<SweepRow> {
+pub fn fig3b_attack_extent(
+    n: usize,
+    x: f64,
+    alphas: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<SweepRow> {
     alphas
         .iter()
         .map(|&alpha| SweepRow {
@@ -204,8 +210,14 @@ mod tests {
         let push_growth = rows[1].results[1].mean_rounds() - rows[0].results[1].mean_rounds();
         let pull_growth = rows[1].results[2].mean_rounds() - rows[0].results[2].mean_rounds();
         assert!(drum_growth < 3.0, "drum grew by {drum_growth}");
-        assert!(push_growth > drum_growth, "push {push_growth} vs drum {drum_growth}");
-        assert!(pull_growth > drum_growth, "pull {pull_growth} vs drum {drum_growth}");
+        assert!(
+            push_growth > drum_growth,
+            "push {push_growth} vs drum {drum_growth}"
+        );
+        assert!(
+            pull_growth > drum_growth,
+            "pull {pull_growth} vs drum {drum_growth}"
+        );
     }
 
     #[test]

@@ -50,34 +50,38 @@ mod proptests {
     use crate::config::SimConfig;
     use crate::model::SimState;
     use drum_core::ProtocolVariant;
-    use proptest::prelude::*;
+    use drum_testkit::prop::{check, Config, Gen};
+    use drum_testkit::{prop_assert, prop_assert_eq};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    fn arb_protocol() -> impl Strategy<Value = ProtocolVariant> {
-        prop_oneof![
-            Just(ProtocolVariant::Drum),
-            Just(ProtocolVariant::Push),
-            Just(ProtocolVariant::Pull),
-        ]
+    fn arb_protocol(g: &mut Gen) -> ProtocolVariant {
+        match g.u64_in(0..3) {
+            0 => ProtocolVariant::Drum,
+            1 => ProtocolVariant::Push,
+            _ => ProtocolVariant::Pull,
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn simulation_invariants() {
+        check("simulation_invariants", Config::with_cases(24), |g| {
+            let proto = arb_protocol(g);
+            let n = g.usize_in(20..80);
+            let x = g.f64_in(0.0..200.0);
+            let seed = g.u64_in(0..1000);
+            let random_ports = g.bool(0.5);
 
-        #[test]
-        fn simulation_invariants(proto in arb_protocol(),
-                                 n in 20usize..80,
-                                 x in 0.0f64..200.0,
-                                 seed in 0u64..1000,
-                                 random_ports in any::<bool>()) {
             let mut cfg = if x > 0.0 {
                 SimConfig::paper_attack(proto, n, x)
             } else {
                 SimConfig::baseline(proto, n)
             };
             cfg.random_ports = random_ports;
-            prop_assume!(cfg.validate().is_ok());
+            if cfg.validate().is_err() {
+                // proptest's `prop_assume!`: discard invalid configurations.
+                return Ok(());
+            }
 
             let mut rng = SmallRng::seed_from_u64(seed);
             let mut state = SimState::new(cfg.clone());
@@ -92,10 +96,15 @@ mod proptests {
                 prop_assert_eq!(now, state.attacked_with_m() + state.unattacked_with_m());
                 prev = now;
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn source_always_retains_m(proto in arb_protocol(), seed in 0u64..100) {
+    #[test]
+    fn source_always_retains_m() {
+        check("source_always_retains_m", Config::with_cases(24), |g| {
+            let proto = arb_protocol(g);
+            let seed = g.u64_in(0..100);
             let cfg = SimConfig::paper_attack(proto, 40, 64.0);
             let mut rng = SmallRng::seed_from_u64(seed);
             let mut state = SimState::new(cfg);
@@ -103,6 +112,7 @@ mod proptests {
                 state.step(&mut rng);
                 prop_assert!(state.has_m(0));
             }
-        }
+            Ok(())
+        });
     }
 }

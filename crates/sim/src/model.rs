@@ -21,7 +21,9 @@
 use rand::rngs::SmallRng;
 
 use crate::config::{Role, SimConfig};
-use crate::sampling::{accepted_valid, any_interesting, binomial, randomized_round, sample_targets};
+use crate::sampling::{
+    accepted_valid, any_interesting, binomial, randomized_round, sample_targets,
+};
 
 /// Mutable state of one simulated trial.
 #[derive(Debug)]
@@ -340,9 +342,17 @@ mod tests {
 
     #[test]
     fn all_protocols_disseminate_without_failures() {
-        for p in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+        for p in [
+            ProtocolVariant::Drum,
+            ProtocolVariant::Push,
+            ProtocolVariant::Pull,
+        ] {
             let (state, rounds) = run(SimConfig::baseline(p, 120), 7, 100);
-            assert!(state.fraction_with_m() >= 0.99, "{p} stuck at {}", state.fraction_with_m());
+            assert!(
+                state.fraction_with_m() >= 0.99,
+                "{p} stuck at {}",
+                state.fraction_with_m()
+            );
             assert!(rounds <= 20, "{p} took {rounds} rounds");
         }
     }
@@ -368,7 +378,11 @@ mod tests {
         let mut cfg = SimConfig::baseline(ProtocolVariant::Drum, 200);
         cfg.crashed = 80;
         let (state, rounds) = run(cfg, 3, 200);
-        assert!(state.fraction_with_m() >= 0.99, "stuck at {}", state.fraction_with_m());
+        assert!(
+            state.fraction_with_m() >= 0.99,
+            "stuck at {}",
+            state.fraction_with_m()
+        );
         assert!(rounds < 40);
     }
 
@@ -421,7 +435,10 @@ mod tests {
                 slow_exits += 1;
             }
         }
-        assert!(slow_exits >= 3, "expected several slow source exits, got {slow_exits}");
+        assert!(
+            slow_exits >= 3,
+            "expected several slow source exits, got {slow_exits}"
+        );
     }
 
     #[test]

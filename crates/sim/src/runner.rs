@@ -2,10 +2,9 @@
 //!
 //! Each data point in the paper's simulation figures averages 1000
 //! independent runs. [`run_experiment`] executes trials in parallel
-//! (crossbeam scoped threads) with per-trial deterministic seeds, so every
+//! (`std::thread::scope`) with per-trial deterministic seeds, so every
 //! figure is exactly reproducible from `(config, base_seed, trials)`.
 
-use crossbeam::thread;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -62,7 +61,9 @@ pub fn run_trial(cfg: &SimConfig, seed: u64, cdf_rounds: usize) -> TrialOutcome 
         state.step(&mut rng);
         let with_m = state.correct_with_m();
         if (round as usize) <= cdf_rounds {
-            outcome.fraction_per_round.push(with_m as f64 / n_correct as f64);
+            outcome
+                .fraction_per_round
+                .push(with_m as f64 / n_correct as f64);
         }
         if outcome.rounds_to_threshold.is_none() && with_m >= need_total {
             outcome.rounds_to_threshold = Some(round);
@@ -84,11 +85,15 @@ pub fn run_trial(cfg: &SimConfig, seed: u64, cdf_rounds: usize) -> TrialOutcome 
 
     // Pad the CDF tail with the final value so ragged trials average
     // correctly.
-    let last = outcome.fraction_per_round.last().copied().unwrap_or(
-        state.correct_with_m() as f64 / n_correct as f64,
-    );
+    let last = outcome
+        .fraction_per_round
+        .last()
+        .copied()
+        .unwrap_or(state.correct_with_m() as f64 / n_correct as f64);
     while outcome.fraction_per_round.len() < cdf_rounds {
-        outcome.fraction_per_round.push(last.max(state.fraction_with_m()));
+        outcome
+            .fraction_per_round
+            .push(last.max(state.fraction_with_m()));
     }
 
     outcome
@@ -147,7 +152,7 @@ pub fn run_experiment(
         .min(trials);
 
     let chunk = trials.div_ceil(workers);
-    let partials: Vec<Partial> = thread::scope(|scope| {
+    let partials: Vec<Partial> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..workers {
             let lo = w * chunk;
@@ -156,7 +161,7 @@ pub fn run_experiment(
                 break;
             }
             let cfg = cfg.clone();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut part = Partial::new(cdf_rounds);
                 for i in lo..hi {
                     let outcome = run_trial(&cfg, base_seed + i as u64, cdf_rounds);
@@ -165,9 +170,11 @@ pub fn run_experiment(
                 part
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut total = Partial::new(cdf_rounds);
     for p in &partials {
@@ -225,7 +232,11 @@ impl Partial {
                 self.rounds_unattacked.push(r as f64);
             }
         }
-        for (sum, f) in self.fraction_sums.iter_mut().zip(&outcome.fraction_per_round) {
+        for (sum, f) in self
+            .fraction_sums
+            .iter_mut()
+            .zip(&outcome.fraction_per_round)
+        {
             *sum += f;
         }
     }

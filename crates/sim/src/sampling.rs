@@ -130,7 +130,9 @@ mod tests {
         // E[accepted] = f_in * v/(v+f) when v+f >= f_in.
         let mut r = rng();
         let (v, f, f_in, trials) = (6usize, 18usize, 4usize, 200_000);
-        let total: usize = (0..trials).map(|_| accepted_valid(v, f, f_in, &mut r)).sum();
+        let total: usize = (0..trials)
+            .map(|_| accepted_valid(v, f, f_in, &mut r))
+            .sum();
         let mean = total as f64 / trials as f64;
         let expect = f_in as f64 * v as f64 / (v + f) as f64;
         assert!((mean - expect).abs() < 0.02, "mean {mean} vs {expect}");
@@ -154,7 +156,9 @@ mod tests {
         // with=2, without=4, draws=3: miss = C(4,3)/C(6,3) = 4/20 = 0.2.
         let mut r = rng();
         let trials = 100_000;
-        let hits = (0..trials).filter(|_| any_interesting(2, 4, 3, &mut r)).count();
+        let hits = (0..trials)
+            .filter(|_| any_interesting(2, 4, 3, &mut r))
+            .count();
         let p = hits as f64 / trials as f64;
         assert!((p - 0.8).abs() < 0.01, "p = {p}");
     }

@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use drum_testkit::{NetworkConfig, VirtualNetwork};
-//! use bytes::Bytes;
+//! use drum_core::bytes::Bytes;
 //!
 //! let mut net = VirtualNetwork::new(NetworkConfig::drum(8), 42);
 //! let id = net.publish(0, Bytes::from_static(b"hello"));
@@ -31,9 +31,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod prop;
+
 use std::collections::HashMap;
 
-use bytes::Bytes;
+use drum_core::bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -64,7 +66,13 @@ pub struct NetworkConfig {
 impl NetworkConfig {
     /// A lossless, unattacked Drum network of `n` engines.
     pub fn drum(n: usize) -> Self {
-        NetworkConfig { n, gossip: GossipConfig::drum(), loss: 0.0, attack_x: 0.0, attacked: Vec::new() }
+        NetworkConfig {
+            n,
+            gossip: GossipConfig::drum(),
+            loss: 0.0,
+            attack_x: 0.0,
+            attacked: Vec::new(),
+        }
     }
 
     /// Replaces the gossip configuration.
@@ -119,7 +127,14 @@ impl PortOracle for OracleFor<'_> {
     fn allocate_port(&mut self, purpose: PortPurpose, round: Round) -> u16 {
         self.registry.next_port = self.registry.next_port.checked_add(1).unwrap_or(1);
         let port = self.registry.next_port;
-        self.registry.ports.insert(port, PortEntry { owner: self.owner, purpose, born: round });
+        self.registry.ports.insert(
+            port,
+            PortEntry {
+                owner: self.owner,
+                purpose,
+                born: round,
+            },
+        );
         port
     }
 }
@@ -264,7 +279,10 @@ impl VirtualNetwork {
         // Phase 1: round starts.
         let mut outbound: Vec<(usize, Outbound)> = Vec::new();
         for i in 0..n {
-            let mut oracle = OracleFor { registry: &mut self.registry, owner: i };
+            let mut oracle = OracleFor {
+                registry: &mut self.registry,
+                owner: i,
+            };
             for out in self.engines[i].begin_round(&mut oracle) {
                 outbound.push((i, out));
             }
@@ -299,7 +317,10 @@ impl VirtualNetwork {
         let mut cascade: Vec<(usize, Outbound)> = Vec::new();
         for (i, inbox) in well_known.iter_mut().enumerate() {
             shuffle(inbox, &mut self.rng);
-            let mut oracle = OracleFor { registry: &mut self.registry, owner: i };
+            let mut oracle = OracleFor {
+                registry: &mut self.registry,
+                owner: i,
+            };
             for msg in inbox.drain(..) {
                 for out in self.engines[i].handle(msg, &mut oracle) {
                     cascade.push((i, out));
@@ -321,7 +342,10 @@ impl VirtualNetwork {
 
             cascade = Vec::new();
             for (i, inbox) in random_port.iter_mut().enumerate() {
-                let mut oracle = OracleFor { registry: &mut self.registry, owner: i };
+                let mut oracle = OracleFor {
+                    registry: &mut self.registry,
+                    owner: i,
+                };
                 for (purpose, msg) in inbox.drain(..) {
                     let matches = matches!(
                         (purpose, msg.kind()),
@@ -364,7 +388,12 @@ impl VirtualNetwork {
 
     /// Runs until `id` reaches `fraction` of the engines or `max_rounds`
     /// elapse; returns the round count at which the threshold was met.
-    pub fn run_until_spread(&mut self, id: MessageId, fraction: f64, max_rounds: u32) -> Option<u32> {
+    pub fn run_until_spread(
+        &mut self,
+        id: MessageId,
+        fraction: f64,
+        max_rounds: u32,
+    ) -> Option<u32> {
         let need = (fraction * self.engines.len() as f64).ceil() as usize;
         for r in 1..=max_rounds {
             self.run_round();
@@ -432,7 +461,6 @@ fn randomized_round(rate: f64, rng: &mut SmallRng) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drum_core::config::ProtocolVariant;
 
     #[test]
     fn dissemination_without_failures() {
@@ -455,7 +483,8 @@ mod tests {
     #[test]
     fn push_and_pull_variants_work() {
         for gossip in [GossipConfig::push(), GossipConfig::pull()] {
-            let mut net = VirtualNetwork::new(NetworkConfig::drum(10).with_gossip(gossip.clone()), 3);
+            let mut net =
+                VirtualNetwork::new(NetworkConfig::drum(10).with_gossip(gossip.clone()), 3);
             let id = net.publish(0, Bytes::from_static(b"m"));
             assert!(
                 net.run_until_spread(id, 1.0, 80).is_some(),
@@ -483,14 +512,20 @@ mod tests {
         }
         let id = net.publish(0, Bytes::from_static(b"m"));
         net.run_rounds(20);
-        assert!(!net.engine(3).buffer().seen(id), "partitioned engine must not receive");
+        assert!(
+            !net.engine(3).buffer().seen(id),
+            "partitioned engine must not receive"
+        );
         assert_eq!(net.holders(id), 5);
 
         for other in [0, 1, 2, 4, 5] {
             net.heal(3, other);
         }
         net.run_rounds(10);
-        assert!(net.engine(3).buffer().seen(id), "healed engine must catch up");
+        assert!(
+            net.engine(3).buffer().seen(id),
+            "healed engine must catch up"
+        );
     }
 
     #[test]
@@ -499,7 +534,10 @@ mod tests {
         net.publish(0, Bytes::from_static(b"payload-x"));
         net.run_rounds(10);
         for i in 1..4 {
-            assert_eq!(net.delivered_payloads(i), &[Bytes::from_static(b"payload-x")]);
+            assert_eq!(
+                net.delivered_payloads(i),
+                &[Bytes::from_static(b"payload-x")]
+            );
             assert_eq!(net.delivered_ids(i).len(), 1);
         }
         // The source does not deliver its own message.
@@ -553,7 +591,10 @@ mod tests {
             Outbound {
                 to: ProcessId(1),
                 port: SendPort::Port(stale_port),
-                msg: GossipMessage::PullReply { from: ProcessId(0), messages: vec![] },
+                msg: GossipMessage::PullReply {
+                    from: ProcessId(0),
+                    messages: vec![],
+                },
             },
         )];
         let n = net.engines.len();

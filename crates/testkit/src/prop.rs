@@ -1,0 +1,448 @@
+//! A compact property-based testing harness with shrinking.
+//!
+//! Replaces the crates.io `proptest` dev-dependency so the workspace tests
+//! run hermetically offline. The design is tape-based ("internal
+//! shrinking", as in Hypothesis): a [`Gen`] hands the property random
+//! values while recording every raw 64-bit draw on a tape. When a property
+//! fails, the harness mutates the *tape* — zeroing, halving and
+//! decrementing entries, deleting blocks, truncating — and replays the
+//! property; any mutation that still fails becomes the new counterexample.
+//! Because every generator maps smaller draws to simpler values, tape
+//! minimization is test-case minimization, with no per-type shrinker code.
+//!
+//! Properties return `Result<(), String>`; the [`crate::prop_assert!`] and
+//! [`crate::prop_assert_eq!`] macros early-return an `Err` describing the
+//! failure. Panics inside properties are caught and treated as failures,
+//! so indexing slips shrink just like explicit assertions.
+//!
+//! # Examples
+//!
+//! ```
+//! use drum_testkit::prop::{check, Config, Gen};
+//! use drum_testkit::prop_assert;
+//!
+//! check("reversing twice is the identity", Config::default(), |g| {
+//!     let v = g.vec_with(0..50, |g| g.u64_in(0..1000));
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     prop_assert!(w == v, "double reverse changed {v:?}");
+//!     Ok(())
+//! });
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of random cases to run (proptest's `with_cases`).
+    pub cases: u32,
+    /// Upper bound on shrink candidate evaluations after a failure.
+    pub max_shrink_iters: u32,
+    /// Base seed; case `i` runs from `seed + i`, so runs are reproducible.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_shrink_iters: 4096,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+impl Config {
+    /// Overrides the number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// The value source handed to properties: draws from a PRNG while
+/// recording, or replays a (possibly mutated) tape while shrinking.
+pub struct Gen {
+    tape: Vec<u64>,
+    pos: usize,
+    rng: Option<SmallRng>,
+}
+
+impl Gen {
+    fn recording(seed: u64) -> Self {
+        Gen {
+            tape: Vec::new(),
+            pos: 0,
+            rng: Some(SmallRng::seed_from_u64(seed)),
+        }
+    }
+
+    fn replaying(tape: Vec<u64>) -> Self {
+        Gen {
+            tape,
+            pos: 0,
+            rng: None,
+        }
+    }
+
+    /// One raw 64-bit draw. Replaying past the end of a truncated tape
+    /// yields zeros — the "simplest" draw by construction.
+    fn draw(&mut self) -> u64 {
+        match &mut self.rng {
+            Some(rng) => {
+                let v = rng.next_u64();
+                self.tape.push(v);
+                self.pos += 1;
+                v
+            }
+            None => {
+                let v = self.tape.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                v
+            }
+        }
+    }
+
+    /// A `u64` in `[range.start, range.end)`. Smaller draws map to smaller
+    /// values, so shrinking drives results toward the range start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn u64_in(&mut self, range: core::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        range.start + self.draw() % span
+    }
+
+    /// A `usize` in `[range.start, range.end)`.
+    pub fn usize_in(&mut self, range: core::ops::Range<usize>) -> usize {
+        self.u64_in(range.start as u64..range.end as u64) as usize
+    }
+
+    /// A `u32` in `[range.start, range.end)`.
+    pub fn u32_in(&mut self, range: core::ops::Range<u32>) -> u32 {
+        self.u64_in(range.start as u64..range.end as u64) as u32
+    }
+
+    /// A `u64` covering the full 64-bit range.
+    pub fn u64(&mut self) -> u64 {
+        self.draw()
+    }
+
+    /// A `u16` covering the full 16-bit range.
+    pub fn u16(&mut self) -> u16 {
+        self.draw() as u16
+    }
+
+    /// A `u8` covering the full 8-bit range.
+    pub fn u8(&mut self) -> u8 {
+        self.draw() as u8
+    }
+
+    /// An `f64` in `[range.start, range.end)`; shrinks toward the start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn f64_in(&mut self, range: core::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        let unit = (self.draw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+
+    /// A boolean that is `true` with probability `p`; shrinks toward
+    /// `false`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        ((self.draw() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// An index into a collection of `len` elements (proptest's
+    /// `sample::Index`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.usize_in(0..len)
+    }
+
+    /// A vector with a length drawn from `len` and elements from `element`.
+    pub fn vec_with<T>(
+        &mut self,
+        len: core::ops::Range<usize>,
+        mut element: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| element(self)).collect()
+    }
+
+    /// A byte vector with length in `len`.
+    pub fn bytes(&mut self, len: core::ops::Range<usize>) -> Vec<u8> {
+        self.vec_with(len, Gen::u8)
+    }
+}
+
+fn run_once(
+    prop: &(impl Fn(&mut Gen) -> Result<(), String> + ?Sized),
+    gen: &mut Gen,
+) -> Result<(), String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| prop(gen)));
+    match outcome {
+        Ok(result) => result,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Shrink candidate tapes derived from `tape`, simplest-first.
+fn candidates(tape: &[u64]) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    // Aggressive truncation first: half, then drop tail entries.
+    if !tape.is_empty() {
+        out.push(tape[..tape.len() / 2].to_vec());
+        out.push(tape[..tape.len() - 1].to_vec());
+    }
+    // Delete interior blocks (removes whole generated elements).
+    for window in [8usize, 4, 2, 1] {
+        if tape.len() > window {
+            let mut i = 0;
+            while i + window <= tape.len() {
+                let mut t = tape.to_vec();
+                t.drain(i..i + window);
+                out.push(t);
+                i += window.max(tape.len() / 8);
+            }
+        }
+    }
+    // Point mutations: zero, halve, decrement.
+    for (i, &v) in tape.iter().enumerate() {
+        if v == 0 {
+            continue;
+        }
+        let mut zeroed = tape.to_vec();
+        zeroed[i] = 0;
+        out.push(zeroed);
+        if v > 1 {
+            let mut halved = tape.to_vec();
+            halved[i] = v / 2;
+            out.push(halved);
+            let mut dec = tape.to_vec();
+            dec[i] = v - 1;
+            out.push(dec);
+        }
+    }
+    out
+}
+
+fn shrink(
+    prop: &(impl Fn(&mut Gen) -> Result<(), String> + ?Sized),
+    mut tape: Vec<u64>,
+    mut error: String,
+    budget: u32,
+) -> (Vec<u64>, String) {
+    let mut spent = 0u32;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&tape) {
+            spent += 1;
+            if spent > budget {
+                return (tape, error);
+            }
+            if cand == tape {
+                continue;
+            }
+            let mut gen = Gen::replaying(cand.clone());
+            if let Err(e) = run_once(prop, &mut gen) {
+                tape = cand;
+                error = e;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (tape, error);
+        }
+    }
+}
+
+/// Runs `prop` against `cfg.cases` random inputs; on failure, shrinks the
+/// counterexample and panics with a reproducible report.
+///
+/// # Panics
+///
+/// Panics if any case fails (this is the test failure).
+pub fn check(name: &str, cfg: Config, prop: impl Fn(&mut Gen) -> Result<(), String>) {
+    for case in 0..cfg.cases {
+        let seed = cfg.seed.wrapping_add(case as u64);
+        let mut gen = Gen::recording(seed);
+        if let Err(error) = run_once(&prop, &mut gen) {
+            let tape = std::mem::take(&mut gen.tape);
+            let (min_tape, min_error) = shrink(&prop, tape, error, cfg.max_shrink_iters);
+            panic!(
+                "property '{name}' failed (case {case}, seed {seed:#x})\n\
+                 minimal failure: {min_error}\n\
+                 minimized tape ({} draws): {:?}",
+                min_tape.len(),
+                &min_tape[..min_tape.len().min(64)],
+            );
+        }
+    }
+}
+
+/// Asserts a condition inside a property, early-returning an `Err` with the
+/// failing expression (and optional formatted context) instead of
+/// panicking, so the harness can shrink the input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                format_args!($($fmt)+),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property; see [`crate::prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property; see [`crate::prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check("addition commutes", Config::default(), |g| {
+            let a = g.u64_in(0..1_000_000);
+            let b = g.u64_in(0..1_000_000);
+            crate::prop_assert!(a + b == b + a);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        let caught = std::panic::catch_unwind(|| {
+            check("all values below 500", Config::default(), |g| {
+                let v = g.u64_in(0..1000);
+                crate::prop_assert!(v < 500, "value {v} too large");
+                Ok(())
+            });
+        });
+        let msg = *caught.expect_err("must fail").downcast::<String>().unwrap();
+        // The minimal counterexample for `v < 500` over 0..1000 is exactly
+        // 500; the point-mutation shrinker must find it.
+        assert!(msg.contains("value 500 too large"), "got: {msg}");
+    }
+
+    #[test]
+    fn panics_are_caught_and_shrunk() {
+        let caught = std::panic::catch_unwind(|| {
+            check("indexing", Config::default(), |g| {
+                let v = g.vec_with(0..10, |g| g.u64_in(0..5));
+                let i = g.usize_in(0..20);
+                let _ = v[i]; // out of bounds for most draws
+                Ok(())
+            });
+        });
+        let msg = *caught.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("panicked"), "got: {msg}");
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let collect = || {
+            let seen = std::cell::RefCell::new(Vec::new());
+            check(
+                "record",
+                Config {
+                    cases: 5,
+                    ..Config::default()
+                },
+                |g| {
+                    seen.borrow_mut().push(g.u64_in(0..u64::MAX));
+                    Ok(())
+                },
+            );
+            seen.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn generators_cover_ranges() {
+        check("generator bounds", Config::default(), |g| {
+            let x = g.f64_in(-3.0..3.0);
+            crate::prop_assert!((-3.0..3.0).contains(&x));
+            let v = g.bytes(1..9);
+            crate::prop_assert!((1..9).contains(&v.len()));
+            let i = g.index(v.len());
+            crate::prop_assert!(i < v.len());
+            let _ = (g.u16(), g.u8(), g.u32_in(0..7), g.bool(0.5));
+            Ok(())
+        });
+    }
+}

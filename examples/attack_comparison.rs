@@ -34,7 +34,11 @@ fn main() {
 
     for &x in &xs {
         let mut row = vec![format!("{x:.0}")];
-        for proto in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+        for proto in [
+            ProtocolVariant::Drum,
+            ProtocolVariant::Push,
+            ProtocolVariant::Pull,
+        ] {
             let cfg = if x == 0.0 {
                 let mut c = SimConfig::baseline(proto, n);
                 c.malicious = n / 10;

@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db.apply(&MembershipEvent::decode(&wire)?, now)?;
     }
     println!("  members: {:?}", dbs[0].member_ids());
-    println!("  gossip view of p0: {} partners", dbs[0].gossip_view().len());
+    println!(
+        "  gossip view of p0: {} partners",
+        dbs[0].gossip_view().len()
+    );
 
     // p1 turns out to be malicious; the CA expels it.
     now += 10;
@@ -86,13 +89,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert!(fd.is_suspected(ProcessId(2)));
     dbs[0].suspect(ProcessId(2));
-    println!("  p0 gossip view: {} partners (p2 excluded locally)", dbs[0].gossip_view().len());
-    println!("  p2 still a member everywhere: {}", dbs.iter().all(|db| db.contains(ProcessId(2))));
+    println!(
+        "  p0 gossip view: {} partners (p2 excluded locally)",
+        dbs[0].gossip_view().len()
+    );
+    println!(
+        "  p2 still a member everywhere: {}",
+        dbs.iter().all(|db| db.contains(ProcessId(2)))
+    );
 
     // ...and it comes back.
     fd.heard_from(ProcessId(2));
     dbs[0].unsuspect(ProcessId(2));
-    println!("  p2 responded again; p0 gossip view: {} partners", dbs[0].gossip_view().len());
+    println!(
+        "  p2 responded again; p0 gossip view: {} partners",
+        dbs[0].gossip_view().len()
+    );
 
     println!("\ndone: views stayed consistent through churn, expulsion and forgery.");
     Ok(())

@@ -51,7 +51,11 @@ fn main() -> std::io::Result<()> {
     println!("\nprocess  received  mean latency");
     println!("-------------------------------");
     for i in 1..correct {
-        let mean = if received[i] > 0 { latency_sum_ms[i] / received[i] as f64 } else { f64::NAN };
+        let mean = if received[i] > 0 {
+            latency_sum_ms[i] / received[i] as f64
+        } else {
+            f64::NAN
+        };
         println!("p{i:<7} {:>8}  {mean:>9.1} ms", received[i]);
     }
 
@@ -59,6 +63,9 @@ fn main() -> std::io::Result<()> {
     let rounds: u64 = stats.iter().map(|s| s.rounds).sum();
     println!("\ntotal rounds executed across the group: {rounds}");
     let delivered: u64 = received[1..].iter().sum();
-    println!("total deliveries: {delivered} / {}", total * (correct as u64 - 1));
+    println!(
+        "total deliveries: {delivered} / {}",
+        total * (correct as u64 - 1)
+    );
     Ok(())
 }

@@ -40,7 +40,10 @@ fn main() -> std::io::Result<()> {
             "  mean received throughput: {:>6.1} msg/s (sent at {rate} msg/s)",
             report.mean_throughput()
         );
-        println!("  mean latency:             {:>6.1} ms", report.mean_latency_ms());
+        println!(
+            "  mean latency:             {:>6.1} ms",
+            report.mean_latency_ms()
+        );
         let attacked_lat = report.mean_latency_attacked_ms();
         if attacked_lat > 0.0 {
             println!("  mean latency (attacked):  {attacked_lat:>6.1} ms");

@@ -8,9 +8,9 @@
 //! cargo run --release -p drum --example virtual_group
 //! ```
 
-use bytes::Bytes;
 use drum::core::config::GossipConfig;
 use drum::testkit::{NetworkConfig, VirtualNetwork};
+use drum_core::bytes::Bytes;
 
 fn main() {
     // 1. Plain dissemination.
@@ -31,14 +31,20 @@ fn main() {
     }
     let id = net.publish(0, Bytes::from_static(b"survivor"));
     net.run_rounds(12);
-    println!("   while partitioned: {}/10 engines have the message", net.holders(id));
+    println!(
+        "   while partitioned: {}/10 engines have the message",
+        net.holders(id)
+    );
     for other in 0..10 {
         if other != 5 {
             net.heal(5, other);
         }
     }
     net.run_rounds(6);
-    println!("   after healing:     {}/10 engines have the message\n", net.holders(id));
+    println!(
+        "   after healing:     {}/10 engines have the message\n",
+        net.holders(id)
+    );
 
     // 3. The headline result with the REAL handshake: attack 10% hard.
     println!("3) targeted attack (3 of 30 engines flooded), real push-offer handshake:");
@@ -53,7 +59,10 @@ fn main() {
             let id = net.publish(0, Bytes::from_static(b"m"));
             total += net.run_until_spread(id, 0.99, 300).unwrap_or(300);
         }
-        println!("   Drum, {label}: {:.1} rounds to 99%", total as f64 / trials as f64);
+        println!(
+            "   Drum, {label}: {:.1} rounds to 99%",
+            total as f64 / trials as f64
+        );
     }
     println!("   (flat in x — the full handshake preserves the paper's result)");
 }

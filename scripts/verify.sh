@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Hermetic verification: the workspace must build, test and stay formatted
+# with no network access and no crates.io dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo build --offline --benches --features criterion"
+cargo build --offline --benches --features criterion
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> verify: all green"

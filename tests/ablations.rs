@@ -55,9 +55,8 @@ fn fig12b_shared_bounds_starve_control_channels() {
     // Unit-level reproduction of the §9 mechanism: under SharedControl,
     // fabricated pull-requests exhaust the joint budget and push-offers
     // get dropped; under Separate they never can.
-    let mut shared = RoundBudget::for_config(
-        &GossipConfig::drum().with_bound_mode(BoundMode::SharedControl),
-    );
+    let mut shared =
+        RoundBudget::for_config(&GossipConfig::drum().with_bound_mode(BoundMode::SharedControl));
     let mut separate = RoundBudget::for_config(&GossipConfig::drum());
 
     // The flood: 100 fabricated pull-requests arrive first.
@@ -127,8 +126,16 @@ fn fig12b_engine_level_shared_bounds_drop_offers_under_flood() {
         responses.len()
     };
 
-    assert_eq!(run(BoundMode::Separate), 1, "separate bounds must answer the offer");
-    assert_eq!(run(BoundMode::SharedControl), 0, "shared bounds must be starved");
+    assert_eq!(
+        run(BoundMode::Separate),
+        1,
+        "separate bounds must answer the offer"
+    );
+    assert_eq!(
+        run(BoundMode::SharedControl),
+        0,
+        "shared bounds must be starved"
+    );
 }
 
 #[test]
@@ -151,8 +158,7 @@ fn fig12a_random_ports_ablation_on_real_udp() {
             17,
         );
         cfg.net.gossip = GossipConfig::drum().with_random_ports(random_ports);
-        let report =
-            throughput_experiment(cfg, 40, 80.0, 50, Duration::from_secs(3)).unwrap();
+        let report = throughput_experiment(cfg, 40, 80.0, 50, Duration::from_secs(3)).unwrap();
         // Total messages received by the attacked (non-source) receivers.
         report
             .receivers
@@ -198,6 +204,12 @@ fn strict_split_bounds_cost_a_little_without_attack() {
     };
     let drum = mean(ProtocolVariant::Drum);
     let push = mean(ProtocolVariant::Push);
-    assert!(drum >= push - 0.5, "drum {drum:.1} should not beat push {push:.1} here");
-    assert!(drum < push + 4.0, "the strict-bounds penalty should be small");
+    assert!(
+        drum >= push - 0.5,
+        "drum {drum:.1} should not beat push {push:.1} here"
+    );
+    assert!(
+        drum < push + 4.0,
+        "the strict-bounds penalty should be small"
+    );
 }

@@ -84,7 +84,11 @@ fn focused_attacks_hurt_push_and_pull_but_not_drum() {
         N,
         b,
         &[0.1, 0.9],
-        &[ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull],
+        &[
+            ProtocolVariant::Drum,
+            ProtocolVariant::Push,
+            ProtocolVariant::Pull,
+        ],
         TRIALS,
         SEED,
     );
@@ -119,14 +123,21 @@ fn no_attack_all_protocols_equal() {
     // Leftmost data point of Figure 3(a): without an attack the three
     // protocols perform virtually the same.
     let mut means = Vec::new();
-    for proto in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+    for proto in [
+        ProtocolVariant::Drum,
+        ProtocolVariant::Push,
+        ProtocolVariant::Pull,
+    ] {
         let mut cfg = SimConfig::baseline(proto, N);
         cfg.malicious = N / 10;
         means.push(run_experiment(&cfg, TRIALS, SEED, 0).mean_rounds());
     }
     let max = means.iter().fold(0.0f64, |a, &b| a.max(b));
     let min = means.iter().fold(f64::MAX, |a, &b| a.min(b));
-    assert!(max - min < 3.0, "protocols diverge without attack: {means:?}");
+    assert!(
+        max - min < 3.0,
+        "protocols diverge without attack: {means:?}"
+    );
 }
 
 #[test]

@@ -21,11 +21,17 @@ fn graceful_degradation_under_increasing_crashes() {
         cfg.crashed = (150.0 * crashed_frac) as usize;
         let res = run_experiment(&cfg, TRIALS, 21, 0);
         assert_eq!(res.failures, 0, "crashes must not prevent dissemination");
-        assert!(res.mean_rounds() >= prev_mean - 0.5, "no wild non-monotonicity");
+        assert!(
+            res.mean_rounds() >= prev_mean - 0.5,
+            "no wild non-monotonicity"
+        );
         prev_mean = res.mean_rounds();
     }
     // Even 40% crashed: still single-digit-ish rounds.
-    assert!(prev_mean < 20.0, "40% crashes should only slow things down: {prev_mean}");
+    assert!(
+        prev_mean < 20.0,
+        "40% crashes should only slow things down: {prev_mean}"
+    );
 }
 
 #[test]
@@ -102,7 +108,11 @@ fn udp_cluster_survives_garbage_floods() {
         reached = seen.iter().filter(|s| **s).count();
         std::thread::sleep(Duration::from_millis(10));
     }
-    assert_eq!(reached, cluster.handles().len(), "garbage flood broke dissemination");
+    assert_eq!(
+        reached,
+        cluster.handles().len(),
+        "garbage flood broke dissemination"
+    );
     cluster.shutdown();
 }
 
@@ -130,7 +140,11 @@ fn extreme_attack_rate_does_not_wedge_the_runtime() {
 #[test]
 fn tiny_groups_work() {
     // n = 2 is the degenerate edge: one partner only.
-    for proto in [ProtocolVariant::Drum, ProtocolVariant::Push, ProtocolVariant::Pull] {
+    for proto in [
+        ProtocolVariant::Drum,
+        ProtocolVariant::Push,
+        ProtocolVariant::Pull,
+    ] {
         let cfg = SimConfig::baseline(proto, 2);
         let res = run_experiment(&cfg, 20, 33, 0);
         assert_eq!(res.failures, 0, "{proto} failed on n=2");
@@ -143,5 +157,8 @@ fn attack_on_every_correct_process_still_converges_eventually() {
     let mut cfg = SimConfig::attack_alpha(ProtocolVariant::Drum, 60, 0.9, 16.0);
     cfg.max_rounds = 2000;
     let res = run_experiment(&cfg, TRIALS, 34, 0);
-    assert_eq!(res.failures, 0, "full-coverage attack must only slow Drum down");
+    assert_eq!(
+        res.failures, 0,
+        "full-coverage attack must only slow Drum down"
+    );
 }

@@ -2,7 +2,6 @@
 //! ordinary gossip payloads through real engines, databases converge, and
 //! the group's gossip views follow.
 
-use bytes::Bytes;
 use drum::core::config::GossipConfig;
 use drum::core::engine::{CountingPortOracle, Engine};
 use drum::core::ids::ProcessId;
@@ -11,6 +10,7 @@ use drum::crypto::keys::KeyStore;
 use drum::membership::ca::CertificateAuthority;
 use drum::membership::database::MembershipDb;
 use drum::membership::events::MembershipEvent;
+use drum_core::bytes::Bytes;
 
 /// An in-memory group of engines, each paired with a membership database.
 struct Group {
@@ -38,7 +38,11 @@ impl Group {
             ));
             dbs.push(db);
         }
-        Group { engines, dbs, oracle: CountingPortOracle::default() }
+        Group {
+            engines,
+            dbs,
+            oracle: CountingPortOracle::default(),
+        }
     }
 
     /// Originates a membership event at process `origin`: applied to its
@@ -99,7 +103,10 @@ fn join_event_gossips_to_every_member() {
     group.run_rounds(10, 2);
 
     for (i, db) in group.dbs.iter().enumerate() {
-        assert!(db.contains(ProcessId(100)), "p{i} never learned of the join");
+        assert!(
+            db.contains(ProcessId(100)),
+            "p{i} never learned of the join"
+        );
     }
 }
 
@@ -119,7 +126,10 @@ fn expel_event_removes_member_everywhere() {
     group.run_rounds(10, 3);
 
     for (i, db) in group.dbs.iter().enumerate() {
-        assert!(!db.contains(ProcessId(3)), "p{i} still lists the expelled member");
+        assert!(
+            !db.contains(ProcessId(3)),
+            "p{i} still lists the expelled member"
+        );
     }
 }
 
@@ -153,7 +163,10 @@ fn refresh_extends_membership_past_expiry() {
     for db in group.dbs.iter_mut() {
         db.expire(15_000);
         assert!(db.contains(ProcessId(2)), "renewal lost");
-        assert_eq!(db.certificate_of(ProcessId(2)).unwrap().serial, renewed.serial);
+        assert_eq!(
+            db.certificate_of(ProcessId(2)).unwrap().serial,
+            renewed.serial
+        );
     }
 }
 

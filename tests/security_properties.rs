@@ -2,7 +2,6 @@
 //! capabilities the paper's model grants — fabricating messages, snooping,
 //! replaying — must not buy anything beyond budgeted contention.
 
-use bytes::Bytes;
 use drum::core::config::GossipConfig;
 use drum::core::digest::Digest;
 use drum::core::engine::{CountingPortOracle, Engine};
@@ -12,6 +11,7 @@ use drum::core::view::Membership;
 use drum::crypto::auth::AuthTag;
 use drum::crypto::keys::{KeyStore, SecretKey};
 use drum::crypto::seal;
+use drum_core::bytes::Bytes;
 
 fn engine_pair() -> (Engine, Engine, KeyStore) {
     let store = KeyStore::new(2026);
@@ -58,10 +58,17 @@ fn forged_data_messages_never_deliver() {
         ),
     ] {
         a.handle(
-            GossipMessage::PushData { from: ProcessId(1), messages: vec![forged.clone()] },
+            GossipMessage::PushData {
+                from: ProcessId(1),
+                messages: vec![forged.clone()],
+            },
             &mut oracle,
         );
-        assert!(!a.buffer().seen(forged.id), "forged {} delivered!", forged.id);
+        assert!(
+            !a.buffer().seen(forged.id),
+            "forged {} delivered!",
+            forged.id
+        );
     }
     assert_eq!(a.stats().dropped_auth, 2);
     assert!(a.take_delivered().is_empty());
@@ -77,19 +84,28 @@ fn replayed_data_messages_deliver_once() {
     a.begin_round(&mut oracle);
     // First delivery.
     a.handle(
-        GossipMessage::PushData { from: ProcessId(1), messages: vec![replica.clone()] },
+        GossipMessage::PushData {
+            from: ProcessId(1),
+            messages: vec![replica.clone()],
+        },
         &mut oracle,
     );
     assert_eq!(a.take_delivered().len(), 1);
     // Replays (same round and after a round boundary) never re-deliver.
     a.handle(
-        GossipMessage::PushData { from: ProcessId(1), messages: vec![replica.clone()] },
+        GossipMessage::PushData {
+            from: ProcessId(1),
+            messages: vec![replica.clone()],
+        },
         &mut oracle,
     );
     a.end_round();
     a.begin_round(&mut oracle);
     a.handle(
-        GossipMessage::PushData { from: ProcessId(1), messages: vec![replica] },
+        GossipMessage::PushData {
+            from: ProcessId(1),
+            messages: vec![replica],
+        },
         &mut oracle,
     );
     assert!(a.take_delivered().is_empty(), "replay re-delivered");
@@ -105,8 +121,12 @@ fn sealed_ports_are_opaque_and_tamper_evident() {
     // the clear (checked over every message of the round).
     for out in &outs {
         let (PortRef::Sealed(sealed), _) = (match &out.msg {
-            GossipMessage::PullRequest { reply_port, nonce, .. }
-            | GossipMessage::PushOffer { reply_port, nonce, .. } => (reply_port.clone(), *nonce),
+            GossipMessage::PullRequest {
+                reply_port, nonce, ..
+            }
+            | GossipMessage::PushOffer {
+                reply_port, nonce, ..
+            } => (reply_port.clone(), *nonce),
             other => panic!("unexpected {other:?}"),
         }) else {
             panic!("port must be sealed");
@@ -144,7 +164,10 @@ fn spoofed_push_reply_cannot_extract_data() {
         nonce: 0,
     };
     let responses = a.handle(spoof, &mut oracle);
-    assert!(responses.is_empty(), "unsolicited push-reply must be ignored");
+    assert!(
+        responses.is_empty(),
+        "unsolicited push-reply must be ignored"
+    );
     assert_eq!(a.stats().dropped_unsolicited, 1);
 }
 
@@ -158,7 +181,11 @@ fn pull_request_with_corrupt_sealed_port_is_wasted() {
     a.publish(Bytes::from_static(b"m"));
     a.begin_round(&mut oracle);
 
-    let garbage = seal::SealedBox { nonce: 1, ciphertext: vec![1, 2], tag: [0u8; 32] };
+    let garbage = seal::SealedBox {
+        nonce: 1,
+        ciphertext: vec![1, 2],
+        tag: [0u8; 32],
+    };
     let req = GossipMessage::PullRequest {
         from: ProcessId(1),
         digest: Digest::new(),
@@ -166,7 +193,10 @@ fn pull_request_with_corrupt_sealed_port_is_wasted() {
         nonce: 1,
     };
     let responses = a.handle(req, &mut oracle);
-    assert!(responses.is_empty(), "garbage seal must not produce a reply");
+    assert!(
+        responses.is_empty(),
+        "garbage seal must not produce a reply"
+    );
 }
 
 #[test]
@@ -177,8 +207,8 @@ fn testkit_attacker_cannot_hit_random_ports() {
     use drum::testkit::{NetworkConfig, VirtualNetwork};
     let mut net = VirtualNetwork::new(NetworkConfig::drum(6).with_attack(vec![0], 512.0), 3);
     let id = net.publish(1, Bytes::from_static(b"m")); // non-attacked source
-    // Despite a huge flood on p0's well-known channels, the group (whose
-    // reply/data channels the attacker cannot see) disseminates fine.
+                                                       // Despite a huge flood on p0's well-known channels, the group (whose
+                                                       // reply/data channels the attacker cannot see) disseminates fine.
     let rounds = net.run_until_spread(id, 1.0, 60).expect("must spread");
     assert!(rounds < 30, "took {rounds} rounds");
 }

@@ -5,11 +5,11 @@
 //! offers; these tests confirm the conclusions carry over to the real
 //! protocol.
 
-use bytes::Bytes;
 use drum::core::config::{GossipConfig, ProtocolVariant};
 use drum::sim::config::SimConfig;
 use drum::sim::runner::run_experiment;
 use drum::testkit::{NetworkConfig, VirtualNetwork};
+use drum_core::bytes::Bytes;
 
 const TRIALS: u64 = 8;
 

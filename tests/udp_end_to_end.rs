@@ -3,11 +3,11 @@
 
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
 use drum::core::config::ProtocolVariant;
 use drum::net::experiment::{
     paper_cluster_config, propagation_experiment, throughput_experiment, Cluster,
 };
+use drum_core::bytes::Bytes;
 
 const ROUND: Duration = Duration::from_millis(40);
 
@@ -33,7 +33,10 @@ fn drum_full_dissemination_over_udp() {
     let cluster = Cluster::start(config).unwrap();
     cluster.publish_from_source(0, 50);
     let reached = wait_all_receive(&cluster, correct, Duration::from_secs(20));
-    assert_eq!(reached, correct, "only {reached}/{correct} processes received M");
+    assert_eq!(
+        reached, correct,
+        "only {reached}/{correct} processes received M"
+    );
     cluster.shutdown();
 }
 
@@ -68,7 +71,10 @@ fn pull_attack_on_source_delays_exit() {
         .map(|h| usize::from(!h.take_delivered().is_empty()))
         .sum();
     cluster.shutdown();
-    assert!(receivers <= 4, "pull escaped too easily: {receivers} receivers");
+    assert!(
+        receivers <= 4,
+        "pull escaped too easily: {receivers} receivers"
+    );
 }
 
 #[test]
@@ -93,14 +99,16 @@ fn multiple_sources_interleave() {
         std::thread::sleep(Duration::from_millis(10));
     }
     cluster.shutdown();
-    assert!(got_p0 && got_p1, "p2 missed a source: p0={got_p0} p1={got_p1}");
+    assert!(
+        got_p0 && got_p1,
+        "p2 missed a source: p0={got_p0} p1={got_p1}"
+    );
 }
 
 #[test]
 fn throughput_report_is_sane() {
     let config = paper_cluster_config(ProtocolVariant::Drum, 8, 0, 0.0, ROUND, 5);
-    let report =
-        throughput_experiment(config, 30, 60.0, 50, Duration::from_secs(2)).unwrap();
+    let report = throughput_experiment(config, 30, 60.0, 50, Duration::from_secs(2)).unwrap();
     assert_eq!(report.published, 30);
     assert!(!report.receivers.is_empty());
     for r in &report.receivers {
@@ -117,7 +125,10 @@ fn propagation_experiment_counts_hops() {
     let config = paper_cluster_config(ProtocolVariant::Drum, 8, 0, 0.0, ROUND, 6);
     let report = propagation_experiment(config, 4, 1, Duration::from_secs(15)).unwrap();
     assert_eq!(report.rounds_to_99.count() as usize + report.incomplete, 4);
-    assert!(report.rounds_to_99.count() >= 3, "too many incomplete messages");
+    assert!(
+        report.rounds_to_99.count() >= 3,
+        "too many incomplete messages"
+    );
     let mean = report.rounds_to_99.mean();
     // A 7-correct-process group converges in a few rounds.
     assert!((1.0..20.0).contains(&mean), "mean hops {mean}");
@@ -131,8 +142,7 @@ fn push_starves_attacked_receiver_drum_does_not() {
     let count_for = |variant| {
         // Attack ids 0 and 1 (the source is id 0 per the paper).
         let config = paper_cluster_config(variant, 8, 2, 256.0, ROUND, 7);
-        let report =
-            throughput_experiment(config, 40, 80.0, 50, Duration::from_secs(3)).unwrap();
+        let report = throughput_experiment(config, 40, 80.0, 50, Duration::from_secs(3)).unwrap();
         report
             .receivers
             .iter()
