@@ -212,6 +212,51 @@ fn engine_clone_hack(proto: &Engine) -> Engine {
     engine
 }
 
+/// Overhead guard for the observability layer (see DESIGN.md,
+/// "Observability"): a full engine round — begin, 64 flood messages,
+/// end — with the default disabled tracer versus a no-op sink attached.
+/// The no-op-sink case pays for event construction and the dynamic sink
+/// call on every emission; the acceptance bar is ≤5% over disabled.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(20);
+
+    let fake = GossipMessage::PullRequest {
+        from: ProcessId(0xDEAD),
+        digest: Digest::new(),
+        reply_port: PortRef::Plain(1),
+        nonce: 0,
+    };
+    fn run_round(
+        engine: &mut Engine,
+        oracle: &mut CountingPortOracle,
+        fake: &GossipMessage,
+    ) -> drum_core::engine::RoundStats {
+        black_box(engine.begin_round(oracle));
+        for _ in 0..64 {
+            black_box(engine.handle(fake.clone(), oracle));
+        }
+        engine.end_round()
+    }
+
+    group.bench_function("engine_round_tracing_disabled", |b| {
+        let (mut engine, _) = engine_with_buffered_messages(50, 400);
+        let mut oracle = CountingPortOracle::default();
+        b.iter(|| black_box(run_round(&mut engine, &mut oracle, &fake)))
+    });
+
+    group.bench_function("engine_round_noop_sink", |b| {
+        let (mut engine, _) = engine_with_buffered_messages(50, 400);
+        engine.set_tracer(drum_trace::Tracer::new(Arc::new(drum_trace::NoopSink)));
+        let mut oracle = CountingPortOracle::default();
+        b.iter(|| black_box(run_round(&mut engine, &mut oracle, &fake)))
+    });
+
+    group.finish();
+}
+
 fn bench_membership(c: &mut Criterion) {
     let mut group = c.benchmark_group("membership");
     group.sample_size(20);
@@ -247,6 +292,7 @@ criterion_group!(
     bench_digest_and_buffer,
     bench_codec,
     bench_engine,
+    bench_trace_overhead,
     bench_membership
 );
 criterion_main!(benches);

@@ -24,6 +24,7 @@ use std::collections::HashSet;
 
 use drum_crypto::keys::{KeyStore, SecretKey};
 use drum_crypto::seal;
+use drum_trace::{trace_event, Timestamp, Tracer};
 
 use crate::bounds::{Channel, RoundBudget};
 use crate::buffer::MessageBuffer;
@@ -149,6 +150,8 @@ pub struct Engine {
     fixed_pull_reply_port: u16,
     fixed_push_reply_port: u16,
     fixed_push_data_port: u16,
+    /// Structured-event emitter (disabled by default: one branch per site).
+    tracer: Tracer,
 }
 
 impl core::fmt::Debug for Engine {
@@ -192,7 +195,24 @@ impl Engine {
             fixed_pull_reply_port: crate::WELL_KNOWN_PULL_REPLY_PORT,
             fixed_push_reply_port: crate::WELL_KNOWN_PUSH_REPLY_PORT,
             fixed_push_data_port: crate::WELL_KNOWN_PUSH_DATA_PORT,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; engine events use round-numbered timestamps so
+    /// fixed-seed runs trace byte-identically.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    #[inline]
+    fn now(&self) -> Timestamp {
+        Timestamp::Round(self.round.as_u64())
     }
 
     /// This process's id.
@@ -260,6 +280,14 @@ impl Engine {
         // §8.1: the source logs 0 and immediately increases the counter to 1.
         msg.hops = 1;
         self.buffer.insert(msg, self.round);
+        trace_event!(
+            self.tracer,
+            "engine",
+            "publish",
+            self.now(),
+            me = self.me().as_u64(),
+            seq = id.seq
+        );
         id
     }
 
@@ -319,6 +347,17 @@ impl Engine {
             &mut self.rng,
         );
 
+        trace_event!(
+            self.tracer,
+            "engine",
+            "round.begin",
+            self.now(),
+            me = self.me().as_u64(),
+            pull = views.pull.len(),
+            push = views.push.len(),
+            buffered = self.buffer.len()
+        );
+
         let mut out = Vec::with_capacity(views.push.len() + views.pull.len());
 
         for target in views.pull {
@@ -373,9 +412,31 @@ impl Engine {
         let channel = Channel::for_kind(kind);
         if !self.budget.try_accept(channel) {
             self.stats.dropped_budget[RoundStats::kind_index(kind)] += 1;
+            // Edge-triggered: one `budget.exhausted` event per channel per
+            // round, when its first message is refused. Per-drop events
+            // would let an attacker amplify flood traffic into tracing
+            // work; the full drop counts appear in `round.end` instead.
+            if self.stats.dropped_budget[RoundStats::kind_index(kind)] == 1 {
+                trace_event!(
+                    self.tracer,
+                    "engine",
+                    "budget.exhausted",
+                    self.now(),
+                    me = self.me().as_u64(),
+                    kind = kind.name()
+                );
+            }
             return Vec::new();
         }
         self.stats.accepted[RoundStats::kind_index(kind)] += 1;
+        trace_event!(
+            self.tracer,
+            "engine",
+            "msg.accept",
+            self.now(),
+            me = self.me().as_u64(),
+            kind = kind.name()
+        );
 
         match incoming {
             GossipMessage::PullRequest {
@@ -432,6 +493,14 @@ impl Engine {
             } => {
                 if !self.offered_to.contains(&from) {
                     self.stats.dropped_unsolicited += 1;
+                    trace_event!(
+                        self.tracer,
+                        "engine",
+                        "push_reply.unsolicited",
+                        self.now(),
+                        me = self.me().as_u64(),
+                        from = from.as_u64()
+                    );
                     return Vec::new();
                 }
                 // One reply per offer.
@@ -470,10 +539,29 @@ impl Engine {
             // Sanity checks (§4): source must authenticate.
             if msg.verify(&self.key_store).is_err() {
                 self.stats.dropped_auth += 1;
+                trace_event!(
+                    self.tracer,
+                    "engine",
+                    "auth.drop",
+                    self.now(),
+                    me = self.me().as_u64(),
+                    source = msg.id.source.as_u64(),
+                    seq = msg.id.seq
+                );
                 continue;
             }
             if self.buffer.insert(msg.clone(), self.round) {
                 self.stats.delivered += 1;
+                trace_event!(
+                    self.tracer,
+                    "engine",
+                    "buffer.admit",
+                    self.now(),
+                    me = self.me().as_u64(),
+                    source = msg.id.source.as_u64(),
+                    seq = msg.id.seq,
+                    hops = u64::from(msg.hops)
+                );
                 self.delivered.push(msg);
             }
         }
@@ -483,6 +571,17 @@ impl Engine {
     /// the *start* of the next round, so late messages of this round are
     /// still counted against it, matching the discard-unread semantics.)
     pub fn end_round(&mut self) -> RoundStats {
+        trace_event!(
+            self.tracer,
+            "engine",
+            "round.end",
+            self.now(),
+            me = self.me().as_u64(),
+            accepted = self.stats.accepted.iter().sum::<u64>(),
+            dropped_budget = self.stats.dropped_budget.iter().sum::<u64>(),
+            dropped_auth = self.stats.dropped_auth,
+            delivered = self.stats.delivered
+        );
         self.stats
     }
 }
@@ -761,6 +860,48 @@ mod tests {
         }
         assert!(!engines[0].buffer().contains(id));
         assert!(engines[0].buffer().seen(id));
+    }
+
+    #[test]
+    fn tracer_records_budget_drops_and_round_lifecycle() {
+        use drum_trace::{MemorySink, Tracer, Value};
+        use std::sync::Arc;
+
+        let (mut engines, _) = setup(2, ProtocolVariant::Drum);
+        let sink = Arc::new(MemorySink::new());
+        engines[0].set_tracer(Tracer::new(sink.clone()));
+        let mut oracle = CountingPortOracle::default();
+        engines[0].begin_round(&mut oracle);
+        for i in 0..10 {
+            engines[0].handle(
+                GossipMessage::PullRequest {
+                    from: ProcessId(1),
+                    digest: Digest::new(),
+                    reply_port: PortRef::Plain(1000 + i),
+                    nonce: i as u64,
+                },
+                &mut oracle,
+            );
+        }
+        let stats = engines[0].end_round();
+
+        let events = sink.take();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count() as u64;
+        assert_eq!(count("round.begin"), 1);
+        assert_eq!(count("round.end"), 1);
+        // Bound exhaustion is edge-triggered: exactly one event for the
+        // flooded pull-request channel no matter how many drops occurred.
+        assert!(stats.dropped_of(MessageKind::PullRequest) > 1);
+        assert_eq!(count("budget.exhausted"), 1);
+        assert_eq!(
+            count("msg.accept"),
+            stats.accepted_of(MessageKind::PullRequest)
+        );
+        // Every engine event carries the emitting process id.
+        for e in &events {
+            assert_eq!(e.target, "engine");
+            assert_eq!(e.field("me"), Some(&Value::U64(0)));
+        }
     }
 
     #[test]

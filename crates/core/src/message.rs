@@ -181,16 +181,22 @@ pub enum MessageKind {
     PushData,
 }
 
-impl core::fmt::Display for MessageKind {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let s = match self {
+impl MessageKind {
+    /// Stable lowercase label (allocation-free, for trace events).
+    pub const fn name(self) -> &'static str {
+        match self {
             MessageKind::PullRequest => "pull-request",
             MessageKind::PullReply => "pull-reply",
             MessageKind::PushOffer => "push-offer",
             MessageKind::PushReply => "push-reply",
             MessageKind::PushData => "push-data",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl core::fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -28,6 +28,7 @@
 //! | [`membership`] | `drum-membership` | CA, certificates, dynamic views |
 //! | [`metrics`] | `drum-metrics` | statistics, CDFs, recorders |
 //! | [`testkit`] | `drum-testkit` | deterministic virtual network for real engines |
+//! | [`trace`] | `drum-trace` | structured events, pluggable sinks, counter registry |
 //!
 //! # Quickstart
 //!
@@ -69,3 +70,4 @@ pub use drum_metrics as metrics;
 pub use drum_net as net;
 pub use drum_sim as sim;
 pub use drum_testkit as testkit;
+pub use drum_trace as trace;

@@ -18,6 +18,7 @@ use drum_core::config::ProtocolVariant;
 use drum_core::digest::Digest;
 use drum_core::ids::ProcessId;
 use drum_core::message::{GossipMessage, PortRef};
+use drum_trace::{names, trace_event, Tracer};
 
 use crate::codec;
 use crate::transport::{bind_ephemeral, WellKnownAddrs};
@@ -36,6 +37,10 @@ pub struct AttackerConfig {
     /// target list), the pull budget is split evenly between each target's
     /// pull-request port and its pull-reply port, as in §9.
     pub reply_port_targets: Vec<std::net::SocketAddr>,
+    /// Observability: per-batch `attack.batch` events (attack traffic
+    /// classification) plus the `attack_sent` registry counter. Disabled
+    /// by default.
+    pub tracer: Tracer,
 }
 
 impl AttackerConfig {
@@ -46,6 +51,7 @@ impl AttackerConfig {
             round,
             victim_protocol,
             reply_port_targets: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -158,6 +164,18 @@ pub fn spawn_attacker(
             let mut carry_push = 0.0f64;
             let mut carry_pull = 0.0f64;
             let mut carry_reply = 0.0f64;
+            let tracer = config.tracer.clone();
+            let c_attack = tracer.registry().counter(names::ATTACK_SENT);
+            trace_event!(
+                tracer,
+                "attack",
+                "start",
+                tracer.wall_now(),
+                targets = targets.len(),
+                x_per_round = config.x_per_round,
+                protocol = config.victim_protocol.to_string(),
+                reply_ports = attack_replies
+            );
 
             while !stop_flag.load(Ordering::Relaxed) {
                 let batch_deadline = Instant::now() + batch_interval;
@@ -195,6 +213,23 @@ pub fn spawn_attacker(
                             }
                         }
                     }
+                }
+
+                if n_push + n_pull + n_reply > 0 {
+                    let reply_targets = config.reply_port_targets.len().min(targets.len());
+                    let batch_total = (n_push + n_pull) as u64 * targets.len() as u64
+                        + n_reply as u64 * reply_targets as u64;
+                    c_attack.add(batch_total);
+                    trace_event!(
+                        tracer,
+                        "attack",
+                        "batch",
+                        tracer.wall_now(),
+                        push = n_push,
+                        pull = n_pull,
+                        reply = n_reply,
+                        targets = targets.len()
+                    );
                 }
 
                 let now = Instant::now();

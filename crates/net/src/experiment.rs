@@ -127,6 +127,7 @@ impl Cluster {
                 config.net.round,
                 config.net.gossip.variant,
             );
+            attacker_config.tracer = config.net.tracer.clone();
             if ablation_mode {
                 // §9: against well-known reply ports the adversary splits
                 // its pull budget between the request and reply ports.
@@ -291,8 +292,9 @@ pub fn throughput_experiment(
                 let now_micros = epoch.elapsed().as_micros() as u64;
                 if let Some((_seq, sent_micros)) = decode_payload(&d.message.payload) {
                     let lat_ms = (now_micros.saturating_sub(sent_micros)) as f64 / 1000.0;
-                    latency[i].record_ms(lat_ms);
-                    throughput[i].record(now_micros as f64 / 1e6);
+                    let t_secs = now_micros as f64 / 1e6;
+                    latency[i].record_at(t_secs, lat_ms);
+                    throughput[i].record(t_secs);
                 }
             }
         }
@@ -325,7 +327,9 @@ pub fn throughput_experiment(
             id: ProcessId(i as u64),
             attacked: i < config.attacked,
             throughput: throughput[i].paper_throughput(duration_secs),
-            mean_latency_ms: latency[i].mean_ms(),
+            // §8: latency, like throughput, ignores the first and last 5%
+            // of the experiment *duration* (not of the sample count).
+            mean_latency_ms: latency[i].paper_mean_ms(duration_secs),
             received: latency[i].received(),
         })
         .collect();

@@ -29,6 +29,7 @@ use drum_core::ids::ProcessId;
 use drum_core::message::{DataMessage, GossipMessage, MessageKind};
 use drum_core::view::Membership;
 use drum_crypto::keys::{KeyStore, SecretKey};
+use drum_trace::{names, trace_event, Tracer};
 
 use crate::codec;
 use crate::transport::{
@@ -51,6 +52,11 @@ pub struct NetConfig {
     /// Probability of dropping each outbound datagram (emulated link loss;
     /// 0.0 by default — loopback is lossless, the paper's LAN loses ~1%).
     pub loss: f64,
+    /// Observability: cloned into every process (and the attacker, when a
+    /// cluster is started through `experiment`). Net events carry
+    /// wall-clock timestamps; the registry counters aggregate across all
+    /// processes sharing the tracer. Disabled by default.
+    pub tracer: Tracer,
 }
 
 impl NetConfig {
@@ -63,7 +69,14 @@ impl NetConfig {
             jitter: 0.2,
             poll: Duration::from_millis(1),
             loss: 0.0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Returns a copy with the given tracer attached.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Returns a copy with emulated outbound link loss.
@@ -110,6 +123,8 @@ pub struct NetStats {
     pub delivered: u64,
     /// Datagrams successfully sent.
     pub sent: u64,
+    /// Datagrams that decoded successfully (staged or immediate).
+    pub received: u64,
 }
 
 /// Handle to a running process.
@@ -267,6 +282,24 @@ fn run_process(
     }
     let mut rng = SmallRng::seed_from_u64(seed ^ seed_of(me));
     let mut pool = SocketPool::new(config.gossip.port_lifetime_rounds.max(1));
+    let tracer = config.tracer.clone();
+    let reg = tracer.registry().clone();
+    let c_sent = reg.counter(names::MESSAGES_SENT);
+    let c_received = reg.counter(names::MESSAGES_RECEIVED);
+    let c_bound = reg.counter(names::DROPPED_BY_BOUND);
+    let c_pull_refused = reg.counter(names::PULL_REQUESTS_REFUSED);
+    let c_decode = reg.counter(names::DECODE_ERRORS);
+    pool.set_rotation_counter(reg.counter(names::PORT_ROTATIONS));
+    trace_event!(
+        tracer,
+        "net",
+        "proc.start",
+        tracer.wall_now(),
+        me = me.as_u64(),
+        variant = config.gossip.variant.to_string(),
+        random_ports = config.gossip.random_ports
+    );
+    let mut prev = NetStats::default();
     let mut stats = NetStats::default();
     let mut scratch = vec![0u8; codec::MAX_WIRE_LEN + 1];
     // Arrivals on attackable channels staged during round r are processed
@@ -380,6 +413,7 @@ fn run_process(
                     match socket.recv_from(&mut scratch) {
                         Ok((len, _)) => match codec::decode(&scratch[..len]) {
                             Ok(msg) if msg.kind() == expected => {
+                                stats.received += 1;
                                 stage(slot, msg, &mut staged, &mut staged_seen, &mut rng);
                             }
                             Ok(_) => stats.port_mismatches += 1,
@@ -403,6 +437,7 @@ fn run_process(
                         match socket.recv_from(&mut scratch) {
                             Ok((len, _)) => match codec::decode(&scratch[..len]) {
                                 Ok(msg) if msg.kind() == expected => {
+                                    stats.received += 1;
                                     stage(slot, msg, &mut staged, &mut staged_seen, &mut rng);
                                 }
                                 Ok(_) => stats.port_mismatches += 1,
@@ -419,7 +454,10 @@ fn run_process(
             // processed immediately (unattackable).
             let mut drained: Vec<(PortPurpose, GossipMessage)> = Vec::new();
             pool.drain(&mut scratch, |purpose, bytes| match codec::decode(bytes) {
-                Ok(msg) => drained.push((purpose, msg)),
+                Ok(msg) => {
+                    stats.received += 1;
+                    drained.push((purpose, msg));
+                }
                 Err(_) => stats.decode_errors += 1,
             });
             for (purpose, msg) in drained {
@@ -454,12 +492,50 @@ fn run_process(
 
         let round_stats = engine.end_round();
         stats.rounds += 1;
-        stats.budget_drops += round_stats.dropped_budget.iter().sum::<u64>();
+        let round_drops = round_stats.dropped_budget.iter().sum::<u64>();
+        stats.budget_drops += round_drops;
         stats.auth_drops += round_stats.dropped_auth;
         stats.delivered += round_stats.delivered;
         pool.expire(engine.round());
+
+        // Per-round observability: registry counters take the deltas (so
+        // cluster-wide totals aggregate across processes), and one event
+        // summarizes the round. Both are no-ops with a disabled tracer
+        // beyond a handful of relaxed atomic adds.
+        c_sent.add(stats.sent - prev.sent);
+        c_received.add(stats.received - prev.received);
+        c_bound.add(round_drops);
+        c_pull_refused.add(round_stats.dropped_of(MessageKind::PullRequest));
+        c_decode.add(stats.decode_errors - prev.decode_errors);
+        trace_event!(
+            tracer,
+            "net",
+            "round",
+            tracer.wall_now(),
+            me = me.as_u64(),
+            round = engine.round().as_u64(),
+            sent = stats.sent - prev.sent,
+            received = stats.received - prev.received,
+            budget_drops = round_drops,
+            decode_errors = stats.decode_errors - prev.decode_errors,
+            port_mismatches = stats.port_mismatches - prev.port_mismatches,
+            delivered = round_stats.delivered
+        );
+        prev = stats;
     }
 
+    trace_event!(
+        tracer,
+        "net",
+        "proc.stop",
+        tracer.wall_now(),
+        me = me.as_u64(),
+        rounds = stats.rounds,
+        sent = stats.sent,
+        received = stats.received,
+        budget_drops = stats.budget_drops,
+        delivered = stats.delivered
+    );
     stats
 }
 
@@ -605,7 +681,7 @@ mod tests {
         handles[0].publish(Bytes::from_static(b"lossy"));
         let deadline = Instant::now() + Duration::from_secs(20);
         let mut reached = 0;
-        let mut seen = vec![false; 5];
+        let mut seen = [false; 5];
         seen[0] = true;
         while Instant::now() < deadline && reached < 5 {
             for (i, h) in handles.iter().enumerate() {
@@ -620,6 +696,73 @@ mod tests {
         for h in handles {
             h.shutdown();
         }
+    }
+
+    #[test]
+    fn tracer_counts_cluster_traffic() {
+        use drum_trace::{names, MemorySink, Tracer};
+
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+
+        let key_store = KeyStore::new(7);
+        let members: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let mut socks = Vec::new();
+        let mut entries = Vec::new();
+        for &m in &members {
+            let (s, addrs) = WellKnownSockets::bind().unwrap();
+            socks.push((m, s));
+            entries.push((m, addrs));
+        }
+        let book = AddressBook::new(entries);
+        let handles: Vec<ProcessHandle> = socks
+            .into_iter()
+            .map(|(m, sockets)| {
+                let my_key = key_store.register(m.as_u64());
+                spawn_process(ProcessSpec {
+                    me: m,
+                    members: members.clone(),
+                    book: book.clone(),
+                    key_store: key_store.clone(),
+                    my_key,
+                    sockets,
+                    ablation: None,
+                    config: NetConfig::new(GossipConfig::drum())
+                        .with_round(Duration::from_millis(30))
+                        .with_tracer(tracer.clone()),
+                    seed: seed_of(m),
+                })
+                .unwrap()
+            })
+            .collect();
+
+        handles[0].publish(Bytes::from_static(b"traced"));
+        std::thread::sleep(Duration::from_millis(400));
+        let stats: Vec<NetStats> = handles.into_iter().map(|h| h.shutdown()).collect();
+
+        // Registry counters aggregate across all four processes and must
+        // agree with the per-process stats the runtime reports.
+        let reg = tracer.registry();
+        let total_sent: u64 = stats.iter().map(|s| s.sent).sum();
+        assert!(reg.counter(names::MESSAGES_SENT).get() <= total_sent);
+        assert!(reg.counter(names::MESSAGES_SENT).get() > 0);
+        assert!(reg.counter(names::MESSAGES_RECEIVED).get() > 0);
+        assert!(reg.counter(names::PORT_ROTATIONS).get() > 0);
+
+        let events = sink.take();
+        assert_eq!(
+            events.iter().filter(|e| e.name == "proc.start").count(),
+            4,
+            "one proc.start per process"
+        );
+        assert!(events
+            .iter()
+            .any(|e| e.target == "net" && e.name == "round"));
+        assert_eq!(
+            events.iter().filter(|e| e.name == "proc.stop").count(),
+            4,
+            "one proc.stop per process"
+        );
     }
 
     #[test]

@@ -158,6 +158,8 @@ pub struct SocketPool {
     sockets: Vec<(UdpSocket, PortPurpose, Round)>,
     /// Sockets that failed to bind (diagnostics).
     bind_failures: u64,
+    /// Optional observability counter bumped per fresh port allocation.
+    rotations: Option<drum_trace::Counter>,
 }
 
 impl SocketPool {
@@ -167,7 +169,14 @@ impl SocketPool {
             lifetime,
             sockets: Vec::new(),
             bind_failures: 0,
+            rotations: None,
         }
+    }
+
+    /// Attaches a counter (typically `names::PORT_ROTATIONS` from a
+    /// [`drum_trace::Registry`]) incremented on every fresh port bind.
+    pub fn set_rotation_counter(&mut self, counter: drum_trace::Counter) {
+        self.rotations = Some(counter);
     }
 
     /// Number of currently open random-port sockets.
@@ -213,6 +222,9 @@ impl PortOracle for SocketPool {
             Ok(socket) => {
                 let port = socket.local_addr().map(|a| a.port()).unwrap_or(0);
                 self.sockets.push((socket, purpose, round));
+                if let Some(c) = &self.rotations {
+                    c.inc();
+                }
                 port
             }
             Err(_) => {
@@ -263,6 +275,16 @@ mod tests {
         assert_ne!(p2, 0);
         assert_ne!(p1, p2);
         assert_eq!(pool.open_sockets(), 2);
+    }
+
+    #[test]
+    fn pool_counts_port_rotations() {
+        let reg = drum_trace::Registry::new();
+        let mut pool = SocketPool::new(3);
+        pool.set_rotation_counter(reg.counter(drum_trace::names::PORT_ROTATIONS));
+        pool.allocate_port(PortPurpose::PullReply, Round(1));
+        pool.allocate_port(PortPurpose::PushData, Round(1));
+        assert_eq!(reg.counter(drum_trace::names::PORT_ROTATIONS).get(), 2);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod sampling;
 
 pub use config::{AttackConfig, Role, SimConfig, SimConfigError};
 pub use model::SimState;
-pub use runner::{run_experiment, run_trial, ExperimentResult, TrialOutcome};
+pub use runner::{run_experiment, run_trial, run_trial_traced, ExperimentResult, TrialOutcome};
 
 #[cfg(test)]
 mod proptests {

@@ -20,6 +20,8 @@
 
 use rand::rngs::SmallRng;
 
+use drum_trace::{trace_event, Timestamp, Tracer};
+
 use crate::config::{Role, SimConfig};
 use crate::sampling::{
     accepted_valid, any_interesting, binomial, randomized_round, sample_targets,
@@ -38,6 +40,9 @@ pub struct SimState {
     attacked_flags: Vec<bool>,
     /// Current round number (0 = initial state, only the source holds `M`).
     round: u32,
+    /// Structured-event emitter; round-stamped, so fixed-seed runs trace
+    /// byte-identically (the golden-trace CI oracle).
+    tracer: Tracer,
 
     // Scratch buffers, reused across rounds.
     push_valid: Vec<u32>,
@@ -68,6 +73,7 @@ impl SimState {
             roles,
             attacked_flags,
             round: 0,
+            tracer: Tracer::disabled(),
             push_valid: vec![0; n],
             push_with_m: vec![0; n],
             pull_requests: vec![Vec::new(); n],
@@ -81,6 +87,31 @@ impl SimState {
     /// The scenario being simulated.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Attaches a tracer and emits a `sim.start` scenario event. Tracing
+    /// never touches the RNG, so traced and untraced runs of the same seed
+    /// evolve identically.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        trace_event!(
+            self.tracer,
+            "sim",
+            "sim.start",
+            Timestamp::Round(0),
+            n = self.cfg.n,
+            protocol = self.cfg.protocol.to_string(),
+            malicious = self.cfg.malicious,
+            crashed = self.cfg.crashed,
+            attacked = self.cfg.attacked(),
+            x_per_round = self.cfg.attack.map_or(0.0, |a| a.x_per_round),
+            random_ports = self.cfg.random_ports
+        );
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Current round number.
@@ -149,12 +180,23 @@ impl SimState {
         if let Some(k) = self.cfg.attack.and_then(|a| a.rotate_every) {
             if k > 0 && self.round.is_multiple_of(k) {
                 self.rotate_targets(rng);
+                trace_event!(
+                    self.tracer,
+                    "sim",
+                    "attack.rotate",
+                    Timestamp::Round(u64::from(self.round)),
+                    targets = self.cfg.attacked()
+                );
             }
         }
 
         for v in &mut self.new_m {
             *v = false;
         }
+
+        // Fabricated-message totals injected this round (attack tracing).
+        let mut fakes_push_total = 0u64;
+        let mut fakes_pull_total = 0u64;
 
         // ---------------- Push phase ----------------
         let view_push = self.cfg.view_push();
@@ -189,6 +231,7 @@ impl SimState {
                 } else {
                     0
                 };
+                fakes_push_total += fakes as u64;
                 let valid = self.push_valid[t] as usize;
                 let with_m = self.push_with_m[t] as usize;
                 let acc = accepted_valid(valid, fakes, f_in_push, rng);
@@ -240,6 +283,7 @@ impl SimState {
                 } else {
                     0
                 };
+                fakes_pull_total += fakes as u64;
                 let acc = accepted_valid(reqs.len(), fakes, f_in_pull, rng);
                 // Choose which `acc` requests are served: partial
                 // Fisher-Yates over the request list.
@@ -277,6 +321,7 @@ impl SimState {
                     } else {
                         0
                     };
+                    fakes_pull_total += fakes as u64;
                     let valid = self.reply_valid[p] as usize;
                     let with_m = self.reply_with_m[p] as usize;
                     let acc = accepted_valid(valid, fakes, f_in_pull, rng);
@@ -289,11 +334,32 @@ impl SimState {
 
         // Simultaneous state update: messages received this round are
         // forwarded starting next round.
+        let mut newly = 0u64;
         for i in 0..n {
             if self.new_m[i] {
                 self.has_m[i] = true;
+                newly += 1;
+                trace_event!(
+                    self.tracer,
+                    "sim",
+                    "deliver",
+                    Timestamp::Round(u64::from(self.round)),
+                    process = i,
+                    attacked = self.is_attacked(i)
+                );
             }
         }
+        trace_event!(
+            self.tracer,
+            "sim",
+            "round",
+            Timestamp::Round(u64::from(self.round)),
+            with_m = self.correct_with_m(),
+            new = newly,
+            attacked_with_m = self.attacked_with_m(),
+            fakes_push = fakes_push_total,
+            fakes_pull = fakes_pull_total
+        );
     }
 }
 

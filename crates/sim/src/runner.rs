@@ -31,8 +31,23 @@ pub struct TrialOutcome {
 /// Runs one trial of `cfg` with the given `seed`, recording per-round
 /// fractions for the first `cdf_rounds` rounds.
 pub fn run_trial(cfg: &SimConfig, seed: u64, cdf_rounds: usize) -> TrialOutcome {
+    run_trial_traced(cfg, seed, cdf_rounds, drum_trace::Tracer::disabled())
+}
+
+/// Like [`run_trial`], but emits round-stamped events through `tracer`.
+///
+/// Tracing never touches the RNG, so a traced trial evolves identically
+/// to an untraced one with the same seed; with a deterministic sink the
+/// emitted trace is byte-stable across runs (the golden-trace oracle).
+pub fn run_trial_traced(
+    cfg: &SimConfig,
+    seed: u64,
+    cdf_rounds: usize,
+    tracer: drum_trace::Tracer,
+) -> TrialOutcome {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut state = SimState::new(cfg.clone());
+    state.set_tracer(tracer);
     let threshold = cfg.threshold;
 
     let n_attacked = cfg.attacked();
@@ -325,5 +340,25 @@ mod tests {
     fn zero_trials_rejected() {
         let cfg = SimConfig::baseline(ProtocolVariant::Drum, 50);
         run_experiment(&cfg, 0, 0, 5);
+    }
+
+    #[test]
+    fn traced_trial_matches_untraced() {
+        use std::sync::Arc;
+
+        let cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 80, 64.0);
+        let plain = run_trial(&cfg, 9, 12);
+
+        let sink = Arc::new(drum_trace::MemorySink::new());
+        let tracer = drum_trace::Tracer::new(sink.clone());
+        let traced = run_trial_traced(&cfg, 9, 12, tracer);
+
+        // Tracing must not perturb the simulation (it never draws from
+        // the RNG), and the trial must actually produce events.
+        assert_eq!(plain, traced);
+        let events = sink.take();
+        assert!(events.iter().any(|e| e.name == "sim.start"));
+        assert!(events.iter().any(|e| e.name == "round"));
+        assert!(events.iter().any(|e| e.name == "deliver"));
     }
 }

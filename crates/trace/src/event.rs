@@ -1,0 +1,238 @@
+//! The structured event model: typed field values, timestamps in
+//! sim-rounds or wall-clock microseconds, and a byte-stable JSON-lines
+//! encoding built on `drum_metrics::json`.
+
+use drum_metrics::json::Json;
+
+/// A typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, ids, rounds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (rates, fractions).
+    F64(f64),
+    /// String (labels, message kinds).
+    Str(String),
+    /// Static string — no allocation on emission; hot paths (per-message
+    /// engine events) should prefer this over [`Value::Str`].
+    Static(&'static str),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u16> for Value {
+    fn from(v: u16) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Static(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl Value {
+    fn to_json(&self) -> Json {
+        match self {
+            // Counts above 2^53 would lose precision through the f64-backed
+            // Json::Num; trace counters never get near that.
+            Value::U64(v) => Json::num(*v as f64),
+            Value::I64(v) => Json::num(*v as f64),
+            Value::F64(v) => Json::num(*v),
+            Value::Str(s) => Json::Str(s.clone()),
+            Value::Static(s) => Json::Str((*s).to_string()),
+            Value::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+/// One named field of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name (static so emission sites allocate only for values).
+    pub key: &'static str,
+    /// Field value.
+    pub value: Value,
+}
+
+/// When an event happened, in the clock domain of its emitter.
+///
+/// Simulation layers use [`Timestamp::Round`] so fixed-seed runs are
+/// byte-identical; the networked runtime uses [`Timestamp::WallMicros`]
+/// (microseconds since the tracer's epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timestamp {
+    /// No meaningful time (configuration events, counters).
+    None,
+    /// Logical round number — deterministic across identical runs.
+    Round(u64),
+    /// Microseconds since the owning tracer's epoch instant.
+    WallMicros(u64),
+}
+
+/// A single structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Emitting component ("engine", "sim", "net", "attack", ...).
+    pub target: &'static str,
+    /// Event name within the component ("round.begin", "budget.drop", ...).
+    pub name: &'static str,
+    /// When it happened.
+    pub time: Timestamp,
+    /// Typed payload fields, in emission order.
+    pub fields: Vec<Field>,
+}
+
+impl Event {
+    /// Creates an event with no fields.
+    pub fn new(target: &'static str, name: &'static str, time: Timestamp) -> Self {
+        Event {
+            target,
+            name,
+            time,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    #[must_use]
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push(Field {
+            key,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Looks up a field value by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|f| f.key == key).map(|f| &f.value)
+    }
+
+    /// Encodes the event as one JSON object with a fixed key order, so
+    /// identical event sequences serialize byte-identically.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("target".to_string(), Json::Str(self.target.to_string())),
+            ("event".to_string(), Json::Str(self.name.to_string())),
+        ];
+        match self.time {
+            Timestamp::None => {}
+            Timestamp::Round(r) => pairs.push(("round".to_string(), Json::num(r as f64))),
+            Timestamp::WallMicros(us) => {
+                pairs.push(("wall_us".to_string(), Json::num(us as f64)));
+            }
+        }
+        if !self.fields.is_empty() {
+            pairs.push((
+                "fields".to_string(),
+                Json::Obj(
+                    self.fields
+                        .iter()
+                        .map(|f| (f.key.to_string(), f.value.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// The event as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_is_stable_and_ordered() {
+        let e = Event::new("engine", "round.begin", Timestamp::Round(3))
+            .with("me", 7u64)
+            .with("pull", 2usize);
+        assert_eq!(
+            e.to_json_line(),
+            r#"{"target":"engine","event":"round.begin","round":3,"fields":{"me":7,"pull":2}}"#
+        );
+        // Identical events serialize identically.
+        assert_eq!(e.to_json_line(), e.clone().to_json_line());
+    }
+
+    #[test]
+    fn fieldless_event_omits_fields_key() {
+        let e = Event::new("net", "stop", Timestamp::None);
+        assert_eq!(e.to_json_line(), r#"{"target":"net","event":"stop"}"#);
+    }
+
+    #[test]
+    fn wall_timestamp_serializes() {
+        let e = Event::new("net", "round.begin", Timestamp::WallMicros(1500));
+        assert!(e.to_json_line().contains(r#""wall_us":1500"#));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3u16), Value::U64(3));
+        assert_eq!(Value::from(-2i32), Value::I64(-2));
+        assert_eq!(Value::from(0.5f64), Value::F64(0.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Static("x"));
+        assert_eq!(Value::from("x".to_string()), Value::Str("x".into()));
+        // Both string forms serialize identically.
+        assert_eq!(
+            Value::Static("x").to_json(),
+            Value::Str("x".into()).to_json()
+        );
+    }
+
+    #[test]
+    fn field_lookup() {
+        let e = Event::new("sim", "round", Timestamp::Round(1)).with("with_m", 5u64);
+        assert_eq!(e.field("with_m"), Some(&Value::U64(5)));
+        assert_eq!(e.field("missing"), None);
+    }
+}

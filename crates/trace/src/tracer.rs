@@ -1,0 +1,255 @@
+//! The [`Tracer`] handle threaded through the sim, engine and net layers,
+//! plus RAII [`Span`]s.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::{Event, Timestamp};
+use crate::registry::Registry;
+use crate::sink::Sink;
+
+/// A cheap, clonable handle combining an optional event sink with a
+/// counter registry.
+///
+/// The disabled tracer (the default everywhere) has no sink: emission
+/// sites guard on [`Tracer::enabled`] (the [`crate::trace_event!`] macro
+/// does this for you), so a disabled tracer costs one branch per site and
+/// never constructs an event. Counters work whether or not a sink is
+/// attached.
+#[derive(Clone)]
+pub struct Tracer {
+    sink: Option<Arc<dyn Sink>>,
+    registry: Registry,
+    epoch: Instant,
+}
+
+impl core::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that emits nothing (the default).
+    pub fn disabled() -> Self {
+        Tracer {
+            sink: None,
+            registry: Registry::new(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A tracer emitting into `sink`, with a fresh registry.
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Tracer {
+            sink: Some(sink),
+            registry: Registry::new(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Replaces the registry (to share counters between tracers).
+    #[must_use]
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Whether a sink is attached. Check this before building fields for
+    /// [`Tracer::emit`] on hot paths.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The counter/gauge registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Sends one event to the sink (no-op when disabled).
+    #[inline]
+    pub fn emit(&self, event: Event) {
+        if let Some(sink) = &self.sink {
+            sink.record(event);
+        }
+    }
+
+    /// Flushes the sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
+    }
+
+    /// Wall-clock timestamp: microseconds since this tracer was created.
+    pub fn wall_now(&self) -> Timestamp {
+        Timestamp::WallMicros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Opens a span: emits `name` with `span="enter"` now and `span="exit"`
+    /// (plus `elapsed_us` for wall-clock spans) when the guard drops.
+    /// Disabled tracers return an inert guard.
+    pub fn span(&self, target: &'static str, name: &'static str, time: Timestamp) -> Span<'_> {
+        if self.enabled() {
+            self.emit(Event::new(target, name, time).with("span", "enter"));
+        }
+        Span {
+            tracer: self,
+            target,
+            name,
+            time,
+            started: Instant::now(),
+        }
+    }
+}
+
+/// RAII guard emitting the closing half of a [`Tracer::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    target: &'static str,
+    name: &'static str,
+    time: Timestamp,
+    started: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let mut event = Event::new(
+            self.target,
+            self.name,
+            match self.time {
+                // Round-stamped spans close in the same round (deterministic);
+                // wall-stamped spans close at the current wall time.
+                Timestamp::WallMicros(_) => self.tracer.wall_now(),
+                t => t,
+            },
+        )
+        .with("span", "exit");
+        if matches!(self.time, Timestamp::WallMicros(_)) {
+            event = event.with("elapsed_us", self.started.elapsed().as_micros() as u64);
+        }
+        self.tracer.emit(event);
+    }
+}
+
+/// Emits an event through a [`Tracer`] only when it is enabled, building
+/// the fields lazily behind the `enabled` check:
+///
+/// ```
+/// use drum_trace::{trace_event, Timestamp, Tracer};
+///
+/// let tracer = Tracer::disabled();
+/// let round = 4u64;
+/// trace_event!(tracer, "engine", "round.begin", Timestamp::Round(round),
+///              me = 7u64, pull = 2usize);
+/// ```
+#[macro_export]
+macro_rules! trace_event {
+    ($tracer:expr, $target:expr, $name:expr, $time:expr
+     $(, $key:ident = $value:expr)* $(,)?) => {
+        if $tracer.enabled() {
+            $tracer.emit($crate::Event {
+                target: $target,
+                name: $name,
+                time: $time,
+                fields: vec![$($crate::Field {
+                    key: stringify!($key),
+                    value: $crate::Value::from($value),
+                }),*],
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_tracer_emits_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        trace_event!(tracer, "t", "e", Timestamp::Round(1), k = 2u64);
+        tracer.emit(Event::new("t", "e", Timestamp::None));
+        tracer.flush();
+    }
+
+    #[test]
+    fn enabled_tracer_records_macro_events() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        assert!(tracer.enabled());
+        trace_event!(
+            tracer,
+            "engine",
+            "round.begin",
+            Timestamp::Round(3),
+            me = 1u64,
+            pull = 2usize
+        );
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "round.begin");
+        assert_eq!(events[0].field("pull"), Some(&crate::Value::U64(2)));
+    }
+
+    #[test]
+    fn span_emits_enter_and_exit() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        {
+            let _span = tracer.span("net", "round", Timestamp::Round(2));
+            trace_event!(tracer, "net", "inner", Timestamp::Round(2));
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[0].field("span"),
+            Some(&crate::Value::Static("enter"))
+        );
+        assert_eq!(events[1].name, "inner");
+        assert_eq!(events[2].field("span"), Some(&crate::Value::Static("exit")));
+        assert_eq!(events[2].time, Timestamp::Round(2));
+    }
+
+    #[test]
+    fn wall_span_reports_elapsed() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        drop(tracer.span("net", "work", tracer.wall_now()));
+        let events = sink.take();
+        assert!(events[1].field("elapsed_us").is_some());
+    }
+
+    #[test]
+    fn registry_shared_across_clones() {
+        let tracer = Tracer::disabled();
+        let clone = tracer.clone();
+        tracer.registry().counter("c").inc();
+        assert_eq!(clone.registry().counter("c").get(), 1);
+    }
+
+    #[test]
+    fn with_registry_shares_counters_between_tracers() {
+        let shared = Registry::new();
+        let a = Tracer::disabled().with_registry(shared.clone());
+        let b = Tracer::disabled().with_registry(shared.clone());
+        a.registry().counter("x").inc();
+        b.registry().counter("x").add(2);
+        assert_eq!(shared.counter("x").get(), 3);
+    }
+}

@@ -7,19 +7,28 @@
 //! ```
 //!
 //! Spawns 8 processes (one thread group each), publishes 20 messages from
-//! a single source, and prints per-process delivery counts and latencies.
+//! a single source, and prints per-process delivery counts, latencies and
+//! the group-wide observability counters collected by `drum::trace`.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use drum::core::config::ProtocolVariant;
 use drum::net::experiment::{decode_payload, paper_cluster_config, Cluster};
+use drum::trace::{names, NoopSink, Tracer};
 
 fn main() -> std::io::Result<()> {
     let n = 8;
     let round = Duration::from_millis(100);
     println!("starting a {n}-process Drum group (round = {round:?})...");
 
-    let config = paper_cluster_config(ProtocolVariant::Drum, n, 0, 0.0, round, 42);
+    // Attach a tracer to the whole cluster. The sink receives structured
+    // events (swap `NoopSink` for `JsonLinesSink` to stream a .jsonl
+    // trace); the registry aggregates counters across every process
+    // thread either way.
+    let tracer = Tracer::new(Arc::new(NoopSink));
+    let mut config = paper_cluster_config(ProtocolVariant::Drum, n, 0, 0.0, round, 42);
+    config.net = config.net.with_tracer(tracer.clone());
     let correct = config.correct();
     let cluster = Cluster::start(config)?;
     let epoch = cluster.epoch();
@@ -67,5 +76,17 @@ fn main() -> std::io::Result<()> {
         "total deliveries: {delivered} / {}",
         total * (correct as u64 - 1)
     );
+
+    // Group-wide counters from the shared trace registry.
+    let reg = tracer.registry();
+    println!("\nobservability counters (whole group):");
+    for name in [
+        names::MESSAGES_SENT,
+        names::MESSAGES_RECEIVED,
+        names::DROPPED_BY_BOUND,
+        names::PORT_ROTATIONS,
+    ] {
+        println!("  {name:<20} {}", reg.counter(name).get());
+    }
     Ok(())
 }

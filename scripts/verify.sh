@@ -1,20 +1,53 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Hermetic verification: the workspace must build, test and stay formatted
 # with no network access and no crates.io dependencies.
-set -eu
+#
+# Usage:
+#   scripts/verify.sh           # full pipeline (CI runs this)
+#   scripts/verify.sh --quick   # build + unit tests only
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *)
+            echo "usage: $0 [--quick]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+PHASE_START=0
+phase_begin() {
+    PHASE_START=$SECONDS
+    echo "==> $1"
+}
+phase_end() {
+    echo "    (${1}: $((SECONDS - PHASE_START))s)"
+}
+
+phase_begin "cargo build --release --offline"
 cargo build --release --offline
+phase_end "build"
 
-echo "==> cargo test -q --offline"
+phase_begin "cargo test -q --offline"
 cargo test -q --offline
+phase_end "test"
 
-echo "==> cargo build --offline --benches --features criterion"
+if [ "$QUICK" -eq 1 ]; then
+    echo "==> verify --quick: all green (total $((SECONDS))s)"
+    exit 0
+fi
+
+phase_begin "cargo build --offline --benches --features criterion"
 cargo build --offline --benches --features criterion
+phase_end "benches"
 
-echo "==> cargo fmt --check"
+phase_begin "cargo fmt --check"
 cargo fmt --check
+phase_end "fmt"
 
-echo "==> verify: all green"
+echo "==> verify: all green (total $((SECONDS))s)"

@@ -1,0 +1,87 @@
+//! Golden-trace regression test: the observability layer as a protocol
+//! oracle.
+//!
+//! A fixed-seed Drum-under-attack simulation is run with a JSON-lines
+//! trace sink. Because sim events are round-stamped (no wall clock) and
+//! tracing never draws from the simulation RNG, the emitted trace is a
+//! pure function of `(config, seed)` — byte for byte. The recorded
+//! fixture in `tests/fixtures/trace_golden.jsonl` therefore pins the
+//! entire observable evolution of the protocol: any change to the
+//! engine's round structure, the attack model, the event taxonomy or the
+//! JSON encoding shows up as a diff here.
+//!
+//! Regenerating after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p drum --test trace_golden
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use std::sync::Arc;
+
+use drum::core::config::ProtocolVariant;
+use drum::sim::{run_trial_traced, SimConfig};
+use drum::trace::{JsonLinesSink, SharedBuf, Tracer};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/trace_golden.jsonl"
+);
+
+/// The canonical scenario: 40 processes, 10% malicious, Drum under a
+/// 64-messages-per-round attack, 8 rounds, seed 2004 (the paper's year).
+fn canonical_trace() -> String {
+    let mut cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 40, 64.0);
+    cfg.max_rounds = 8;
+    let buf = SharedBuf::new();
+    let sink = Arc::new(JsonLinesSink::new(buf.clone()));
+    run_trial_traced(&cfg, 2004, 8, Tracer::new(sink));
+    buf.contents_string()
+}
+
+#[test]
+fn fixed_seed_trace_is_byte_identical_across_runs() {
+    let first = canonical_trace();
+    let second = canonical_trace();
+    assert!(!first.is_empty(), "canonical scenario emitted no events");
+    assert_eq!(first, second, "fixed-seed trace must be deterministic");
+}
+
+#[test]
+fn trace_matches_golden_fixture() {
+    let got = canonical_trace();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(FIXTURE, &got).expect("failed to write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE).expect(
+        "missing tests/fixtures/trace_golden.jsonl — regenerate with \
+         `UPDATE_GOLDEN=1 cargo test -p drum --test trace_golden`",
+    );
+    assert_eq!(
+        got, want,
+        "trace diverged from the golden fixture; if the change is \
+         intentional, regenerate with `UPDATE_GOLDEN=1 cargo test -p drum \
+         --test trace_golden` and review the diff"
+    );
+}
+
+#[test]
+fn golden_trace_has_expected_shape() {
+    let trace = canonical_trace();
+    let lines: Vec<&str> = trace.lines().collect();
+    // One sim.start header, then per-round events.
+    assert!(lines[0].contains("\"event\":\"sim.start\""));
+    assert!(lines[0].contains("\"target\":\"sim\""));
+    // Every line is a single JSON object with the fixed key order.
+    for line in &lines {
+        assert!(line.starts_with("{\"target\":"), "bad line: {line}");
+        assert!(line.ends_with('}'), "bad line: {line}");
+    }
+    // The attacked scenario must actually show attack pressure and
+    // deliveries.
+    assert!(lines.iter().any(|l| l.contains("\"event\":\"round\"")));
+    assert!(lines.iter().any(|l| l.contains("\"event\":\"deliver\"")));
+    assert!(lines.iter().any(|l| l.contains("\"fakes_push\"")));
+}
