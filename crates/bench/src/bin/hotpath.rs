@@ -1,0 +1,504 @@
+//! Hot-path micro-benchmarks with a frozen seed baseline and a ratio gate.
+//!
+//! Measures the three per-message/per-round paths the zero-allocation work
+//! targeted, each against an in-binary copy of the *seed revision's*
+//! implementation (so "before" numbers come from the actual old code, not
+//! from memory):
+//!
+//! * `auth_verify_small` — source-authentication of a small data message:
+//!   seed = per-message HMAC key schedule + heap-allocated `tag_input`;
+//!   current = cached [`drum_crypto::hmac::HmacKey`] schedule streaming the
+//!   parts. This is the attack-amplification path: every fabricated
+//!   datagram that decodes forces a verify.
+//! * `encode_fanout` — one `PushData` fanned out to `FANOUT` recipients:
+//!   seed = one `codec::encode` (fresh allocation) per recipient; current =
+//!   `codec::encode_into` once into reused scratch, as `send_out` now does.
+//! * `sim_round` — one simulated round plus the per-round occupancy
+//!   queries: seed = full O(n) membership scans (the old accessors);
+//!   current = incrementally maintained counters.
+//!
+//! Emits `BENCH_hotpath.json` (override with `--out PATH`) and exits
+//! non-zero when a speedup falls below its floor unless `--no-gate` is
+//! given. Ratios of two in-process measurements are stable across machines
+//! even when absolute ns/op are not, which is what makes the gate viable in
+//! CI. `--quick` shrinks sample counts for smoke runs.
+
+use std::time::{Duration, Instant};
+
+use drum_core::bytes::{Bytes, BytesMut};
+use drum_core::ids::{MessageId, ProcessId};
+use drum_core::message::{DataMessage, GossipMessage};
+use drum_core::ProtocolVariant;
+use drum_crypto::auth;
+use drum_crypto::keys::KeyStore;
+use drum_metrics::json::Json;
+use drum_sim::config::{Role, SimConfig};
+use drum_sim::model::SimState;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The seed revision's crypto hot path, frozen verbatim so the baseline
+/// numbers keep coming from the code that actually shipped in the seed:
+/// per-message key schedule, byte-at-a-time finalize padding, block copies
+/// in `update`, and a heap-allocated tag input.
+mod seed {
+    const DIGEST_LEN: usize = 32;
+    const BLOCK_LEN: usize = 64;
+
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+
+    const H0: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+
+    #[derive(Clone)]
+    pub struct Sha256 {
+        state: [u32; 8],
+        len: u64,
+        buf: [u8; BLOCK_LEN],
+        buf_len: usize,
+    }
+
+    impl Sha256 {
+        pub fn new() -> Self {
+            Sha256 {
+                state: H0,
+                len: 0,
+                buf: [0u8; BLOCK_LEN],
+                buf_len: 0,
+            }
+        }
+
+        pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+            let mut h = Sha256::new();
+            h.update(data);
+            h.finalize()
+        }
+
+        pub fn update(&mut self, mut data: &[u8]) {
+            self.len = self.len.wrapping_add(data.len() as u64);
+            if self.buf_len > 0 {
+                let take = (BLOCK_LEN - self.buf_len).min(data.len());
+                self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+                self.buf_len += take;
+                data = &data[take..];
+                if self.buf_len == BLOCK_LEN {
+                    let block = self.buf;
+                    self.compress(&block);
+                    self.buf_len = 0;
+                }
+            }
+            while data.len() >= BLOCK_LEN {
+                let (block, rest) = data.split_at(BLOCK_LEN);
+                let mut b = [0u8; BLOCK_LEN];
+                b.copy_from_slice(block);
+                self.compress(&b);
+                data = rest;
+            }
+            if !data.is_empty() {
+                self.buf[..data.len()].copy_from_slice(data);
+                self.buf_len = data.len();
+            }
+        }
+
+        pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+            let bit_len = self.len.wrapping_mul(8);
+            self.update(&[0x80]);
+            self.len = self.len.wrapping_sub(1);
+            while self.buf_len != BLOCK_LEN - 8 {
+                self.update(&[0]);
+                self.len = self.len.wrapping_sub(1);
+            }
+            let mut block = self.buf;
+            block[BLOCK_LEN - 8..].copy_from_slice(&bit_len.to_be_bytes());
+            self.compress(&block);
+
+            let mut out = [0u8; DIGEST_LEN];
+            for (chunk, word) in out.chunks_exact_mut(4).zip(self.state.iter()) {
+                chunk.copy_from_slice(&word.to_be_bytes());
+            }
+            out
+        }
+
+        fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+            let mut w = [0u32; 64];
+            for (i, chunk) in block.chunks_exact(4).enumerate() {
+                w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+            for i in 16..64 {
+                let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+                let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+                w[i] = w[i - 16]
+                    .wrapping_add(s0)
+                    .wrapping_add(w[i - 7])
+                    .wrapping_add(s1);
+            }
+
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+            for i in 0..64 {
+                let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+                let ch = (e & f) ^ (!e & g);
+                let t1 = h
+                    .wrapping_add(s1)
+                    .wrapping_add(ch)
+                    .wrapping_add(K[i])
+                    .wrapping_add(w[i]);
+                let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+                let maj = (a & b) ^ (a & c) ^ (b & c);
+                let t2 = s0.wrapping_add(maj);
+                h = g;
+                g = f;
+                f = e;
+                e = d.wrapping_add(t1);
+                d = c;
+                c = b;
+                b = a;
+                a = t1.wrapping_add(t2);
+            }
+
+            self.state[0] = self.state[0].wrapping_add(a);
+            self.state[1] = self.state[1].wrapping_add(b);
+            self.state[2] = self.state[2].wrapping_add(c);
+            self.state[3] = self.state[3].wrapping_add(d);
+            self.state[4] = self.state[4].wrapping_add(e);
+            self.state[5] = self.state[5].wrapping_add(f);
+            self.state[6] = self.state[6].wrapping_add(g);
+            self.state[7] = self.state[7].wrapping_add(h);
+        }
+    }
+
+    pub struct HmacSha256 {
+        inner: Sha256,
+        opad: [u8; BLOCK_LEN],
+    }
+
+    impl HmacSha256 {
+        pub fn new(key: &[u8]) -> Self {
+            let mut key_block = [0u8; BLOCK_LEN];
+            if key.len() > BLOCK_LEN {
+                key_block[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+            } else {
+                key_block[..key.len()].copy_from_slice(key);
+            }
+
+            let mut ipad = [0u8; BLOCK_LEN];
+            let mut opad = [0u8; BLOCK_LEN];
+            for i in 0..BLOCK_LEN {
+                ipad[i] = key_block[i] ^ 0x36;
+                opad[i] = key_block[i] ^ 0x5c;
+            }
+
+            let mut inner = Sha256::new();
+            inner.update(&ipad);
+            HmacSha256 { inner, opad }
+        }
+
+        pub fn update(&mut self, data: &[u8]) {
+            self.inner.update(data);
+        }
+
+        pub fn finalize(self) -> [u8; DIGEST_LEN] {
+            let inner_digest = self.inner.finalize();
+            let mut outer = Sha256::new();
+            outer.update(&self.opad);
+            outer.update(&inner_digest);
+            outer.finalize()
+        }
+    }
+
+    pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut mac = HmacSha256::new(key);
+        mac.update(data);
+        mac.finalize()
+    }
+
+    pub fn verify_tag(expected: &[u8; DIGEST_LEN], actual: &[u8; DIGEST_LEN]) -> bool {
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(actual.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+
+    fn tag_input(source: u64, seq: u64, payload: &[u8]) -> Vec<u8> {
+        let mut data = Vec::with_capacity(13 + 16 + payload.len());
+        data.extend_from_slice(b"drum.msg.auth");
+        data.extend_from_slice(&source.to_be_bytes());
+        data.extend_from_slice(&seq.to_be_bytes());
+        data.extend_from_slice(payload);
+        data
+    }
+
+    /// The seed's `auth::verify` body, minus the store error plumbing.
+    pub fn verify(key: &[u8], source: u64, seq: u64, payload: &[u8], tag: &[u8; 32]) -> bool {
+        let expected = hmac_sha256(key, &tag_input(source, seq, payload));
+        verify_tag(&expected, tag)
+    }
+}
+
+/// One measured comparison.
+struct Comparison {
+    name: &'static str,
+    seed_ns: f64,
+    current_ns: f64,
+    /// Gate floor on `seed_ns / current_ns`.
+    floor: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.seed_ns / self.current_ns
+    }
+}
+
+/// Median ns/op of `routine`, batched so each sample spans a few ms.
+fn measure_ns<R>(samples: usize, mut routine: impl FnMut() -> R) -> f64 {
+    // Calibrate the batch size on a throwaway run.
+    let mut batch = 1u64;
+    let per_iter = loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_micros(500) || batch >= 1 << 22 {
+            break elapsed.as_secs_f64() / batch as f64;
+        }
+        batch *= 2;
+    };
+    let per_sample = ((4e-3 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 22);
+    let mut sample_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            start.elapsed().as_secs_f64() * 1e9 / per_sample as f64
+        })
+        .collect();
+    sample_ns.sort_by(f64::total_cmp);
+    sample_ns[sample_ns.len() / 2]
+}
+
+fn bench_auth_verify(samples: usize) -> Comparison {
+    let store = KeyStore::new(7);
+    let key = store.register(1);
+    // Small payload: the regime where per-message setup dominated. This is
+    // also the adversary's cheapest amplification (fabricated messages are
+    // minimal; the victim pays the fixed verify cost regardless).
+    let payload = [0x5Au8; 16];
+    let tag = auth::sign(&key, 1, 42, &payload);
+
+    let seed_ns = measure_ns(samples, || {
+        let key = store.key_of(1).unwrap();
+        assert!(seed::verify(key.as_bytes(), 1, 42, &payload, &tag.0));
+    });
+    let current_ns = measure_ns(samples, || {
+        auth::verify(&store, 1, 42, &payload, &tag).unwrap();
+    });
+    Comparison {
+        name: "auth_verify_small",
+        seed_ns,
+        current_ns,
+        floor: 3.0,
+    }
+}
+
+const FANOUT: usize = 8;
+
+fn bench_encode_fanout(samples: usize) -> Comparison {
+    let store = KeyStore::new(7);
+    let key = store.register(1);
+    let messages: Vec<DataMessage> = (0..4)
+        .map(|seq| {
+            DataMessage::sign_new(
+                &key,
+                MessageId::new(ProcessId(1), seq),
+                Bytes::from(vec![0xA5u8; 64]),
+            )
+        })
+        .collect();
+    let msg = GossipMessage::PushData {
+        from: ProcessId(1),
+        messages,
+    };
+
+    // Seed `send_out`: a fresh encode (allocation + serialization) per
+    // recipient of the same fanned-out message.
+    let seed_ns = measure_ns(samples, || {
+        for _ in 0..FANOUT {
+            std::hint::black_box(drum_net::codec::encode(&msg));
+        }
+    });
+    // Current `send_out`: encode once into reused scratch, then address
+    // each recipient from the same bytes.
+    let mut scratch = BytesMut::with_capacity(drum_net::codec::MAX_WIRE_LEN);
+    let current_ns = measure_ns(samples, || {
+        drum_net::codec::encode_into(&msg, &mut scratch);
+        for _ in 0..FANOUT {
+            std::hint::black_box(&scratch[..]);
+        }
+    });
+    Comparison {
+        name: "encode_fanout_x8",
+        seed_ns,
+        current_ns,
+        floor: 2.0,
+    }
+}
+
+const SIM_ROUNDS: u32 = 30;
+
+fn bench_sim_round(samples: usize) -> Comparison {
+    let mut cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 1000, 64.0);
+    cfg.attack.as_mut().unwrap().rotate_every = Some(2);
+    let n = cfg.n;
+
+    // The runner queries occupancy three ways every round to decide
+    // termination (`correct_with_m`, `attacked_with_m`, `unattacked_with_m`
+    // — see runner.rs). In the seed each accessor was a fresh O(n) scan,
+    // and `unattacked_with_m` was two; replicate those four scans here.
+    let seed_queries = |cfg: &SimConfig, state: &SimState| {
+        let correct_scan = |state: &SimState| {
+            (0..n)
+                .filter(|&i| {
+                    matches!(cfg.role_of(i), Role::AttackedCorrect | Role::Correct)
+                        && state.has_m(i)
+                })
+                .count()
+        };
+        let attacked_scan = |state: &SimState| {
+            (0..n)
+                .filter(|&i| state.is_attacked(i) && state.has_m(i))
+                .count()
+        };
+        let correct = correct_scan(state);
+        let attacked = attacked_scan(state);
+        let unattacked = correct_scan(state) - attacked_scan(state);
+        (correct, attacked, unattacked)
+    };
+
+    let cfg_seed = cfg.clone();
+    let seed_ns = measure_ns(samples, || {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut state = SimState::new(cfg_seed.clone());
+        for _ in 0..SIM_ROUNDS {
+            state.step(&mut rng);
+            std::hint::black_box(seed_queries(&cfg_seed, &state));
+        }
+    }) / f64::from(SIM_ROUNDS);
+    // Current: step + the O(1) incremental counters behind the same three
+    // accessors.
+    let cfg_cur = cfg.clone();
+    let current_ns = measure_ns(samples, || {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut state = SimState::new(cfg_cur.clone());
+        for _ in 0..SIM_ROUNDS {
+            state.step(&mut rng);
+            std::hint::black_box((
+                state.correct_with_m(),
+                state.attacked_with_m(),
+                state.unattacked_with_m(),
+            ));
+        }
+    }) / f64::from(SIM_ROUNDS);
+    Comparison {
+        name: "sim_round_n1000_attacked",
+        seed_ns,
+        current_ns,
+        floor: 1.05,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate = !args.iter().any(|a| a == "--no-gate");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let samples = if quick { 7 } else { 21 };
+
+    println!("=== hot-path benchmarks (seed baseline vs current) ===");
+    println!(
+        "mode: {} | out: {out_path}\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    let results = [
+        bench_auth_verify(samples),
+        bench_encode_fanout(samples),
+        bench_sim_round(samples),
+    ];
+
+    println!(
+        "  {:<24} {:>12} {:>12} {:>9}  gate",
+        "benchmark", "seed ns/op", "now ns/op", "speedup"
+    );
+    let mut failed = Vec::new();
+    for r in &results {
+        let ok = r.speedup() >= r.floor;
+        println!(
+            "  {:<24} {:>12.1} {:>12.1} {:>8.2}x  {}",
+            r.name,
+            r.seed_ns,
+            r.current_ns,
+            r.speedup(),
+            if ok {
+                "ok".to_string()
+            } else {
+                format!("FAIL (< {:.2}x)", r.floor)
+            }
+        );
+        if !ok {
+            failed.push(r.name);
+        }
+    }
+
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("hotpath".into())),
+        (
+            "mode".into(),
+            Json::Str(if quick { "quick" } else { "full" }.into()),
+        ),
+        (
+            "results".into(),
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(r.name.into())),
+                            ("seed_ns_per_op".into(), Json::num(r.seed_ns)),
+                            ("current_ns_per_op".into(), Json::num(r.current_ns)),
+                            ("speedup".into(), Json::num(r.speedup())),
+                            ("gate_floor".into(), Json::num(r.floor)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench json");
+    println!("\nwrote {out_path}");
+
+    if gate && !failed.is_empty() {
+        eprintln!("bench gate FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -268,6 +268,12 @@ impl BytesMut {
         self.data.extend_from_slice(src);
     }
 
+    /// Clears the written bytes, retaining the allocation so the writer can
+    /// be reused as encode scratch.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Converts the written bytes into an immutable shared [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -371,5 +377,17 @@ mod tests {
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::default().len(), 0);
         assert!(BytesMut::new().is_empty());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_slice(b"scratch");
+        let cap = w.data.capacity();
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.data.capacity(), cap);
+        w.put_u8(1);
+        assert_eq!(&w[..], &[1]);
     }
 }

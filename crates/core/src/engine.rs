@@ -22,6 +22,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
 
+use drum_crypto::hmac::HmacKey;
 use drum_crypto::keys::{KeyStore, SecretKey};
 use drum_crypto::seal;
 use drum_trace::{trace_event, Timestamp, Tracer};
@@ -135,6 +136,9 @@ pub struct Engine {
     round: Round,
     next_seq: u64,
     my_key: SecretKey,
+    /// Precomputed HMAC schedule for `my_key`; signing a published message
+    /// costs no key-schedule work.
+    my_auth_key: HmacKey,
     key_store: KeyStore,
     rng: SmallRng,
     /// Processes we sent a push-offer to this round; push-replies from
@@ -178,6 +182,7 @@ impl Engine {
     ) -> Self {
         let budget = RoundBudget::for_config(&config);
         let buffer = MessageBuffer::new(config.buffer_rounds);
+        let my_auth_key = my_key.hmac_key();
         Engine {
             config,
             membership,
@@ -186,6 +191,7 @@ impl Engine {
             round: Round::ZERO,
             next_seq: 0,
             my_key,
+            my_auth_key,
             key_store,
             rng: SmallRng::seed_from_u64(seed),
             offered_to: HashSet::new(),
@@ -276,7 +282,7 @@ impl Engine {
     pub fn publish(&mut self, payload: Bytes) -> MessageId {
         let id = MessageId::new(self.me(), self.next_seq);
         self.next_seq += 1;
-        let mut msg = DataMessage::sign_new(&self.my_key, id, payload);
+        let mut msg = DataMessage::sign_new_with(&self.my_auth_key, id, payload);
         // §8.1: the source logs 0 and immediately increases the counter to 1.
         msg.hops = 1;
         self.buffer.insert(msg, self.round);
@@ -408,6 +414,20 @@ impl Engine {
         incoming: GossipMessage,
         oracle: &mut O,
     ) -> Vec<Outbound> {
+        let mut out = Vec::new();
+        self.handle_into(incoming, oracle, &mut out);
+        out
+    }
+
+    /// Like [`Engine::handle`], but appends responses to a caller-owned
+    /// vector so transports can reuse one allocation across the many
+    /// messages of a poll iteration.
+    pub fn handle_into<O: PortOracle>(
+        &mut self,
+        incoming: GossipMessage,
+        oracle: &mut O,
+        out: &mut Vec<Outbound>,
+    ) {
         let kind = incoming.kind();
         let channel = Channel::for_kind(kind);
         if !self.budget.try_accept(channel) {
@@ -426,7 +446,7 @@ impl Engine {
                     kind = kind.name()
                 );
             }
-            return Vec::new();
+            return;
         }
         self.stats.accepted[RoundStats::kind_index(kind)] += 1;
         trace_event!(
@@ -446,27 +466,27 @@ impl Engine {
                 ..
             } => {
                 let Some(port) = self.resolve_port(&reply_port) else {
-                    return Vec::new();
+                    return;
                 };
                 let messages = self.buffer.select_missing(
                     &digest,
                     self.config.max_msgs_per_exchange,
                     &mut self.rng,
                 );
-                vec![Outbound {
+                out.push(Outbound {
                     to: from,
                     port: SendPort::Port(port),
                     msg: GossipMessage::PullReply {
                         from: self.me(),
                         messages,
                     },
-                }]
+                });
             }
             GossipMessage::PushOffer {
                 from, reply_port, ..
             } => {
                 let Some(port) = self.resolve_port(&reply_port) else {
-                    return Vec::new();
+                    return;
                 };
                 let data_port = if self.config.random_ports {
                     oracle.allocate_port(PortPurpose::PushData, self.round)
@@ -474,7 +494,7 @@ impl Engine {
                     self.fixed_push_data_port
                 };
                 let (data_port_ref, nonce) = self.port_ref_for(from, data_port);
-                vec![Outbound {
+                out.push(Outbound {
                     to: from,
                     port: SendPort::Port(port),
                     msg: GossipMessage::PushReply {
@@ -483,7 +503,7 @@ impl Engine {
                         data_port: data_port_ref,
                         nonce,
                     },
-                }]
+                });
             }
             GossipMessage::PushReply {
                 from,
@@ -501,12 +521,12 @@ impl Engine {
                         me = self.me().as_u64(),
                         from = from.as_u64()
                     );
-                    return Vec::new();
+                    return;
                 }
                 // One reply per offer.
                 self.offered_to.remove(&from);
                 let Some(port) = self.resolve_port(&data_port) else {
-                    return Vec::new();
+                    return;
                 };
                 let messages = self.buffer.select_missing(
                     &digest,
@@ -514,21 +534,20 @@ impl Engine {
                     &mut self.rng,
                 );
                 if messages.is_empty() {
-                    return Vec::new();
+                    return;
                 }
-                vec![Outbound {
+                out.push(Outbound {
                     to: from,
                     port: SendPort::Port(port),
                     msg: GossipMessage::PushData {
                         from: self.me(),
                         messages,
                     },
-                }]
+                });
             }
             GossipMessage::PullReply { messages, .. }
             | GossipMessage::PushData { messages, .. } => {
                 self.receive_data(messages);
-                Vec::new()
             }
         }
     }

@@ -33,7 +33,18 @@ impl DataMessage {
         id: MessageId,
         payload: Bytes,
     ) -> Self {
-        let auth = drum_crypto::auth::sign(source_key, id.source.as_u64(), id.seq, &payload);
+        Self::sign_new_with(&source_key.hmac_key(), id, payload)
+    }
+
+    /// Creates and signs a new data message using a precomputed key schedule
+    /// (see [`drum_crypto::keys::SecretKey::hmac_key`]). Sources that publish
+    /// repeatedly should cache the schedule and use this entry point.
+    pub fn sign_new_with(
+        auth_key: &drum_crypto::hmac::HmacKey,
+        id: MessageId,
+        payload: Bytes,
+    ) -> Self {
+        let auth = drum_crypto::auth::sign_with(auth_key, id.source.as_u64(), id.seq, &payload);
         DataMessage {
             id,
             hops: 0,

@@ -8,7 +8,7 @@
 //! member, via the PKI stand-in) can verify the tag, and the adversary
 //! cannot forge it.
 
-use crate::hmac::{hmac_sha256, verify_tag};
+use crate::hmac::{verify_tag, HmacKey};
 use crate::keys::{KeyStore, SecretKey, UnknownPeerError};
 
 /// Length in bytes of an authentication tag.
@@ -52,25 +52,57 @@ impl std::error::Error for AuthError {
     }
 }
 
-fn tag_input(source: u64, seq: u64, payload: &[u8]) -> Vec<u8> {
-    let mut data = Vec::with_capacity(13 + 16 + payload.len());
-    data.extend_from_slice(b"drum.msg.auth");
-    data.extend_from_slice(&source.to_be_bytes());
-    data.extend_from_slice(&seq.to_be_bytes());
-    data.extend_from_slice(payload);
-    data
+/// Streams `"drum.msg.auth" ‖ source ‖ seq ‖ payload` through the cached
+/// key schedule. No intermediate buffer is allocated — this runs once per
+/// received message, so it must be as close to raw HMAC cost as possible.
+fn tag_of(key: &HmacKey, source: u64, seq: u64, payload: &[u8]) -> [u8; AUTH_TAG_LEN] {
+    key.mac_parts(&[
+        b"drum.msg.auth",
+        &source.to_be_bytes(),
+        &seq.to_be_bytes(),
+        payload,
+    ])
+}
+
+/// Computes the authentication tag for a `(source, seq, payload)` triple
+/// using a precomputed key schedule (see [`SecretKey::hmac_key`]).
+pub fn sign_with(auth_key: &HmacKey, source: u64, seq: u64, payload: &[u8]) -> AuthTag {
+    AuthTag(tag_of(auth_key, source, seq, payload))
 }
 
 /// Computes the authentication tag for a `(source, seq, payload)` triple
 /// using the source's own key.
+///
+/// Derives the key schedule on every call; hot paths should cache it with
+/// [`SecretKey::hmac_key`] and use [`sign_with`].
 pub fn sign(source_key: &SecretKey, source: u64, seq: u64, payload: &[u8]) -> AuthTag {
-    AuthTag(hmac_sha256(
-        source_key.as_bytes(),
-        &tag_input(source, seq, payload),
-    ))
+    sign_with(&source_key.hmac_key(), source, seq, payload)
+}
+
+/// Verifies a tag against a precomputed key schedule for `source`.
+///
+/// # Errors
+///
+/// * [`AuthError::Forged`] — the tag does not match.
+pub fn verify_with(
+    auth_key: &HmacKey,
+    source: u64,
+    seq: u64,
+    payload: &[u8],
+    tag: &AuthTag,
+) -> Result<(), AuthError> {
+    let expected = tag_of(auth_key, source, seq, payload);
+    if verify_tag(&expected, &tag.0) {
+        Ok(())
+    } else {
+        Err(AuthError::Forged)
+    }
 }
 
 /// Verifies a tag against the key registered for `source` in `store`.
+///
+/// Uses the store's cached per-peer key schedule ([`KeyStore::auth_key_of`]),
+/// so repeated verifications for one source pay no key-schedule cost.
 ///
 /// # Errors
 ///
@@ -83,13 +115,10 @@ pub fn verify(
     payload: &[u8],
     tag: &AuthTag,
 ) -> Result<(), AuthError> {
-    let key = store.key_of(source).map_err(AuthError::UnknownSource)?;
-    let expected = hmac_sha256(key.as_bytes(), &tag_input(source, seq, payload));
-    if verify_tag(&expected, &tag.0) {
-        Ok(())
-    } else {
-        Err(AuthError::Forged)
-    }
+    let key = store
+        .auth_key_of(source)
+        .map_err(AuthError::UnknownSource)?;
+    verify_with(&key, source, seq, payload, tag)
 }
 
 #[cfg(test)]
@@ -106,6 +135,22 @@ mod tests {
     fn sign_verify_round_trip() {
         let (store, key) = store_with(1);
         let tag = sign(&key, 1, 42, b"payload");
+        assert!(verify(&store, 1, 42, b"payload", &tag).is_ok());
+    }
+
+    #[test]
+    fn cached_schedule_paths_match_oneshot() {
+        let (store, key) = store_with(1);
+        let schedule = key.hmac_key();
+        let tag = sign(&key, 1, 42, b"payload");
+        assert_eq!(sign_with(&schedule, 1, 42, b"payload"), tag);
+        assert!(verify_with(&schedule, 1, 42, b"payload", &tag).is_ok());
+        assert_eq!(
+            verify_with(&schedule, 1, 42, b"other", &tag),
+            Err(AuthError::Forged)
+        );
+        // Store-level verify goes through the cached per-peer schedule.
+        assert!(verify(&store, 1, 42, b"payload", &tag).is_ok());
         assert!(verify(&store, 1, 42, b"payload", &tag).is_ok());
     }
 

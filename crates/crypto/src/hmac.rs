@@ -30,22 +30,35 @@ pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
     mac.finalize()
 }
 
-/// Incremental HMAC-SHA-256 computation.
+/// A precomputed HMAC-SHA-256 key schedule.
+///
+/// [`HmacSha256::new`] pays two SHA-256 compression passes — one absorbing
+/// the `ipad` key block, one the `opad` block — every time it is called. On
+/// Drum's receive path that cost recurs per message even though each peer's
+/// key is fixed, and it is exactly the kind of per-message work an attacker
+/// gets to amplify with forged traffic. `HmacKey` performs both passes once
+/// and caches the two mid-states; each subsequent MAC starts from cheap
+/// state copies with no allocation, no key-block XOR and no pad
+/// compressions.
+///
+/// Tags are bit-identical to the one-shot [`hmac_sha256`] path.
 #[derive(Clone)]
-pub struct HmacSha256 {
+pub struct HmacKey {
+    /// Hash state after absorbing `key ^ ipad`.
     inner: Sha256,
-    /// Outer-pad key block, retained until finalization.
-    opad: [u8; BLOCK_LEN],
+    /// Hash state after absorbing `key ^ opad`.
+    outer: Sha256,
 }
 
-impl core::fmt::Debug for HmacSha256 {
+impl core::fmt::Debug for HmacKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("HmacSha256").finish_non_exhaustive()
+        f.debug_struct("HmacKey").finish_non_exhaustive()
     }
 }
 
-impl HmacSha256 {
-    /// Creates an HMAC context keyed with `key`.
+impl HmacKey {
+    /// Derives the key schedule. Keys longer than the 64-byte block size are
+    /// first hashed, per the RFC.
     pub fn new(key: &[u8]) -> Self {
         let mut key_block = [0u8; BLOCK_LEN];
         if key.len() > BLOCK_LEN {
@@ -63,7 +76,57 @@ impl HmacSha256 {
 
         let mut inner = Sha256::new();
         inner.update(&ipad);
-        HmacSha256 { inner, opad }
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacKey { inner, outer }
+    }
+
+    /// MACs `data` under the cached schedule.
+    pub fn mac(&self, data: &[u8]) -> [u8; DIGEST_LEN] {
+        self.mac_parts(&[data])
+    }
+
+    /// MACs the logical concatenation of `parts` without copying them into a
+    /// contiguous buffer. Equivalent to `mac` over the concatenation.
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
+        let mut mac = self.begin();
+        for part in parts {
+            mac.update(part);
+        }
+        mac.finalize()
+    }
+
+    /// Starts an incremental MAC from the cached schedule.
+    pub fn begin(&self) -> HmacSha256 {
+        HmacSha256 {
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
+        }
+    }
+}
+
+/// Incremental HMAC-SHA-256 computation.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Outer hash state (`key ^ opad` already absorbed), retained until
+    /// finalization.
+    outer: Sha256,
+}
+
+impl core::fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("HmacSha256").finish_non_exhaustive()
+    }
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC context keyed with `key`.
+    ///
+    /// Rebuilds the key schedule from scratch; callers that MAC repeatedly
+    /// under one key should cache an [`HmacKey`] and use [`HmacKey::begin`].
+    pub fn new(key: &[u8]) -> Self {
+        HmacKey::new(key).begin()
     }
 
     /// Absorbs message data.
@@ -74,8 +137,7 @@ impl HmacSha256 {
     /// Completes the MAC and returns the 32-byte tag.
     pub fn finalize(self) -> [u8; DIGEST_LEN] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad);
+        let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
     }
@@ -161,6 +223,30 @@ mod tests {
         mac.update(b"hello ");
         mac.update(b"world");
         assert_eq!(mac.finalize(), hmac_sha256(b"k", b"hello world"));
+    }
+
+    #[test]
+    fn cached_key_matches_oneshot() {
+        let key = HmacKey::new(b"k");
+        assert_eq!(key.mac(b"hello world"), hmac_sha256(b"k", b"hello world"));
+        // Reuse does not perturb the cached schedule.
+        assert_eq!(key.mac(b"hello world"), hmac_sha256(b"k", b"hello world"));
+    }
+
+    #[test]
+    fn cached_key_long_key_matches_oneshot() {
+        let long_key = [0xaa; 131];
+        let key = HmacKey::new(&long_key);
+        assert_eq!(key.mac(b"msg"), hmac_sha256(&long_key, b"msg"));
+    }
+
+    #[test]
+    fn mac_parts_equals_concatenation() {
+        let key = HmacKey::new(b"parts-key");
+        let whole = key.mac(b"abcdef");
+        assert_eq!(key.mac_parts(&[b"abc", b"def"]), whole);
+        assert_eq!(key.mac_parts(&[b"", b"abcdef", b""]), whole);
+        assert_eq!(key.mac_parts(&[b"a", b"b", b"c", b"d", b"e", b"f"]), whole);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::{hmac_sha256, HmacKey};
 
 /// A 256-bit symmetric secret owned by one process.
 #[derive(Clone, PartialEq, Eq)]
@@ -55,6 +55,12 @@ impl SecretKey {
     /// Raw key bytes. Use sparingly; prefer the higher-level APIs.
     pub fn as_bytes(&self) -> &[u8; 32] {
         &self.0
+    }
+
+    /// Precomputes the HMAC key schedule for this key. Callers that MAC
+    /// repeatedly under the same key should hold on to the result.
+    pub fn hmac_key(&self) -> HmacKey {
+        HmacKey::new(&self.0)
     }
 }
 
@@ -93,6 +99,10 @@ impl std::error::Error for UnknownPeerError {}
 #[derive(Clone, Debug)]
 pub struct KeyStore {
     inner: Arc<RwLock<HashMap<u64, SecretKey>>>,
+    /// Lazily built per-peer HMAC key schedules (see
+    /// [`KeyStore::auth_key_of`]). Invalidated whenever the peer's secret
+    /// key changes.
+    auth_keys: Arc<RwLock<HashMap<u64, Arc<HmacKey>>>>,
     seed_rng: Arc<RwLock<SmallRng>>,
 }
 
@@ -102,6 +112,7 @@ impl KeyStore {
     pub fn new(seed: u64) -> Self {
         KeyStore {
             inner: Arc::new(RwLock::new(HashMap::new())),
+            auth_keys: Arc::new(RwLock::new(HashMap::new())),
             seed_rng: Arc::new(RwLock::new(SmallRng::seed_from_u64(seed))),
         }
     }
@@ -116,6 +127,12 @@ impl KeyStore {
         self.inner.write().unwrap_or_else(PoisonError::into_inner)
     }
 
+    fn write_auth_keys(&self) -> RwLockWriteGuard<'_, HashMap<u64, Arc<HmacKey>>> {
+        self.auth_keys
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Registers a fresh key for `peer`, replacing any existing one.
     /// Returns the generated key.
     pub fn register(&self, peer: u64) -> SecretKey {
@@ -127,17 +144,20 @@ impl KeyStore {
             SecretKey::generate(&mut *rng)
         };
         self.write_keys().insert(peer, key.clone());
+        self.write_auth_keys().remove(&peer);
         key
     }
 
     /// Registers an externally generated key for `peer`.
     pub fn register_key(&self, peer: u64, key: SecretKey) {
         self.write_keys().insert(peer, key);
+        self.write_auth_keys().remove(&peer);
     }
 
     /// Removes `peer`'s key (e.g. after certificate revocation).
     /// Returns `true` if a key was present.
     pub fn revoke(&self, peer: u64) -> bool {
+        self.write_auth_keys().remove(&peer);
         self.write_keys().remove(&peer).is_some()
     }
 
@@ -167,6 +187,43 @@ impl KeyStore {
             .get(&peer)
             .cloned()
             .ok_or(UnknownPeerError { peer })
+    }
+
+    /// Fetches the cached HMAC key schedule for `peer`, deriving and caching
+    /// it on first use.
+    ///
+    /// This is the receive-path fast lane: after the first message from a
+    /// peer, verification costs an `Arc` clone instead of a fresh key
+    /// schedule (two SHA-256 compressions). The cache entry is dropped when
+    /// the peer's key is re-registered or revoked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownPeerError`] if `peer` was never registered (or was
+    /// revoked).
+    pub fn auth_key_of(&self, peer: u64) -> Result<Arc<HmacKey>, UnknownPeerError> {
+        if let Some(cached) = self
+            .auth_keys
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&peer)
+        {
+            return Ok(Arc::clone(cached));
+        }
+        // Miss: derive under the cache write lock so a concurrent revoke or
+        // re-register (which clears the entry under the same lock) cannot
+        // leave a stale schedule behind.
+        let mut cache = self.write_auth_keys();
+        if let Some(cached) = cache.get(&peer) {
+            return Ok(Arc::clone(cached));
+        }
+        let schedule = {
+            let keys = self.read_keys();
+            let secret = keys.get(&peer).ok_or(UnknownPeerError { peer })?;
+            Arc::new(secret.hmac_key())
+        };
+        cache.insert(peer, Arc::clone(&schedule));
+        Ok(schedule)
     }
 }
 
@@ -226,6 +283,44 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let k = SecretKey::generate(&mut rng);
         assert_ne!(k.derive(b"a").as_bytes(), k.derive(b"b").as_bytes());
+    }
+
+    #[test]
+    fn auth_key_matches_fresh_schedule() {
+        let store = KeyStore::new(11);
+        let secret = store.register(4);
+        let cached = store.auth_key_of(4).unwrap();
+        assert_eq!(cached.mac(b"m"), secret.hmac_key().mac(b"m"));
+        // Second lookup returns the same cached schedule.
+        let again = store.auth_key_of(4).unwrap();
+        assert!(Arc::ptr_eq(&cached, &again));
+    }
+
+    #[test]
+    fn auth_key_cache_invalidated_on_rekey() {
+        let store = KeyStore::new(11);
+        store.register(4);
+        let old = store.auth_key_of(4).unwrap();
+        let new_secret = store.register(4);
+        let new = store.auth_key_of(4).unwrap();
+        assert!(!Arc::ptr_eq(&old, &new));
+        assert_eq!(new.mac(b"m"), new_secret.hmac_key().mac(b"m"));
+
+        store.register_key(4, SecretKey::from_bytes([9u8; 32]));
+        let replaced = store.auth_key_of(4).unwrap();
+        assert_eq!(
+            replaced.mac(b"m"),
+            SecretKey::from_bytes([9u8; 32]).hmac_key().mac(b"m")
+        );
+    }
+
+    #[test]
+    fn auth_key_cache_invalidated_on_revoke() {
+        let store = KeyStore::new(11);
+        store.register(4);
+        store.auth_key_of(4).unwrap();
+        store.revoke(4);
+        assert_eq!(store.auth_key_of(4).unwrap_err().peer, 4);
     }
 
     #[test]

@@ -35,7 +35,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide and allowed in exactly one place: the
+// `sha256::shani` module, which calls the x86-64 SHA-NI intrinsics behind a
+// runtime CPU-feature check. Everything else in this crate is safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod auth;
@@ -45,13 +48,14 @@ pub mod keys;
 pub mod seal;
 pub mod sha256;
 
-pub use auth::{sign, verify, AuthError, AuthTag, AUTH_TAG_LEN};
+pub use auth::{sign, sign_with, verify, verify_with, AuthError, AuthTag, AUTH_TAG_LEN};
+pub use hmac::HmacKey;
 pub use keys::{KeyStore, SecretKey, UnknownPeerError};
 pub use seal::{open, open_port, seal, seal_port, SealError, SealedBox};
 
 #[cfg(test)]
 mod proptests {
-    use crate::hmac::hmac_sha256;
+    use crate::hmac::{hmac_sha256, HmacKey};
     use crate::keys::SecretKey;
     use crate::seal::{open, seal, MAX_SEALED_LEN};
     use crate::sha256::Sha256;
@@ -91,6 +95,34 @@ mod proptests {
             prop_assert_eq!(hmac_sha256(&key, &data), hmac_sha256(&key, &data));
             Ok(())
         });
+    }
+
+    #[test]
+    fn cached_schedule_hmac_equals_oneshot() {
+        check(
+            "cached_schedule_hmac_equals_oneshot",
+            Config::default(),
+            |g| {
+                let key = g.bytes(0..100);
+                let data = g.bytes(0..256);
+                let split = g.usize_in(0..257).min(data.len());
+                let schedule = HmacKey::new(&key);
+                let expected = hmac_sha256(&key, &data);
+                // One-shot over the cached schedule.
+                prop_assert_eq!(schedule.mac(&data), expected);
+                // Streamed as two arbitrary parts.
+                prop_assert_eq!(
+                    schedule.mac_parts(&[&data[..split], &data[split..]]),
+                    expected
+                );
+                // Incremental context started from the cached schedule.
+                let mut mac = schedule.begin();
+                mac.update(&data[..split]);
+                mac.update(&data[split..]);
+                prop_assert_eq!(mac.finalize(), expected);
+                Ok(())
+            },
+        );
     }
 
     #[test]

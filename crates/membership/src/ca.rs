@@ -15,7 +15,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use drum_core::ids::ProcessId;
-use drum_crypto::hmac::hmac_sha256;
+use drum_crypto::hmac::HmacKey;
 use drum_crypto::keys::{KeyStore, SecretKey};
 
 use crate::cert::{Certificate, Timestamp};
@@ -71,6 +71,9 @@ struct CaInner {
 #[derive(Clone)]
 pub struct CertificateAuthority {
     key: SecretKey,
+    /// Precomputed HMAC schedule for `key`; issuing a certificate pays no
+    /// key-schedule cost.
+    signing_key: HmacKey,
     /// The PKI stand-in: joining registers the member's key here so other
     /// members can authenticate its messages and seal ports for it.
     key_store: KeyStore,
@@ -105,8 +108,11 @@ impl From<SecretKey> for SecretKeyWrapper {
 impl CertificateAuthority {
     /// Creates a CA with the given signing key and PKI registry.
     pub fn new(key: impl Into<SecretKeyWrapper>, key_store: KeyStore) -> Self {
+        let key = key.into().0;
+        let signing_key = key.hmac_key();
         CertificateAuthority {
-            key: key.into().0,
+            key,
+            signing_key,
             key_store,
             inner: Arc::new(Mutex::new(CaInner {
                 serial: 0,
@@ -141,10 +147,8 @@ impl CertificateAuthority {
         issued: Timestamp,
         expires: Timestamp,
     ) -> Certificate {
-        let signature = hmac_sha256(
-            self.key.as_bytes(),
-            &Certificate::signing_input(subject, serial, issued, expires),
-        );
+        let signature =
+            Certificate::signature_over(&self.signing_key, subject, serial, issued, expires);
         Certificate {
             subject,
             serial,

@@ -7,7 +7,7 @@
 //! (see `DESIGN.md`).
 
 use drum_core::ids::ProcessId;
-use drum_crypto::hmac::{hmac_sha256, verify_tag};
+use drum_crypto::hmac::{verify_tag, HmacKey};
 use drum_crypto::keys::SecretKey;
 
 /// Logical wall-clock timestamp (seconds). The membership layer never reads
@@ -32,19 +32,23 @@ pub struct Certificate {
 }
 
 impl Certificate {
-    pub(crate) fn signing_input(
+    /// The CA signature over `(subject, serial, issued_at, expires_at)`,
+    /// streamed through a precomputed key schedule with no intermediate
+    /// buffer.
+    pub(crate) fn signature_over(
+        ca_key: &HmacKey,
         subject: ProcessId,
         serial: u64,
         issued_at: Timestamp,
         expires_at: Timestamp,
-    ) -> Vec<u8> {
-        let mut data = Vec::with_capacity(14 + 32);
-        data.extend_from_slice(b"drum.mem.cert");
-        data.extend_from_slice(&subject.as_u64().to_be_bytes());
-        data.extend_from_slice(&serial.to_be_bytes());
-        data.extend_from_slice(&issued_at.to_be_bytes());
-        data.extend_from_slice(&expires_at.to_be_bytes());
-        data
+    ) -> [u8; 32] {
+        ca_key.mac_parts(&[
+            b"drum.mem.cert",
+            &subject.as_u64().to_be_bytes(),
+            &serial.to_be_bytes(),
+            &issued_at.to_be_bytes(),
+            &expires_at.to_be_bytes(),
+        ])
     }
 
     /// Whether the certificate is within its validity window at `now`.
@@ -54,10 +58,22 @@ impl Certificate {
 
     /// Verifies the CA signature (does **not** check expiry or revocation —
     /// see [`crate::database::MembershipDb::apply`] for the full pipeline).
+    ///
+    /// Derives the key schedule on every call; verifiers that process many
+    /// certificates should cache it and use [`Certificate::verify_with`].
     pub fn verify(&self, ca_key: &SecretKey) -> bool {
-        let expected = hmac_sha256(
-            ca_key.as_bytes(),
-            &Self::signing_input(self.subject, self.serial, self.issued_at, self.expires_at),
+        self.verify_with(&ca_key.hmac_key())
+    }
+
+    /// Verifies the CA signature against a precomputed key schedule (see
+    /// [`SecretKey::hmac_key`]).
+    pub fn verify_with(&self, ca_key: &HmacKey) -> bool {
+        let expected = Self::signature_over(
+            ca_key,
+            self.subject,
+            self.serial,
+            self.issued_at,
+            self.expires_at,
         );
         verify_tag(&expected, &self.signature)
     }
@@ -123,9 +139,12 @@ mod tests {
     }
 
     fn make_cert(subject: u64, serial: u64, issued: u64, expires: u64) -> Certificate {
-        let sig = hmac_sha256(
-            ca_key().as_bytes(),
-            &Certificate::signing_input(ProcessId(subject), serial, issued, expires),
+        let sig = Certificate::signature_over(
+            &ca_key().hmac_key(),
+            ProcessId(subject),
+            serial,
+            issued,
+            expires,
         );
         Certificate {
             subject: ProcessId(subject),

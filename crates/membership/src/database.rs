@@ -15,6 +15,7 @@ use std::collections::HashMap;
 
 use drum_core::ids::ProcessId;
 use drum_core::view::Membership;
+use drum_crypto::hmac::HmacKey;
 use drum_crypto::keys::SecretKey;
 
 use crate::cert::{Certificate, Timestamp};
@@ -48,7 +49,9 @@ impl std::error::Error for ApplyError {}
 #[derive(Debug, Clone)]
 pub struct MembershipDb {
     me: ProcessId,
-    ca_key: SecretKey,
+    /// Precomputed schedule of the CA key: membership churn means verifying
+    /// certificates in bulk, so the schedule is derived once at construction.
+    ca_key: HmacKey,
     /// Current certificate per known member.
     members: HashMap<ProcessId, Certificate>,
     /// Serials we have seen revoked (from Leave/Expel events).
@@ -64,7 +67,7 @@ impl MembershipDb {
     pub fn new(me: ProcessId, ca_key: SecretKey) -> Self {
         MembershipDb {
             me,
-            ca_key,
+            ca_key: ca_key.hmac_key(),
             members: HashMap::new(),
             revoked: std::collections::HashSet::new(),
             suspected: std::collections::HashSet::new(),
@@ -88,7 +91,7 @@ impl MembershipDb {
     }
 
     fn install(&mut self, cert: Certificate, now: Timestamp) -> Result<(), ApplyError> {
-        if !cert.verify(&self.ca_key) {
+        if !cert.verify_with(&self.ca_key) {
             return Err(ApplyError::BadSignature);
         }
         if !cert.is_current(now) {
@@ -118,7 +121,7 @@ impl MembershipDb {
                 self.install(cert.clone(), now)
             }
             MembershipEvent::Leave(cert) | MembershipEvent::Expel(cert) => {
-                if !cert.verify(&self.ca_key) {
+                if !cert.verify_with(&self.ca_key) {
                     return Err(ApplyError::BadSignature);
                 }
                 self.revoked.insert(cert.serial);

@@ -111,15 +111,11 @@ impl std::error::Error for EventDecodeError {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drum_crypto::hmac::hmac_sha256;
     use drum_crypto::keys::SecretKey;
 
     fn cert(subject: u64) -> Certificate {
         let key = SecretKey::from_bytes([1u8; 32]);
-        let sig = hmac_sha256(
-            key.as_bytes(),
-            &Certificate::signing_input(ProcessId(subject), 1, 0, 100),
-        );
+        let sig = Certificate::signature_over(&key.hmac_key(), ProcessId(subject), 1, 0, 100);
         Certificate {
             subject: ProcessId(subject),
             serial: 1,

@@ -140,6 +140,9 @@ pub fn spawn_attacker(
         .spawn(move || {
             let mut sent = 0u64;
             let mut seq = 0u64;
+            // Flooding is the attacker's hot path: reuse one wire buffer
+            // for every fabricated datagram instead of allocating per send.
+            let mut wire = drum_core::bytes::BytesMut::with_capacity(codec::MAX_WIRE_LEN);
             // Per-round per-target counts on each channel.
             let (x_push, x_pull) = match config.victim_protocol {
                 ProtocolVariant::Drum => (config.x_per_round / 2.0, config.x_per_round / 2.0),
@@ -192,23 +195,23 @@ pub fn spawn_attacker(
                 for (i, target) in targets.iter().enumerate() {
                     for _ in 0..n_pull {
                         seq += 1;
-                        let bytes = codec::encode(&fabricated_pull_request(seq));
-                        if socket.send_to(&bytes, target.pull).is_ok() {
+                        codec::encode_into(&fabricated_pull_request(seq), &mut wire);
+                        if socket.send_to(&wire[..], target.pull).is_ok() {
                             sent += 1;
                         }
                     }
                     for _ in 0..n_push {
                         seq += 1;
-                        let bytes = codec::encode(&fabricated_push_offer(seq));
-                        if socket.send_to(&bytes, target.push).is_ok() {
+                        codec::encode_into(&fabricated_push_offer(seq), &mut wire);
+                        if socket.send_to(&wire[..], target.push).is_ok() {
                             sent += 1;
                         }
                     }
                     if let Some(reply_addr) = config.reply_port_targets.get(i) {
                         for _ in 0..n_reply {
                             seq += 1;
-                            let bytes = codec::encode(&fabricated_pull_reply(seq));
-                            if socket.send_to(&bytes, *reply_addr).is_ok() {
+                            codec::encode_into(&fabricated_pull_reply(seq), &mut wire);
+                            if socket.send_to(&wire[..], *reply_addr).is_ok() {
                                 sent += 1;
                             }
                         }

@@ -211,6 +211,18 @@ fn get_messages(buf: &mut Bytes) -> Result<Vec<DataMessage>, DecodeError> {
 /// Encodes a [`GossipMessage`] into a datagram payload.
 pub fn encode(msg: &GossipMessage) -> Bytes {
     let mut out = BytesMut::with_capacity(128);
+    encode_into(msg, &mut out);
+    out.freeze()
+}
+
+/// Encodes a [`GossipMessage`] into a caller-owned buffer.
+///
+/// The buffer is cleared first, so its allocation is reused across calls —
+/// a sender fanning one message out to many recipients (or many messages in
+/// one poll iteration) pays for the datagram bytes once instead of a fresh
+/// allocation per `encode`. Output is byte-identical to [`encode`].
+pub fn encode_into(msg: &GossipMessage, out: &mut BytesMut) {
+    out.clear();
     match msg {
         GossipMessage::PullRequest {
             from,
@@ -221,13 +233,13 @@ pub fn encode(msg: &GossipMessage) -> Bytes {
             out.put_u8(TAG_PULL_REQUEST);
             out.put_u64(from.as_u64());
             out.put_u64(*nonce);
-            put_port(&mut out, reply_port);
-            put_digest(&mut out, digest);
+            put_port(out, reply_port);
+            put_digest(out, digest);
         }
         GossipMessage::PullReply { from, messages } => {
             out.put_u8(TAG_PULL_REPLY);
             out.put_u64(from.as_u64());
-            put_messages(&mut out, messages);
+            put_messages(out, messages);
         }
         GossipMessage::PushOffer {
             from,
@@ -237,7 +249,7 @@ pub fn encode(msg: &GossipMessage) -> Bytes {
             out.put_u8(TAG_PUSH_OFFER);
             out.put_u64(from.as_u64());
             out.put_u64(*nonce);
-            put_port(&mut out, reply_port);
+            put_port(out, reply_port);
         }
         GossipMessage::PushReply {
             from,
@@ -248,16 +260,15 @@ pub fn encode(msg: &GossipMessage) -> Bytes {
             out.put_u8(TAG_PUSH_REPLY);
             out.put_u64(from.as_u64());
             out.put_u64(*nonce);
-            put_port(&mut out, data_port);
-            put_digest(&mut out, digest);
+            put_port(out, data_port);
+            put_digest(out, digest);
         }
         GossipMessage::PushData { from, messages } => {
             out.put_u8(TAG_PUSH_DATA);
             out.put_u64(from.as_u64());
-            put_messages(&mut out, messages);
+            put_messages(out, messages);
         }
     }
-    out.freeze()
 }
 
 /// Decodes a datagram payload into a [`GossipMessage`].

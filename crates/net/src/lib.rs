@@ -149,6 +149,24 @@ mod proptests {
     }
 
     #[test]
+    fn encode_into_matches_encode() {
+        use drum_core::bytes::BytesMut;
+        // A reused (dirty) scratch buffer must produce the exact bytes of a
+        // fresh `encode` for every message — the zero-allocation fan-out
+        // path cannot change the wire format.
+        check("encode_into_matches_encode", Config::default(), |g| {
+            let mut scratch = BytesMut::with_capacity(16);
+            scratch.put_slice(b"stale bytes from a previous datagram");
+            for _ in 0..4 {
+                let msg = arb_message(g);
+                crate::codec::encode_into(&msg, &mut scratch);
+                prop_assert_eq!(&scratch[..], &encode(&msg)[..]);
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
     fn decode_never_panics_on_garbage() {
         check("decode_never_panics_on_garbage", Config::default(), |g| {
             let bytes = g.bytes(0..512);

@@ -24,7 +24,7 @@ use drum_trace::{trace_event, Timestamp, Tracer};
 
 use crate::config::{Role, SimConfig};
 use crate::sampling::{
-    accepted_valid, any_interesting, binomial, randomized_round, sample_targets,
+    accepted_valid, any_interesting, binomial, randomized_round, sample_targets, sample_targets_any,
 };
 
 /// Mutable state of one simulated trial.
@@ -43,6 +43,15 @@ pub struct SimState {
     /// Structured-event emitter; round-stamped, so fixed-seed runs trace
     /// byte-identically (the golden-trace CI oracle).
     tracer: Tracer,
+    /// Indices of correct processes (roles are fixed for a trial's lifetime).
+    correct_idx: Vec<usize>,
+    /// Incrementally maintained `correct_with_m` — the per-round trace event
+    /// and the experiment loop both query it every round, so a full O(n)
+    /// scan per query would dominate large-n sweeps.
+    n_correct_with_m: usize,
+    /// Incrementally maintained `attacked_with_m`; rebuilt on target
+    /// rotation, bumped at delivery time otherwise.
+    n_attacked_with_m: usize,
 
     // Scratch buffers, reused across rounds.
     push_valid: Vec<u32>,
@@ -52,6 +61,7 @@ pub struct SimState {
     reply_with_m: Vec<u32>,
     new_m: Vec<bool>,
     targets: Vec<usize>,
+    rotation_picks: Vec<usize>,
 }
 
 impl SimState {
@@ -67,6 +77,13 @@ impl SimState {
         let attacked_flags: Vec<bool> = roles.iter().map(|r| *r == Role::AttackedCorrect).collect();
         let mut has_m = vec![false; n];
         has_m[0] = true;
+        let correct_idx: Vec<usize> = (0..n)
+            .filter(|&i| matches!(roles[i], Role::AttackedCorrect | Role::Correct))
+            .collect();
+        // Only the source holds `M` initially.
+        let n_correct_with_m =
+            usize::from(matches!(roles[0], Role::AttackedCorrect | Role::Correct));
+        let n_attacked_with_m = usize::from(attacked_flags[0]);
         SimState {
             cfg,
             has_m,
@@ -74,6 +91,9 @@ impl SimState {
             attacked_flags,
             round: 0,
             tracer: Tracer::disabled(),
+            correct_idx,
+            n_correct_with_m,
+            n_attacked_with_m,
             push_valid: vec![0; n],
             push_with_m: vec![0; n],
             pull_requests: vec![Vec::new(); n],
@@ -81,6 +101,7 @@ impl SimState {
             reply_with_m: vec![0; n],
             new_m: vec![false; n],
             targets: Vec::new(),
+            rotation_picks: Vec::new(),
         }
     }
 
@@ -128,37 +149,54 @@ impl SimState {
         matches!(self.roles[i], Role::AttackedCorrect | Role::Correct)
     }
 
-    fn is_attacked(&self, i: usize) -> bool {
+    /// Whether process `i` is currently under attack. Unlike the static
+    /// [`SimConfig::role_of`], this tracks adversarial target rotation.
+    pub fn is_attacked(&self, i: usize) -> bool {
         self.attacked_flags[i]
     }
 
     /// Re-draws the attacked set uniformly among correct processes
-    /// (rotating-adversary extension).
+    /// (rotating-adversary extension). The correct-index list is fixed for
+    /// the trial and the pick buffer is reused, so rotation allocates
+    /// nothing after the first call.
     fn rotate_targets(&mut self, rng: &mut SmallRng) {
         let k = self.cfg.attacked();
-        let correct: Vec<usize> = (0..self.cfg.n).filter(|&i| self.is_correct(i)).collect();
         for flag in &mut self.attacked_flags {
             *flag = false;
         }
-        let mut picked = Vec::new();
-        crate::sampling::sample_targets(correct.len() + 1, correct.len(), k, rng, &mut picked);
-        for idx in picked {
-            self.attacked_flags[correct[idx]] = true;
+        let mut picked = core::mem::take(&mut self.rotation_picks);
+        sample_targets_any(self.correct_idx.len(), k, rng, &mut picked);
+        self.n_attacked_with_m = 0;
+        for &idx in &picked {
+            let target = self.correct_idx[idx];
+            self.attacked_flags[target] = true;
+            if self.has_m[target] {
+                self.n_attacked_with_m += 1;
+            }
         }
+        self.rotation_picks = picked;
     }
 
     /// Number of correct processes currently holding `M`.
     pub fn correct_with_m(&self) -> usize {
-        (0..self.cfg.n)
-            .filter(|&i| self.is_correct(i) && self.has_m[i])
-            .count()
+        debug_assert_eq!(
+            self.n_correct_with_m,
+            (0..self.cfg.n)
+                .filter(|&i| self.is_correct(i) && self.has_m[i])
+                .count()
+        );
+        self.n_correct_with_m
     }
 
     /// Number of attacked correct processes holding `M`.
     pub fn attacked_with_m(&self) -> usize {
-        (0..self.cfg.n)
-            .filter(|&i| self.is_attacked(i) && self.has_m[i])
-            .count()
+        debug_assert_eq!(
+            self.n_attacked_with_m,
+            (0..self.cfg.n)
+                .filter(|&i| self.is_attacked(i) && self.has_m[i])
+                .count()
+        );
+        self.n_attacked_with_m
     }
 
     /// Number of non-attacked correct processes holding `M`.
@@ -339,6 +377,12 @@ impl SimState {
             if self.new_m[i] {
                 self.has_m[i] = true;
                 newly += 1;
+                // Delivery-time counter maintenance; only correct processes
+                // ever have `new_m` set.
+                self.n_correct_with_m += 1;
+                if self.is_attacked(i) {
+                    self.n_attacked_with_m += 1;
+                }
                 trace_event!(
                     self.tracer,
                     "sim",
@@ -538,6 +582,28 @@ mod tests {
                 state.correct_with_m(),
                 state.attacked_with_m() + state.unattacked_with_m()
             );
+        }
+    }
+
+    #[test]
+    fn incremental_counters_match_full_recount() {
+        // The counters are maintained at delivery time and rebuilt on
+        // rotation; they must agree with a from-scratch scan at every
+        // round, including across rotation boundaries.
+        let mut cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 80, 64.0);
+        cfg.attack.as_mut().unwrap().rotate_every = Some(2);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut state = SimState::new(cfg);
+        for _ in 0..20 {
+            state.step(&mut rng);
+            let correct: usize = (0..state.config().n)
+                .filter(|&i| state.is_correct(i) && state.has_m(i))
+                .count();
+            let attacked: usize = (0..state.config().n)
+                .filter(|&i| state.is_attacked(i) && state.has_m(i))
+                .count();
+            assert_eq!(state.correct_with_m(), correct);
+            assert_eq!(state.attacked_with_m(), attacked);
         }
     }
 

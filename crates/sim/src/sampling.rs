@@ -100,6 +100,32 @@ pub fn sample_targets(n: usize, me: usize, k: usize, rng: &mut SmallRng, out: &m
     }
 }
 
+/// Samples `k` distinct indices in `0..n`, uniformly, with no exclusion.
+///
+/// Contract: the output is a uniform random `k`-subset of `0..n` (order of
+/// discovery, not sorted); `k` is clamped to `n`. Used when the caller
+/// samples from an already-filtered candidate list — e.g. the rotating
+/// adversary re-drawing its targets among the correct processes — where an
+/// excluded "self" index does not exist.
+///
+/// Note on determinism: this draws `random_range(0..n)` exactly like
+/// [`sample_targets`]`(n + 1, n, k, ..)` does (there the shifted-around-`me`
+/// candidate space is `0..n` and the shift never triggers), so replacing
+/// that idiom with this function leaves fixed-seed RNG streams intact.
+pub fn sample_targets_any(n: usize, k: usize, rng: &mut SmallRng, out: &mut Vec<usize>) {
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    let k = k.min(n);
+    while out.len() < k {
+        let cand = rng.random_range(0..n);
+        if !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +236,41 @@ mod tests {
         assert!(out.is_empty());
         sample_targets(3, 1, 4, &mut r, &mut out);
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn sample_targets_any_properties() {
+        let mut r = rng();
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            sample_targets_any(10, 4, &mut r, &mut out);
+            assert_eq!(out.len(), 4);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4);
+            assert!(sorted.iter().all(|&t| t < 10));
+        }
+        // Clamped to the population; empty population yields nothing.
+        sample_targets_any(3, 10, &mut r, &mut out);
+        assert_eq!(out.len(), 3);
+        sample_targets_any(0, 4, &mut r, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sample_targets_any_matches_exclusion_hack_rng_stream() {
+        // The documented determinism guarantee: for any (n, k), the draws
+        // equal sample_targets(n + 1, n, k, ..) with its out-of-range `me`.
+        for (n, k) in [(1usize, 1usize), (5, 2), (12, 12), (30, 7)] {
+            let mut r1 = rng();
+            let mut r2 = rng();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            sample_targets_any(n, k, &mut r1, &mut a);
+            sample_targets(n + 1, n, k, &mut r2, &mut b);
+            assert_eq!(a, b, "diverged for n={n} k={k}");
+            assert_eq!(r1.random_range(0..u64::MAX), r2.random_range(0..u64::MAX));
+        }
     }
 
     #[test]
