@@ -21,7 +21,7 @@ use drum_core::message::{GossipMessage, PortRef};
 use drum_trace::{names, trace_event, Tracer};
 
 use crate::codec;
-use crate::transport::{bind_ephemeral, WellKnownAddrs};
+use crate::transport::{bind_ephemeral, BatchTx, WellKnownAddrs};
 
 /// Configuration of one attacker.
 #[derive(Debug, Clone)]
@@ -141,8 +141,12 @@ pub fn spawn_attacker(
             let mut sent = 0u64;
             let mut seq = 0u64;
             // Flooding is the attacker's hot path: reuse one wire buffer
-            // for every fabricated datagram instead of allocating per send.
+            // for every fabricated datagram instead of allocating per send,
+            // and hand bursts to the kernel through `sendmmsg` so the
+            // attacker can sustain paper-scale rates from one thread
+            // (per-datagram `send_to` under `DRUM_NET_NO_BATCH=1`).
             let mut wire = drum_core::bytes::BytesMut::with_capacity(codec::MAX_WIRE_LEN);
+            let mut tx = BatchTx::new();
             // Per-round per-target counts on each channel.
             let (x_push, x_pull) = match config.victim_protocol {
                 ProtocolVariant::Drum => (config.x_per_round / 2.0, config.x_per_round / 2.0),
@@ -196,27 +200,22 @@ pub fn spawn_attacker(
                     for _ in 0..n_pull {
                         seq += 1;
                         codec::encode_into(&fabricated_pull_request(seq), &mut wire);
-                        if socket.send_to(&wire[..], target.pull).is_ok() {
-                            sent += 1;
-                        }
+                        tx.push(&socket, target.pull, &wire[..], false);
                     }
                     for _ in 0..n_push {
                         seq += 1;
                         codec::encode_into(&fabricated_push_offer(seq), &mut wire);
-                        if socket.send_to(&wire[..], target.push).is_ok() {
-                            sent += 1;
-                        }
+                        tx.push(&socket, target.push, &wire[..], false);
                     }
                     if let Some(reply_addr) = config.reply_port_targets.get(i) {
                         for _ in 0..n_reply {
                             seq += 1;
                             codec::encode_into(&fabricated_pull_reply(seq), &mut wire);
-                            if socket.send_to(&wire[..], *reply_addr).is_ok() {
-                                sent += 1;
-                            }
+                            tx.push(&socket, *reply_addr, &wire[..], false);
                         }
                     }
                 }
+                sent += tx.finish(&socket);
 
                 if n_push + n_pull + n_reply > 0 {
                     let reply_targets = config.reply_port_targets.len().min(targets.len());

@@ -486,6 +486,25 @@ mod tests {
     }
 
     #[test]
+    fn cluster_stats_expose_syscall_accounting() {
+        let cluster = Cluster::start(small_config(ProtocolVariant::Drum, 0, 0.0)).unwrap();
+        cluster.publish_from_source(0, 50);
+        std::thread::sleep(Duration::from_millis(400));
+        let stats = cluster.shutdown();
+        for s in &stats {
+            // Every round probes the well-known sockets and gossips, so
+            // both syscall totals must be live regardless of I/O mode.
+            assert!(s.rounds > 0);
+            assert!(s.syscalls_recv > 0, "no recv syscalls recorded: {s:?}");
+            assert!(s.syscalls_send > 0, "no send syscalls recorded: {s:?}");
+            // Batched datagram accounting only moves on the recvmmsg path.
+            if !crate::sys::enabled() {
+                assert_eq!(s.batch_recv_datagrams, 0);
+            }
+        }
+    }
+
+    #[test]
     fn propagation_reports_round_counters() {
         let report = propagation_experiment(
             small_config(ProtocolVariant::Drum, 0, 0.0),

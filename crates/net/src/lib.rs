@@ -43,13 +43,20 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide and allowed in exactly one place: the
+// `sys` module, whose raw Linux syscall shims (recvmmsg/sendmmsg/epoll)
+// back the batched I/O fast path. Everything else in this crate is safe
+// Rust, and every batched path has a safe per-datagram fallback
+// (`DRUM_NET_NO_BATCH=1`, or any non-Linux target).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attack;
 pub mod codec;
 pub mod experiment;
 pub mod runtime;
+#[allow(unsafe_code)]
+pub mod sys;
 pub mod transport;
 
 pub use attack::{spawn_attacker, AttackerConfig, AttackerHandle};
@@ -61,7 +68,7 @@ pub use experiment::{
 pub use runtime::{
     os_random_seed, spawn_process, Delivery, NetConfig, NetStats, ProcessHandle, ProcessSpec,
 };
-pub use transport::{AddressBook, SocketPool, WellKnownAddrs, WellKnownSockets};
+pub use transport::{AddressBook, BatchRx, BatchTx, SocketPool, WellKnownAddrs, WellKnownSockets};
 
 #[cfg(test)]
 mod proptests {

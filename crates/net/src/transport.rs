@@ -18,6 +18,213 @@ use std::sync::Arc;
 use drum_core::engine::{PortOracle, PortPurpose};
 use drum_core::ids::{ProcessId, Round};
 
+use crate::sys;
+
+/// Batched datagram receiver with a per-datagram fallback.
+///
+/// In batched mode one `recvmmsg(2)` call drains up to [`sys::BATCH`]
+/// datagrams into a fixed arena; in fallback mode (non-Linux targets, or
+/// `DRUM_NET_NO_BATCH=1`) the same API loops `recv_from` one datagram per
+/// syscall. Both modes hand datagrams to the caller in kernel queue order
+/// and stop at the first `WouldBlock`, so every downstream accept/drop
+/// decision is identical — only the syscall count differs, which is
+/// exactly what the running totals expose.
+#[derive(Debug)]
+pub struct BatchRx {
+    arena: Option<sys::RecvArena>,
+    slot_len: usize,
+    syscalls: u64,
+    batched_datagrams: u64,
+}
+
+impl BatchRx {
+    /// Creates a receiver in the process-wide mode ([`sys::enabled`]).
+    /// `slot_len` bounds each received datagram, like the scratch buffer
+    /// handed to `recv_from` on the fallback path.
+    pub fn new(slot_len: usize) -> Self {
+        Self::forced(slot_len, sys::enabled())
+    }
+
+    /// Creates a receiver with an explicit mode — the hook the
+    /// equivalence tests and benches use to pin both arms. Requesting
+    /// batched mode on a target without support silently yields the
+    /// fallback (callers check [`BatchRx::batched`] when it matters).
+    pub fn forced(slot_len: usize, batched: bool) -> Self {
+        BatchRx {
+            arena: (batched && sys::available()).then(|| sys::RecvArena::new(slot_len)),
+            slot_len,
+            syscalls: 0,
+            batched_datagrams: 0,
+        }
+    }
+
+    /// Whether the batched path is in effect.
+    pub fn batched(&self) -> bool {
+        self.arena.is_some()
+    }
+
+    /// Receive syscalls made so far (`recvmmsg` + `recv_from`, including
+    /// the final empty call that observes `WouldBlock`).
+    pub fn syscalls(&self) -> u64 {
+        self.syscalls
+    }
+
+    /// Datagrams moved by batched (`recvmmsg`) calls so far. Together with
+    /// [`BatchRx::syscalls`] this measures the amortization: mean batch
+    /// fill = `batched_datagrams / syscalls`.
+    pub fn batched_datagrams(&self) -> u64 {
+        self.batched_datagrams
+    }
+
+    /// Drains `socket` until it would block, invoking `f` once per
+    /// datagram in arrival order. `scratch` is used by the fallback path
+    /// only and must be at least `slot_len` bytes. Returns the number of
+    /// datagrams drained.
+    pub fn drain_socket(
+        &mut self,
+        socket: &UdpSocket,
+        scratch: &mut [u8],
+        mut f: impl FnMut(&[u8]),
+    ) -> usize {
+        let mut count = 0;
+        match &mut self.arena {
+            Some(arena) => {
+                let fd = sys::fd_of(socket);
+                loop {
+                    self.syscalls += 1;
+                    match arena.recv(fd) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            self.batched_datagrams += n as u64;
+                            count += n;
+                            for i in 0..n {
+                                f(arena.datagram(i));
+                            }
+                            if n < sys::BATCH {
+                                // A short batch already proves the queue
+                                // is empty; skip the confirming syscall.
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                let take = self.slot_len.min(scratch.len());
+                let scratch = &mut scratch[..take];
+                loop {
+                    self.syscalls += 1;
+                    match socket.recv_from(scratch) {
+                        Ok((len, _)) => {
+                            count += 1;
+                            f(&scratch[..len]);
+                        }
+                        Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Batched datagram sender with a per-datagram fallback.
+///
+/// In batched mode datagrams queue into a [`sys::SendArena`] and flush
+/// through `sendmmsg(2)` (automatically when a batch fills, explicitly via
+/// [`BatchTx::finish`]); the encode-once fan-out queues repeated bytes as
+/// arena ranges, so a message fanned to `k` recipients is copied once and
+/// the kernel crossing is paid once per [`sys::BATCH`]. In fallback mode
+/// each push is an immediate `send_to`. Both modes drop undeliverable
+/// datagrams silently (fire-and-forget UDP semantics).
+#[derive(Debug)]
+pub struct BatchTx {
+    arena: Option<sys::SendArena>,
+    syscalls: u64,
+    pending_sent: u64,
+}
+
+impl BatchTx {
+    /// Creates a sender in the process-wide mode ([`sys::enabled`]).
+    pub fn new() -> Self {
+        Self::forced(sys::enabled())
+    }
+
+    /// Creates a sender with an explicit mode (tests/benches); batched
+    /// mode degrades to fallback on unsupported targets.
+    pub fn forced(batched: bool) -> Self {
+        BatchTx {
+            arena: (batched && sys::available()).then(sys::SendArena::new),
+            syscalls: 0,
+            pending_sent: 0,
+        }
+    }
+
+    /// Whether the batched path is in effect.
+    pub fn batched(&self) -> bool {
+        self.arena.is_some()
+    }
+
+    /// Send syscalls made so far (`sendmmsg` + `send_to`).
+    pub fn syscalls(&self) -> u64 {
+        self.syscalls
+    }
+
+    /// Queues (batched) or sends (fallback) one datagram through
+    /// `socket`. `repeat` declares that `bytes` are identical to the
+    /// previous push since the last flush — the encode-once fan-out hint
+    /// that lets the batched path share the arena range instead of
+    /// copying.
+    pub fn push(&mut self, socket: &UdpSocket, addr: SocketAddr, bytes: &[u8], repeat: bool) {
+        match &mut self.arena {
+            Some(arena) => {
+                if arena.is_full() {
+                    let (sent, syscalls) = arena.flush(sys::fd_of(socket));
+                    self.pending_sent += sent as u64;
+                    self.syscalls += syscalls as u64;
+                }
+                match sys::SockAddrV4Raw::from_std(addr) {
+                    Some(dest) if repeat && !arena.is_empty() => arena.push_repeat(dest),
+                    Some(dest) => arena.push(dest, bytes),
+                    None => {
+                        // Non-IPv4 destination: fall back for this one.
+                        self.syscalls += 1;
+                        if socket.send_to(bytes, addr).is_ok() {
+                            self.pending_sent += 1;
+                        }
+                    }
+                }
+            }
+            None => {
+                self.syscalls += 1;
+                if socket.send_to(bytes, addr).is_ok() {
+                    self.pending_sent += 1;
+                }
+            }
+        }
+    }
+
+    /// Flushes anything still queued and returns the number of datagrams
+    /// actually handed to the kernel since the previous `finish`.
+    pub fn finish(&mut self, socket: &UdpSocket) -> u64 {
+        if let Some(arena) = &mut self.arena {
+            if !arena.is_empty() {
+                let (sent, syscalls) = arena.flush(sys::fd_of(socket));
+                self.pending_sent += sent as u64;
+                self.syscalls += syscalls as u64;
+            }
+        }
+        std::mem::take(&mut self.pending_sent)
+    }
+}
+
+impl Default for BatchTx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Maps process ids to their well-known socket addresses (loopback).
 ///
 /// Built once per cluster; cheap to clone (`Arc` inside).
@@ -160,6 +367,9 @@ pub struct SocketPool {
     bind_failures: u64,
     /// Optional observability counter bumped per fresh port allocation.
     rotations: Option<drum_trace::Counter>,
+    /// When set, fresh sockets register for readability wakeups here.
+    /// Expired sockets deregister themselves on close.
+    epoll: Option<Arc<sys::Epoll>>,
 }
 
 impl SocketPool {
@@ -170,6 +380,7 @@ impl SocketPool {
             sockets: Vec::new(),
             bind_failures: 0,
             rotations: None,
+            epoll: None,
         }
     }
 
@@ -177,6 +388,16 @@ impl SocketPool {
     /// [`drum_trace::Registry`]) incremented on every fresh port bind.
     pub fn set_rotation_counter(&mut self, counter: drum_trace::Counter) {
         self.rotations = Some(counter);
+    }
+
+    /// Registers every current and future pool socket with `epoll`, so the
+    /// runtime's round loop wakes when a concealed reply port becomes
+    /// readable. Closed (expired) sockets deregister themselves.
+    pub fn set_epoll(&mut self, epoll: Arc<sys::Epoll>) {
+        for (socket, _, _) in &self.sockets {
+            let _ = epoll.add(socket);
+        }
+        self.epoll = Some(epoll);
     }
 
     /// Number of currently open random-port sockets.
@@ -197,20 +418,19 @@ impl SocketPool {
     }
 
     /// Receives all pending datagrams from the pool, invoking
-    /// `f(purpose, payload)` for each. Returns the number received.
-    pub fn drain(&mut self, scratch: &mut [u8], mut f: impl FnMut(PortPurpose, &[u8])) -> usize {
+    /// `f(purpose, payload)` for each. Datagrams move through `rx` —
+    /// batched `recvmmsg` or the per-datagram fallback, same arrival
+    /// order either way; `scratch` backs the fallback path. Returns the
+    /// number received.
+    pub fn drain(
+        &mut self,
+        rx: &mut BatchRx,
+        scratch: &mut [u8],
+        mut f: impl FnMut(PortPurpose, &[u8]),
+    ) -> usize {
         let mut count = 0;
         for (socket, purpose, _) in &self.sockets {
-            loop {
-                match socket.recv_from(scratch) {
-                    Ok((len, _)) => {
-                        count += 1;
-                        f(*purpose, &scratch[..len]);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                    Err(_) => break,
-                }
-            }
+            count += rx.drain_socket(socket, scratch, |bytes| f(*purpose, bytes));
         }
         count
     }
@@ -221,6 +441,9 @@ impl PortOracle for SocketPool {
         match bind_ephemeral() {
             Ok(socket) => {
                 let port = socket.local_addr().map(|a| a.port()).unwrap_or(0);
+                if let Some(epoll) = &self.epoll {
+                    let _ = epoll.add(&socket);
+                }
                 self.sockets.push((socket, purpose, round));
                 if let Some(c) = &self.rotations {
                     c.inc();
@@ -309,22 +532,101 @@ mod tests {
         // Give the loopback a moment.
         std::thread::sleep(std::time::Duration::from_millis(20));
         let mut scratch = [0u8; 2048];
+        let mut rx = BatchRx::new(2048);
         let mut got = Vec::new();
-        let n = pool.drain(&mut scratch, |purpose, bytes| {
+        let n = pool.drain(&mut rx, &mut scratch, |purpose, bytes| {
             got.push((purpose, bytes.to_vec()));
         });
         assert_eq!(n, 1);
         assert_eq!(got[0].0, PortPurpose::PushData);
         assert_eq!(got[0].1, b"hello");
+        assert!(rx.syscalls() > 0);
     }
 
     #[test]
     fn drain_on_empty_pool_is_zero() {
         let mut pool = SocketPool::new(3);
         let mut scratch = [0u8; 64];
+        let mut rx = BatchRx::new(64);
         assert_eq!(
-            pool.drain(&mut scratch, |_, _| panic!("no data expected")),
+            pool.drain(&mut rx, &mut scratch, |_, _| panic!("no data expected")),
             0
         );
+    }
+
+    /// Both receive modes must observe the identical datagram sequence for
+    /// the identical input, differing only in syscall count.
+    #[test]
+    fn batch_rx_modes_agree_on_datagram_sequence() {
+        let run = |batched: bool| -> (Vec<Vec<u8>>, u64) {
+            let socket = bind_ephemeral().unwrap();
+            let dest = socket.local_addr().unwrap();
+            let sender = bind_ephemeral().unwrap();
+            for i in 0..100u8 {
+                sender.send_to(&[i, 0xEE, i], dest).unwrap();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let mut rx = BatchRx::forced(2048, batched);
+            let mut scratch = [0u8; 2048];
+            let mut got = Vec::new();
+            rx.drain_socket(&socket, &mut scratch, |bytes| got.push(bytes.to_vec()));
+            (got, rx.syscalls())
+        };
+        let (batched, batched_calls) = run(true);
+        let (fallback, fallback_calls) = run(false);
+        assert_eq!(batched, fallback);
+        assert_eq!(batched.len(), 100);
+        if crate::sys::available() {
+            // 100 datagrams: two recvmmsg calls versus 101 recv_from.
+            assert!(
+                batched_calls < fallback_calls,
+                "batched {batched_calls} vs fallback {fallback_calls}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_tx_fanout_delivers_once_per_recipient() {
+        let rx_socket = bind_ephemeral().unwrap();
+        let dest = rx_socket.local_addr().unwrap();
+        let sender = bind_ephemeral().unwrap();
+        let mut tx = BatchTx::new();
+        tx.push(&sender, dest, b"first", false);
+        for _ in 0..9 {
+            tx.push(&sender, dest, b"first", true);
+        }
+        let sent = tx.finish(&sender);
+        assert_eq!(sent, 10);
+        if crate::sys::enabled() {
+            assert_eq!(tx.syscalls(), 1, "fan-out must be one sendmmsg");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let mut buf = [0u8; 64];
+        let mut got = 0;
+        while let Ok((len, _)) = rx_socket.recv_from(&mut buf) {
+            assert_eq!(&buf[..len], b"first");
+            got += 1;
+        }
+        assert_eq!(got, 10);
+    }
+
+    #[test]
+    fn batch_tx_flushes_when_full() {
+        let rx_socket = bind_ephemeral().unwrap();
+        let dest = rx_socket.local_addr().unwrap();
+        let sender = bind_ephemeral().unwrap();
+        let mut tx = BatchTx::new();
+        let total = crate::sys::BATCH + 10;
+        for i in 0..total {
+            tx.push(&sender, dest, &[i as u8], false);
+        }
+        assert_eq!(tx.finish(&sender), total as u64);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let mut buf = [0u8; 64];
+        let mut got = 0;
+        while rx_socket.recv_from(&mut buf).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, total);
     }
 }

@@ -28,6 +28,17 @@ pub mod names {
     pub const DECODE_ERRORS: &str = "decode_errors";
     /// Fabricated attack datagrams sent.
     pub const ATTACK_SENT: &str = "attack_sent";
+    /// Receive syscalls made by the runtime (`recvmmsg` on the batched
+    /// path, `recv_from` on the per-datagram fallback). Under flood this
+    /// stays far below `messages_received` + `decode_errors` exactly when
+    /// the syscall amortization is working.
+    pub const SYSCALLS_RECV: &str = "net.syscalls_recv";
+    /// Send syscalls made by the runtime (`sendmmsg` or `send_to`).
+    pub const SYSCALLS_SEND: &str = "net.syscalls_send";
+    /// Datagrams moved by batched (`recvmmsg`) receive calls; divide by
+    /// `net.syscalls_recv` for the mean batch fill. Zero on the fallback
+    /// path — a cheap way for dashboards to tell which mode ran.
+    pub const BATCH_FILL: &str = "net.batch_fill";
 }
 
 /// A monotonically increasing counter.

@@ -85,6 +85,9 @@ fn main() -> std::io::Result<()> {
         names::MESSAGES_RECEIVED,
         names::DROPPED_BY_BOUND,
         names::PORT_ROTATIONS,
+        names::SYSCALLS_RECV,
+        names::SYSCALLS_SEND,
+        names::BATCH_FILL,
     ] {
         println!("  {name:<20} {}", reg.counter(name).get());
     }
