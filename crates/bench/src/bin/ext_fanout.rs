@@ -1,62 +1,9 @@
 //! Extension experiment: fan-out sensitivity. The paper fixes F = 4
-//! everywhere; here we sweep F and ask how much fan-out Drum needs to keep
-//! its flat-under-attack property, and what Push/Pull would need to match.
 //!
-//! Two effects compete: a larger F gives more reception slots per round
-//! (diluting the flood is harder — p_a ≈ F/x per slot, and slots scale
-//! with F) and more transmission attempts, but also costs bandwidth
-//! linearly. The sweep shows Drum's resilience is *not* an artifact of
-//! F = 4: even F = 2 stays flat, while Push/Pull stay linear in x at
-//! every fan-out.
-
-use drum_bench::{banner, scaled, trials, SEED};
-use drum_core::ProtocolVariant;
-use drum_metrics::table::Table;
-use drum_sim::config::SimConfig;
-use drum_sim::runner::run_experiment;
+//! Thin wrapper over [`drum_bench::figures::ext_fanout`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner(
-        "Extension: fan-out sensitivity",
-        "rounds to 99% vs F, with and without attack",
-    );
-    let trials = trials();
-    let n = scaled(120, 1000);
-
-    for (label, x) in [("no attack", 0.0), ("alpha = 10%, x = 128", 128.0)] {
-        println!("{label}, n = {n} ({trials} trials)");
-        let mut table = Table::new(vec![
-            "F".into(),
-            "Drum".into(),
-            "Push".into(),
-            "Pull".into(),
-        ]);
-        for fan_out in [2usize, 4, 8, 12] {
-            let mut cells = vec![fan_out.to_string()];
-            for proto in [
-                ProtocolVariant::Drum,
-                ProtocolVariant::Push,
-                ProtocolVariant::Pull,
-            ] {
-                let mut cfg = if x > 0.0 {
-                    SimConfig::paper_attack(proto, n, x)
-                } else {
-                    let mut c = SimConfig::baseline(proto, n);
-                    c.malicious = n / 10;
-                    c
-                };
-                cfg.fan_out = fan_out;
-                cfg.max_rounds = 2000;
-                let res = run_experiment(&cfg, trials, SEED, 0);
-                cells.push(format!("{:.1}", res.mean_rounds()));
-            }
-            table.row(cells);
-        }
-        println!("{table}");
-    }
-    println!(
-        "finding: higher F speeds everything up (log base grows), but only Drum's\n\
-         *shape* is attack-independent at every F; Push/Pull remain linear in x\n\
-         no matter how much fan-out they are given."
-    );
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::ext_fanout(&mut out).expect("write ext_fanout to stdout");
 }

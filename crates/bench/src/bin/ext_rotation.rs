@@ -1,53 +1,9 @@
 //! Extension experiment (beyond the paper): does a *mobile* adversary —
-//! one that re-draws its target set every k rounds — do better than the
-//! paper's static targeting?
 //!
-//! Intuition from the paper's model says no: none of the protocols keep
-//! per-target state the adversary could chase, and against Push/Pull the
-//! static attack is what pins the attacked source/receivers down. Moving
-//! the attack *releases* its victims.
-
-use drum_bench::{banner, scaled, trials, PROTOCOLS, PROTOCOL_NAMES, SEED};
-use drum_metrics::table::Table;
-use drum_sim::config::SimConfig;
-use drum_sim::runner::run_experiment;
+//! Thin wrapper over [`drum_bench::figures::ext_rotation`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner(
-        "Extension: rotating adversary",
-        "static vs rotating target sets, alpha = 10%, x = 128",
-    );
-    let trials = trials();
-    let n = scaled(120, 1000);
-
-    let mut table = Table::new(
-        std::iter::once("rotation".to_string())
-            .chain(PROTOCOL_NAMES.iter().map(|s| s.to_string()))
-            .collect(),
-    );
-
-    for (label, rotate) in [
-        ("static (paper)", None),
-        ("every 8 rounds", Some(8u32)),
-        ("every 4 rounds", Some(4)),
-        ("every 2 rounds", Some(2)),
-        ("every round", Some(1)),
-    ] {
-        let mut cells = vec![label.to_string()];
-        for &p in &PROTOCOLS {
-            let mut cfg = SimConfig::paper_attack(p, n, 128.0);
-            cfg.attack.as_mut().unwrap().rotate_every = rotate;
-            cfg.max_rounds = 2000;
-            let res = run_experiment(&cfg, trials, SEED, 0);
-            cells.push(format!("{:.1}", res.mean_rounds()));
-        }
-        table.row(cells);
-    }
-    println!("average rounds to 99% of correct processes, n = {n} ({trials} trials)");
-    println!("{table}");
-    println!(
-        "finding: rotation never helps the adversary — for Push and Pull it\n\
-         *hurts* the attack (the pinned-down victims get released), and Drum\n\
-         is indifferent, as its design predicts."
-    );
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::ext_rotation(&mut out).expect("write ext_rotation to stdout");
 }

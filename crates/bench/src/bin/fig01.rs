@@ -1,39 +1,9 @@
 //! Figure 1: the acceptance probabilities of Appendix A.
 //!
-//! (a) `p_u` as a function of the fan-out `F` — always above 0.6;
-//! (b) `p_a` as a function of the attack rate `x`, against the coarse
-//!     bound `F/x` used throughout §6.
-
-use drum_analysis::appendix_a::{figure_1a, figure_1b};
-use drum_bench::{banner, scaled};
-use drum_metrics::table::Table;
+//! Thin wrapper over [`drum_bench::figures::fig01`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner(
-        "Figure 1",
-        "p_u vs F and p_a vs F/x (numerical, Appendix A)",
-    );
-    let n = scaled(1000, 1000);
-
-    println!("(a) probability p_u that a non-attacked process accepts a valid message, n = {n}");
-    let mut t = Table::new(vec!["F".into(), "p_u".into()]);
-    for (f, pu) in figure_1a(n, &[1, 2, 3, 4, 6, 8, 12, 16]) {
-        t.row(vec![f.to_string(), format!("{pu:.4}")]);
-    }
-    println!("{t}");
-    println!("paper: p_u > 0.6 for every F >= 1 (Lemma 8 / Fig 1(a))\n");
-
-    println!(
-        "(b) probability p_a that an attacked process accepts a valid message, F = 4, n = {n}"
-    );
-    let mut t = Table::new(vec!["x".into(), "p_a".into(), "bound F/x".into()]);
-    for (x, pa, bound) in figure_1b(n, 4, &[8, 16, 32, 64, 128, 256, 512]) {
-        t.row(vec![
-            x.to_string(),
-            format!("{pa:.4}"),
-            format!("{bound:.4}"),
-        ]);
-    }
-    println!("{t}");
-    println!("paper: p_a < F/x (used by Lemmas 1-6); both columns shrink like 1/x");
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig01(&mut out).expect("write fig01 to stdout");
 }

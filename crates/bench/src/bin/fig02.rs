@@ -1,31 +1,9 @@
 //! Figure 2: validating known gossip results (no DoS attack).
 //!
-//! (a) propagation time grows logarithmically with the group size;
-//! (b) performance degrades gracefully as processes crash.
-
-use drum_bench::{banner, scaled, sweep_table, trials, PROTOCOL_NAMES, SEED};
-use drum_sim::experiments::{fig2a_scalability, fig2b_crashes};
+//! Thin wrapper over [`drum_bench::figures::fig02`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner(
-        "Figure 2",
-        "failure-free scalability and crash-failure degradation",
-    );
-    let trials = trials();
-
-    let ns: Vec<usize> = if drum_bench::full_scale() {
-        vec![8, 16, 32, 64, 128, 256, 512, 1024, 2048]
-    } else {
-        vec![8, 16, 32, 64, 128, 256]
-    };
-    println!("(a) average rounds to reach 99% of processes, no failures ({trials} trials/point)");
-    let rows = fig2a_scalability(&ns, trials, SEED);
-    println!("{}", sweep_table("n", &rows, &PROTOCOL_NAMES));
-    println!("paper: O(log n) growth; all protocols within a round or two of each other\n");
-
-    let n = scaled(200, 1000);
-    println!("(b) average rounds vs crashed fraction, n = {n}");
-    let rows = fig2b_crashes(n, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], trials, SEED);
-    println!("{}", sweep_table("crashed", &rows, &PROTOCOL_NAMES));
-    println!("paper: graceful degradation — a 50% crash rate only adds a few rounds");
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig02(&mut out).expect("write fig02 to stdout");
 }

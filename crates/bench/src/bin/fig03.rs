@@ -1,39 +1,9 @@
 //! Figure 3: targeted DoS attacks — the paper's headline result.
 //!
-//! (a) propagation time vs attack rate `x` with 10% of the processes
-//!     attacked: Push and Pull degrade linearly, Drum stays flat;
-//! (b) propagation time vs attacked fraction α at `x = 128`.
-
-use drum_bench::{banner, scaled, sweep_table, trials, PROTOCOL_NAMES, SEED};
-use drum_sim::experiments::{fig3a_attack_strength, fig3b_attack_extent};
+//! Thin wrapper over [`drum_bench::figures::fig03`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner("Figure 3", "propagation time under targeted DoS attacks");
-    let trials = trials();
-    let ns: Vec<usize> = if drum_bench::full_scale() {
-        vec![120, 1000]
-    } else {
-        vec![120]
-    };
-    let xs: Vec<f64> = scaled(
-        vec![0.0, 32.0, 64.0, 128.0, 256.0, 512.0],
-        vec![
-            0.0, 32.0, 64.0, 96.0, 128.0, 192.0, 256.0, 320.0, 384.0, 448.0, 512.0,
-        ],
-    );
-
-    for &n in &ns {
-        println!("(a) alpha = 10%, n = {n}: average rounds to 99% of correct processes vs x");
-        let rows = fig3a_attack_strength(n, &xs, trials, SEED);
-        println!("{}", sweep_table("x", &rows, &PROTOCOL_NAMES));
-        println!("paper: Drum flat; Push and Pull linear in x\n");
-    }
-
-    let alphas = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
-    for &n in &ns {
-        println!("(b) x = 128, n = {n}: average rounds vs attacked fraction alpha");
-        let rows = fig3b_attack_extent(n, 128.0, &alphas, trials, SEED);
-        println!("{}", sweep_table("alpha", &rows, &PROTOCOL_NAMES));
-        println!("paper: all grow with alpha, but Drum stays far below Push and Pull\n");
-    }
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig03(&mut out).expect("write fig03 to stdout");
 }

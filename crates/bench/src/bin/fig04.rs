@@ -1,36 +1,9 @@
 //! Figure 4: standard deviation of the propagation times of Figure 3.
 //!
-//! Drum's STD is flat in the attack strength; Push's and especially Pull's
-//! grow linearly (Pull's is dominated by the geometric wait for the
-//! message to escape the attacked source).
-
-use drum_analysis::appendix_b::std_rounds_to_leave_source;
-use drum_bench::{banner, scaled, sweep_table_std, trials, PROTOCOL_NAMES, SEED};
-use drum_sim::experiments::{fig3a_attack_strength, fig3b_attack_extent};
+//! Thin wrapper over [`drum_bench::figures::fig04`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner(
-        "Figure 4",
-        "STD of the propagation time under targeted attacks",
-    );
-    let trials = trials();
-    let n = scaled(120, 1000);
-
-    let xs: Vec<f64> = scaled(
-        vec![0.0, 32.0, 64.0, 128.0, 256.0],
-        vec![0.0, 32.0, 64.0, 128.0, 192.0, 256.0, 384.0, 512.0],
-    );
-    println!("(a) alpha = 10%, n = {n}: STD of rounds-to-99% vs x ({trials} trials)");
-    let rows = fig3a_attack_strength(n, &xs, trials, SEED);
-    println!("{}", sweep_table_std("x", &rows, &PROTOCOL_NAMES));
-
-    println!("(b) x = 128, n = {n}: STD vs attacked fraction");
-    let rows = fig3b_attack_extent(n, 128.0, &[0.1, 0.2, 0.4, 0.6, 0.8], trials, SEED);
-    println!("{}", sweep_table_std("alpha", &rows, &PROTOCOL_NAMES));
-
-    // The paper explains Pull's large STD via p̃ (Appendix B): with F = 4
-    // and x = 128 the analytic STD of the source-escape wait is 8.17.
-    let analytic = std_rounds_to_leave_source(scaled(120, 1000), 4, 128);
-    println!("analytic STD of Pull's source-escape wait (F=4, x=128, n={n}): {analytic:.2} rounds");
-    println!("paper: 8.17 rounds for n = 1000, explaining Pull's measured STD of 9.3");
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig04(&mut out).expect("write fig04 to stdout");
 }

@@ -1,33 +1,9 @@
 //! Figure 5: CDF — average fraction of correct processes that received
-//! `M` by each round, under three targeted attacks.
-
-use drum_bench::{banner, cdf_table, scaled, trials, PROTOCOLS, PROTOCOL_NAMES, SEED};
-use drum_sim::config::SimConfig;
-use drum_sim::experiments::cdf_curve;
+//!
+//! Thin wrapper over [`drum_bench::figures::fig05`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner(
-        "Figure 5",
-        "CDF of the fraction of correct processes holding M per round",
-    );
-    let trials = trials();
-    let n = scaled(120, 1000);
-    let rounds = 40;
-
-    for (alpha_label, alpha, x) in [("10%", 0.1, 64.0), ("10%", 0.1, 128.0), ("40%", 0.4, 128.0)] {
-        println!("alpha = {alpha_label}, x = {x}, n = {n} ({trials} trials)");
-        let curves: Vec<Vec<f64>> = PROTOCOLS
-            .iter()
-            .map(|&p| {
-                let cfg = SimConfig::attack_alpha(p, n, alpha, x);
-                cdf_curve(&cfg, trials, SEED, rounds)
-            })
-            .collect();
-        println!("{}", cdf_table(&PROTOCOL_NAMES, &curves, rounds));
-        println!(
-            "paper: Push rises fastest early (non-attacked processes) but stalls on the\n\
-             attacked tail; Pull's average is dragged down by runs stuck at the source;\n\
-             Drum dominates throughout.\n"
-        );
-    }
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig05(&mut out).expect("write fig05 to stdout");
 }

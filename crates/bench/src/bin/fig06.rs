@@ -1,49 +1,9 @@
 //! Figure 6: propagation time split by victim class — rounds until 99% of
-//! the *non-attacked* (a) and of the *attacked* (b) correct processes hold
-//! `M`, under an α = 10% attack.
-
-use drum_bench::{banner, scaled, trials, PROTOCOLS, PROTOCOL_NAMES, SEED};
-use drum_metrics::table::Table;
-use drum_sim::config::SimConfig;
-use drum_sim::runner::run_experiment;
+//!
+//! Thin wrapper over [`drum_bench::figures::fig06`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner(
-        "Figure 6",
-        "propagation time to non-attacked vs attacked processes",
-    );
-    let trials = trials();
-    let n = scaled(120, 1000);
-    let xs: Vec<f64> = scaled(
-        vec![32.0, 64.0, 128.0, 256.0],
-        vec![32.0, 64.0, 128.0, 256.0, 512.0],
-    );
-
-    let mut to_unattacked = Table::new(
-        std::iter::once("x".to_string())
-            .chain(PROTOCOL_NAMES.iter().map(|s| s.to_string()))
-            .collect(),
-    );
-    let mut to_attacked = to_unattacked.clone();
-
-    for &x in &xs {
-        let mut row_u = vec![format!("{x:.0}")];
-        let mut row_a = vec![format!("{x:.0}")];
-        for &p in &PROTOCOLS {
-            let cfg = SimConfig::paper_attack(p, n, x);
-            let res = run_experiment(&cfg, trials, SEED, 0);
-            row_u.push(format!("{:.1}", res.rounds_unattacked.mean()));
-            row_a.push(format!("{:.1}", res.rounds_attacked.mean()));
-        }
-        to_unattacked.row(row_u);
-        to_attacked.row(row_a);
-    }
-
-    println!("(a) rounds until 99% of the NON-ATTACKED correct processes hold M, n = {n}");
-    println!("{to_unattacked}");
-    println!("paper: Push reaches non-attacked processes much faster than Pull\n");
-
-    println!("(b) rounds until 99% of the ATTACKED correct processes hold M, n = {n}");
-    println!("{to_attacked}");
-    println!("paper: Push and Pull take similarly long on the attacked set;\nDrum is fast for both classes");
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig06(&mut out).expect("write fig06 to stdout");
 }

@@ -1,37 +1,9 @@
 //! Figure 7: strong fixed-strength attacks (B = 7.2n and B = 36n) — how
-//! should an adversary with a fixed budget spread its fire?
 //!
-//! Against Drum, spreading over everyone is the *most* damaging strategy
-//! (Lemma 2); against Push and Pull, focusing on a small subset is.
-
-use drum_bench::{banner, scaled, sweep_table, trials, PROTOCOLS, PROTOCOL_NAMES, SEED};
-use drum_sim::experiments::fixed_strength_sweep;
+//! Thin wrapper over [`drum_bench::figures::fig07`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner("Figure 7", "fixed total attack strength, varying spread");
-    let trials = trials();
-    let ns: Vec<usize> = if drum_bench::full_scale() {
-        vec![120, 500]
-    } else {
-        vec![120]
-    };
-    let alphas = scaled(
-        vec![0.1, 0.3, 0.5, 0.7, 0.9],
-        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
-    );
-
-    for &n in &ns {
-        for (label, b) in [
-            ("B = 7.2n (c = 1.8)", 7.2 * n as f64),
-            ("B = 36n (c = 9)", 36.0 * n as f64),
-        ] {
-            println!("{label}, n = {n}: average rounds to 99% vs attacked fraction alpha");
-            let rows = fixed_strength_sweep(n, b, &alphas, &PROTOCOLS, trials, SEED);
-            println!("{}", sweep_table("alpha", &rows, &PROTOCOL_NAMES));
-            println!(
-                "paper: Drum increases with alpha (no benefit in focusing);\n\
-                 Push/Pull are worst at small alpha; all meet at the rightmost point\n"
-            );
-        }
-    }
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig07(&mut out).expect("write fig07 to stdout");
 }

@@ -1,54 +1,9 @@
 //! Figure 8: weak fixed-strength attacks against Drum
-//! (B ∈ {0, 0.9n, 1.8n, 3.6n}) — such attacks barely move Drum's
-//! propagation time regardless of how they are spread.
-
-use drum_bench::{banner, scaled, trials, SEED};
-use drum_core::ProtocolVariant;
-use drum_metrics::table::Table;
-use drum_sim::config::SimConfig;
-use drum_sim::experiments::fixed_strength_sweep;
-use drum_sim::runner::run_experiment;
+//!
+//! Thin wrapper over [`drum_bench::figures::fig08`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner("Figure 8", "weak fixed-strength attacks on Drum");
-    let trials = trials();
-    let ns: Vec<usize> = if drum_bench::full_scale() {
-        vec![120, 500]
-    } else {
-        vec![120]
-    };
-    let alphas = scaled(
-        vec![0.1, 0.3, 0.5, 0.7, 0.9],
-        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
-    );
-
-    for &n in &ns {
-        // Baseline without any attack (but with 10% malicious members).
-        let mut baseline_cfg = SimConfig::baseline(ProtocolVariant::Drum, n);
-        baseline_cfg.malicious = n / 10;
-        let baseline = run_experiment(&baseline_cfg, trials, SEED, 0).mean_rounds();
-        println!("n = {n}: Drum, average rounds to 99% (no-attack baseline: {baseline:.1})");
-
-        let mut header = vec!["alpha".to_string()];
-        for c in [0.25, 0.5, 1.0] {
-            header.push(format!("B={:.1}n", c * 3.6));
-        }
-        let mut table = Table::new(header);
-
-        let budgets: Vec<f64> = [0.9, 1.8, 3.6].iter().map(|c| c * n as f64).collect();
-        let sweeps: Vec<_> = budgets
-            .iter()
-            .map(|&b| fixed_strength_sweep(n, b, &alphas, &[ProtocolVariant::Drum], trials, SEED))
-            .collect();
-
-        for (i, &alpha) in alphas.iter().enumerate() {
-            let mut cells = vec![format!("{alpha}")];
-            for sweep in &sweeps {
-                cells.push(format!("{:.1}", sweep[i].results[0].mean_rounds()));
-            }
-            table.row(cells);
-        }
-        println!("{table}");
-        println!("paper: all three curves sit within ~1-2 rounds of the baseline\n");
-    }
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig08(&mut out).expect("write fig08 to stdout");
 }

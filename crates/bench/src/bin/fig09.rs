@@ -1,90 +1,9 @@
 //! Figure 9: simulations vs measurements, n = 50.
 //!
-//! Runs the same attacked scenarios through (i) the round-synchronized
-//! simulator and (ii) the real threaded UDP runtime with unsynchronized
-//! rounds and the full push-offer handshake, and compares the average
-//! propagation time (in rounds) to 99% of the correct processes.
-//!
-//! The measured rounds use the paper's §8.1 round-counter accounting.
-
-use std::time::Duration;
-
-use drum_bench::{banner, scaled, trials, PROTOCOLS, PROTOCOL_NAMES, SEED};
-use drum_metrics::table::Table;
-use drum_net::experiment::{paper_cluster_config, propagation_experiment};
-use drum_sim::config::SimConfig;
-use drum_sim::runner::run_experiment;
+//! Thin wrapper over [`drum_bench::figures::fig09`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner("Figure 9", "simulation vs measurement, n = 50");
-    let n = 50;
-    let sim_trials = trials();
-    let messages = scaled(5, 40);
-    let round = Duration::from_millis(scaled(80, 150));
-
-    let xs: Vec<f64> = scaled(vec![0.0, 64.0, 128.0], vec![0.0, 32.0, 64.0, 128.0, 256.0]);
-    println!("(a) alpha = 10%, rounds to 99% vs x  [sim | measured]");
-    let mut table = Table::new(
-        std::iter::once("x".to_string())
-            .chain(PROTOCOL_NAMES.iter().map(|p| format!("{p} sim/net")))
-            .collect(),
-    );
-    for &x in &xs {
-        let mut cells = vec![format!("{x:.0}")];
-        for &p in &PROTOCOLS {
-            let sim_cfg = if x == 0.0 {
-                let mut c = SimConfig::baseline(p, n);
-                c.malicious = n / 10;
-                c
-            } else {
-                SimConfig::paper_attack(p, n, x)
-            };
-            let sim = run_experiment(&sim_cfg, sim_trials, SEED, 0).mean_rounds();
-
-            let net_cfg =
-                paper_cluster_config(p, n, if x == 0.0 { 0 } else { n / 10 }, x, round, SEED);
-            let report =
-                propagation_experiment(net_cfg, messages, 2, Duration::from_secs(scaled(15, 120)))
-                    .expect("cluster failed");
-            let net = if report.rounds_to_99.count() > 0 {
-                format!("{:.1}", report.rounds_to_99.mean())
-            } else {
-                ">to".into()
-            };
-            cells.push(format!("{sim:.1} / {net}"));
-        }
-        table.row(cells);
-    }
-    println!("{table}");
-    println!("paper: measurement tracks simulation closely for all protocols\n");
-
-    let alphas: Vec<f64> = scaled(vec![0.1, 0.4], vec![0.1, 0.2, 0.4, 0.6, 0.8]);
-    println!("(b) x = 128, rounds to 99% vs alpha  [sim | measured]");
-    let mut table = Table::new(
-        std::iter::once("alpha".to_string())
-            .chain(PROTOCOL_NAMES.iter().map(|p| format!("{p} sim/net")))
-            .collect(),
-    );
-    for &alpha in &alphas {
-        let mut cells = vec![format!("{alpha}")];
-        let attacked = ((n as f64) * alpha).round() as usize;
-        for &p in &PROTOCOLS {
-            let sim_cfg = SimConfig::attack_alpha(p, n, alpha, 128.0);
-            let sim = run_experiment(&sim_cfg, sim_trials, SEED, 0).mean_rounds();
-
-            let net_cfg = paper_cluster_config(p, n, attacked, 128.0, round, SEED);
-            let report =
-                propagation_experiment(net_cfg, messages, 2, Duration::from_secs(scaled(20, 180)))
-                    .expect("cluster failed");
-            let net = if report.rounds_to_99.count() > 0 {
-                format!("{:.1}", report.rounds_to_99.mean())
-            } else {
-                ">to".into()
-            };
-            cells.push(format!("{sim:.1} / {net}"));
-        }
-        table.row(cells);
-    }
-    println!("{table}");
-    println!("('>to' marks timed-out measurements — Pull under heavy source attack)");
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig09(&mut out).expect("write fig09 to stdout");
 }

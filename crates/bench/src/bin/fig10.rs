@@ -1,72 +1,9 @@
 //! Figure 10: received throughput under increasing attack strength
-//! (real UDP measurements).
 //!
-//! (a) throughput vs `x` with α = 10%;
-//! (b) throughput vs α with `x = 128`.
-//!
-//! The paper sends 10,000 messages at 40 msg/s with 1 s rounds on 50
-//! machines; quick mode scales the run down (shorter rounds, fewer
-//! messages, n = 20) but keeps the send rate so the shape is comparable.
-
-use std::time::Duration;
-
-use drum_bench::{banner, scaled, PROTOCOLS, PROTOCOL_NAMES, SEED};
-use drum_metrics::table::Table;
-use drum_net::experiment::{paper_cluster_config, throughput_experiment};
+//! Thin wrapper over [`drum_bench::figures::fig10`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner(
-        "Figure 10",
-        "average received throughput under attack (measurements)",
-    );
-    let n = scaled(20, 50);
-    let round = Duration::from_millis(scaled(100, 1000));
-    let messages = scaled(300, 10_000);
-    let rate = 40.0;
-    println!("n = {n}, round = {round:?}, {messages} messages at {rate} msg/s\n");
-
-    let xs: Vec<f64> = scaled(
-        vec![0.0, 64.0, 128.0, 256.0],
-        vec![0.0, 32.0, 64.0, 128.0, 256.0, 512.0],
-    );
-    println!("(a) alpha = 10%: mean received throughput (msg/s) vs x");
-    let mut table = Table::new(
-        std::iter::once("x".to_string())
-            .chain(PROTOCOL_NAMES.iter().map(|s| s.to_string()))
-            .collect(),
-    );
-    for &x in &xs {
-        let mut cells = vec![format!("{x:.0}")];
-        for &p in &PROTOCOLS {
-            let attacked = if x == 0.0 { 0 } else { n / 10 };
-            let cfg = paper_cluster_config(p, n, attacked, x, round, SEED);
-            let report = throughput_experiment(cfg, messages, rate, 50, Duration::from_secs(5))
-                .expect("cluster failed");
-            cells.push(format!("{:.1}", report.mean_throughput()));
-        }
-        table.row(cells);
-    }
-    println!("{table}");
-    println!("paper: Drum flat near the send rate; Push slightly degrading; Pull collapsing\n");
-
-    let alphas: Vec<f64> = scaled(vec![0.1, 0.2, 0.4], vec![0.1, 0.2, 0.4, 0.6, 0.8]);
-    println!("(b) x = 128: mean received throughput (msg/s) vs alpha");
-    let mut table = Table::new(
-        std::iter::once("alpha".to_string())
-            .chain(PROTOCOL_NAMES.iter().map(|s| s.to_string()))
-            .collect(),
-    );
-    for &alpha in &alphas {
-        let mut cells = vec![format!("{alpha}")];
-        let attacked = ((n as f64) * alpha).round() as usize;
-        for &p in &PROTOCOLS {
-            let cfg = paper_cluster_config(p, n, attacked, 128.0, round, SEED);
-            let report = throughput_experiment(cfg, messages, rate, 50, Duration::from_secs(5))
-                .expect("cluster failed");
-            cells.push(format!("{:.1}", report.mean_throughput()));
-        }
-        table.row(cells);
-    }
-    println!("{table}");
-    println!("paper: Drum degrades gracefully with alpha; Push linearly; Pull drastically");
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig10(&mut out).expect("write fig10 to stdout");
 }

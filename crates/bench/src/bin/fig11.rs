@@ -1,67 +1,9 @@
 //! Figure 11: CDF of per-receiver average latency (real UDP measurements)
-//! under (a) α = 10% and (b) α = 40%, both with x = 128.
 //!
-//! Push delivers fast to non-attacked receivers but its attacked receivers
-//! lag far behind; Pull is uniformly slow; Drum is almost as fast as Push
-//! with a small attacked/non-attacked gap.
-
-use std::time::Duration;
-
-use drum_bench::{banner, scaled, PROTOCOLS, PROTOCOL_NAMES, SEED};
-use drum_metrics::table::Table;
-use drum_net::experiment::{paper_cluster_config, throughput_experiment};
+//! Thin wrapper over [`drum_bench::figures::fig11`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner(
-        "Figure 11",
-        "CDF of per-process average delivery latency (measurements)",
-    );
-    let n = scaled(20, 50);
-    let round = Duration::from_millis(scaled(100, 1000));
-    let messages = scaled(300, 10_000);
-    let rate = 40.0;
-
-    for alpha in [0.1, 0.4] {
-        let attacked = ((n as f64) * alpha).round() as usize;
-        println!("alpha = {alpha}, x = 128, n = {n}: per-receiver mean latency (ms), sorted");
-        let mut table = Table::new(
-            std::iter::once("percentile".to_string())
-                .chain(PROTOCOL_NAMES.iter().map(|s| s.to_string()))
-                .collect(),
-        );
-
-        let mut per_protocol: Vec<Vec<f64>> = Vec::new();
-        for &p in &PROTOCOLS {
-            let cfg = paper_cluster_config(p, n, attacked, 128.0, round, SEED);
-            let report = throughput_experiment(cfg, messages, rate, 50, Duration::from_secs(5))
-                .expect("cluster failed");
-            let mut lats: Vec<f64> = report
-                .receivers
-                .iter()
-                .filter(|r| r.received > 0)
-                .map(|r| r.mean_latency_ms)
-                .collect();
-            lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            per_protocol.push(lats);
-        }
-
-        for pct in [10usize, 25, 50, 75, 90, 100] {
-            let mut cells = vec![format!("{pct}%")];
-            for lats in &per_protocol {
-                if lats.is_empty() {
-                    cells.push("-".into());
-                    continue;
-                }
-                let idx = ((pct as f64 / 100.0) * lats.len() as f64).ceil() as usize;
-                let idx = idx.clamp(1, lats.len()) - 1;
-                cells.push(format!("{:.0}", lats[idx]));
-            }
-            table.row(cells);
-        }
-        println!("{table}");
-        println!(
-            "paper: Drum tracks Push up to the ~90th percentile and avoids Push's\n\
-             attacked-receiver tail (4x the non-attacked latency); Pull is uniformly slow\n"
-        );
-    }
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig11(&mut out).expect("write fig11 to stdout");
 }

@@ -1,73 +1,9 @@
 //! Figure 12: the other two DoS-mitigation measures, ablated.
 //!
-//! (a) Drum with random ports vs with well-known reply ports (simulation):
-//!     without port concealment the adversary splits its pull budget over
-//!     the request and reply ports and Drum degrades linearly;
-//! (b) Drum with separate vs shared control-message bounds (measurement):
-//!     a shared bound lets the flood starve push-offers and push-replies.
-
-use std::time::Duration;
-
-use drum_bench::{banner, scaled, sweep_table, trials, SEED};
-use drum_core::config::{BoundMode, GossipConfig};
-use drum_metrics::table::Table;
-use drum_net::experiment::{paper_cluster_config, propagation_experiment};
-use drum_sim::experiments::fig12a_random_ports;
+//! Thin wrapper over [`drum_bench::figures::fig12`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner("Figure 12", "random ports and separate bounds ablations");
-    let trials = trials();
-    let n = scaled(120, 1000);
-
-    let xs: Vec<f64> = scaled(
-        vec![0.0, 64.0, 128.0, 256.0, 512.0],
-        vec![0.0, 32.0, 64.0, 128.0, 192.0, 256.0, 384.0, 512.0],
-    );
-    println!("(a) alpha = 10%, n = {n} (simulation): rounds to 99% vs x");
-    let rows = fig12a_random_ports(n, &xs, trials, SEED);
-    println!(
-        "{}",
-        sweep_table("x", &rows, &["random ports", "well-known ports"])
-    );
-    println!("paper: random ports flat; well-known ports linear in x\n");
-
-    // (b) — real measurements with the engine's bound modes.
-    let net_n = scaled(16, 50);
-    let round = Duration::from_millis(scaled(80, 1000));
-    let messages = scaled(6, 30);
-    let net_xs: Vec<f64> = scaled(
-        vec![0.0, 128.0, 256.0],
-        vec![0.0, 64.0, 128.0, 256.0, 512.0],
-    );
-    println!("(b) alpha = 10%, n = {net_n} (measurement): rounds to 99% vs x");
-    let mut table = Table::new(vec![
-        "x".into(),
-        "separate bounds".into(),
-        "shared bounds".into(),
-    ]);
-    for &x in &net_xs {
-        let mut cells = vec![format!("{x:.0}")];
-        for mode in [BoundMode::Separate, BoundMode::SharedControl] {
-            let attacked = if x == 0.0 { 0 } else { (net_n / 10).max(1) };
-            let mut cfg = paper_cluster_config(
-                drum_core::ProtocolVariant::Drum,
-                net_n,
-                attacked,
-                x,
-                round,
-                SEED,
-            );
-            cfg.net.gossip = GossipConfig::drum().with_bound_mode(mode);
-            let report = propagation_experiment(cfg, messages, 2, Duration::from_secs(45))
-                .expect("cluster failed");
-            if report.rounds_to_99.count() > 0 {
-                cells.push(format!("{:.1}", report.rounds_to_99.mean()));
-            } else {
-                cells.push(">timeout".into());
-            }
-        }
-        table.row(cells);
-    }
-    println!("{table}");
-    println!("paper: separate bounds flat; shared bounds degrade linearly under attack");
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig12(&mut out).expect("write fig12 to stdout");
 }

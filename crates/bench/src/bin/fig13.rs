@@ -1,49 +1,9 @@
 //! Figure 13: detailed analysis (Appendix C) vs simulation, no DoS attack.
 //!
-//! (a) failure-free; (b) 10% of the processes crashed. The two CDFs are
-//! expected to be virtually identical.
-
-use drum_analysis::appendix_c::{analysis_cdf, Protocol};
-use drum_bench::{banner, cdf_table, scaled, trials, SEED};
-use drum_core::ProtocolVariant;
-use drum_sim::config::SimConfig;
-use drum_sim::experiments::cdf_curve;
-
-fn sim_variant(p: Protocol) -> ProtocolVariant {
-    match p {
-        Protocol::Drum => ProtocolVariant::Drum,
-        Protocol::Push => ProtocolVariant::Push,
-        Protocol::Pull => ProtocolVariant::Pull,
-    }
-}
+//! Thin wrapper over [`drum_bench::figures::fig13`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner(
-        "Figure 13",
-        "analysis vs simulation CDFs without DoS attacks",
-    );
-    let trials = trials();
-    let n = scaled(120, 1000);
-    let rounds = 20;
-
-    for (label, crashed) in [("(a) failure-free", 0usize), ("(b) 10% crashed", n / 10)] {
-        println!("{label}, n = {n} ({trials} trials)");
-        let mut labels = Vec::new();
-        let mut curves = Vec::new();
-        for proto in [Protocol::Drum, Protocol::Push, Protocol::Pull] {
-            // Analysis: fraction at round start; shift by one to align with
-            // the simulator's after-round samples.
-            let a = analysis_cdf(proto, n, crashed, 0.01, 4, 0, 0, rounds + 1);
-            curves.push(a[1..].to_vec());
-            labels.push(format!("{proto} anl"));
-
-            let mut cfg = SimConfig::baseline(sim_variant(proto), n);
-            cfg.crashed = crashed;
-            curves.push(cdf_curve(&cfg, trials, SEED, rounds));
-            labels.push(format!("{proto} sim"));
-        }
-        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-        println!("{}", cdf_table(&label_refs, &curves, rounds));
-        println!("paper: analysis and simulation curves are almost identical\n");
-    }
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig13(&mut out).expect("write fig13 to stdout");
 }

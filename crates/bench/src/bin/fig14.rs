@@ -1,57 +1,9 @@
 //! Figure 14: detailed analysis (Appendix C) vs simulation under DoS
-//! attacks, n = 120 — six (α, x) combinations, three protocols each.
-
-use drum_analysis::appendix_c::{analysis_cdf, Protocol};
-use drum_bench::{banner, cdf_table, trials, SEED};
-use drum_core::ProtocolVariant;
-use drum_sim::config::SimConfig;
-use drum_sim::experiments::cdf_curve;
-
-fn sim_variant(p: Protocol) -> ProtocolVariant {
-    match p {
-        Protocol::Drum => ProtocolVariant::Drum,
-        Protocol::Push => ProtocolVariant::Push,
-        Protocol::Pull => ProtocolVariant::Pull,
-    }
-}
+//!
+//! Thin wrapper over [`drum_bench::figures::fig14`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
 
 fn main() {
-    banner(
-        "Figure 14",
-        "analysis vs simulation CDFs under DoS attacks, n = 120",
-    );
-    let trials = trials();
-    let n = 120;
-    let b = 12;
-    let rounds = 40;
-
-    let scenarios = [
-        ("(a)", 0.10, 32u64),
-        ("(b)", 0.10, 64),
-        ("(c)", 0.10, 128),
-        ("(d)", 0.40, 128),
-        ("(e)", 0.60, 128),
-        ("(f)", 0.80, 128),
-    ];
-
-    for (panel, alpha, x) in scenarios {
-        let attacked = ((n as f64) * alpha).round() as usize;
-        println!("{panel} alpha = {alpha}, x = {x} ({trials} trials)");
-        let mut labels = Vec::new();
-        let mut curves = Vec::new();
-        for proto in [Protocol::Drum, Protocol::Push, Protocol::Pull] {
-            let a = analysis_cdf(proto, n, b, 0.01, 4, attacked, x, rounds + 1);
-            curves.push(a[1..].to_vec());
-            labels.push(format!("{proto} anl"));
-
-            let mut cfg = SimConfig::attack_alpha(sim_variant(proto), n, alpha, x as f64);
-            cfg.malicious = b;
-            curves.push(cdf_curve(&cfg, trials, SEED, rounds));
-            labels.push(format!("{proto} sim"));
-        }
-        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-        println!("{}", cdf_table(&label_refs, &curves, rounds));
-        println!();
-    }
-    println!("paper: in every panel the analysis curve overlays the simulation curve");
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::fig14(&mut out).expect("write fig14 to stdout");
 }

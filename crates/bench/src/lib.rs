@@ -16,11 +16,58 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod figures;
 pub mod harness;
+
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use drum_core::ProtocolVariant;
 use drum_metrics::table::Table;
 use drum_sim::experiments::SweepRow;
+
+/// Sizing of a figure run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI smoke sizing (`drum-lab figures --quick`): the smallest runs
+    /// that still exercise every figure's code path end to end.
+    Smoke,
+    /// Default: reduced group sizes / trial counts; every qualitative
+    /// shape of the paper is already visible.
+    Quick,
+    /// The paper's parameters (`--full` / `DRUM_BENCH_FULL=1`).
+    Full,
+}
+
+/// Process-wide scale. 255 = unset: fall back to the legacy `--full`
+/// argv/env probe on first read, so the standalone fig binaries keep
+/// their historical behaviour without calling [`set_scale`].
+static SCALE: AtomicU8 = AtomicU8::new(255);
+
+/// Overrides the scale for this process (used by `drum-lab figures`).
+pub fn set_scale(scale: Scale) {
+    let v = match scale {
+        Scale::Smoke => 0,
+        Scale::Quick => 1,
+        Scale::Full => 2,
+    };
+    SCALE.store(v, Ordering::Relaxed);
+}
+
+/// The active scale.
+pub fn scale() -> Scale {
+    match SCALE.load(Ordering::Relaxed) {
+        0 => Scale::Smoke,
+        1 => Scale::Quick,
+        2 => Scale::Full,
+        _ => {
+            if full_scale() {
+                Scale::Full
+            } else {
+                Scale::Quick
+            }
+        }
+    }
+}
 
 /// Whether the binary was invoked at full (paper) scale.
 pub fn full_scale() -> bool {
@@ -30,34 +77,50 @@ pub fn full_scale() -> bool {
             .unwrap_or(false)
 }
 
-/// Picks between the quick and full value of a parameter.
+/// Picks between the quick and full value of a parameter. Smoke runs use
+/// the quick value; parameters that must shrink further for CI take all
+/// three via [`scaled3`].
 pub fn scaled<T>(quick: T, full: T) -> T {
-    if full_scale() {
-        full
-    } else {
-        quick
+    match scale() {
+        Scale::Full => full,
+        Scale::Smoke | Scale::Quick => quick,
     }
 }
 
-/// Simulation trial count: 1000 in the paper, 150 quick.
+/// Picks a parameter by scale, with an explicit smoke value.
+pub fn scaled3<T>(smoke: T, quick: T, full: T) -> T {
+    match scale() {
+        Scale::Smoke => smoke,
+        Scale::Quick => quick,
+        Scale::Full => full,
+    }
+}
+
+/// Simulation trial count: 1000 in the paper, 150 quick, 12 smoke.
 pub fn trials() -> usize {
-    scaled(150, 1000)
+    scaled3(12, 150, 1000)
 }
 
 /// The standard experiment seed (fixed for reproducibility).
 pub const SEED: u64 = 20040628; // DSN 2004 conference date
 
-/// Prints the standard figure banner.
-pub fn banner(fig: &str, what: &str) {
-    println!("=== {fig}: {what} ===");
-    println!(
+/// Writes the standard figure banner.
+pub fn banner_to(w: &mut dyn std::io::Write, fig: &str, what: &str) -> std::io::Result<()> {
+    writeln!(w, "=== {fig}: {what} ===")?;
+    writeln!(
+        w,
         "scale: {} (run with --full for the paper's parameters)\n",
-        if full_scale() {
-            "FULL (paper)"
-        } else {
-            "quick"
+        match scale() {
+            Scale::Smoke => "smoke (CI)",
+            Scale::Quick => "quick",
+            Scale::Full => "FULL (paper)",
         }
-    );
+    )
+}
+
+/// Prints the standard figure banner to stdout.
+pub fn banner(fig: &str, what: &str) {
+    banner_to(&mut std::io::stdout(), fig, what).expect("write to stdout");
 }
 
 /// Formats a sweep (x column + mean rounds per protocol) as a table.

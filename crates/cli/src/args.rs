@@ -50,7 +50,7 @@ impl core::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that are boolean flags (take no value).
-const FLAG_NAMES: &[&str] = &["help", "full", "no-random-ports", "shared-bounds"];
+const FLAG_NAMES: &[&str] = &["help", "full", "quick", "no-random-ports", "shared-bounds"];
 
 impl Args {
     /// Parses an iterator of arguments (without the program name).

@@ -30,6 +30,7 @@ COMMANDS:
     analyze    closed-form Appendix C propagation curve
     probs      acceptance probabilities p_u / p_a / p~ (appendices A-B)
     cluster    live UDP cluster throughput experiment
+    figures    regenerate every results/fig*.txt in one run
     help       show this message
 
 COMMON OPTIONS:
@@ -58,6 +59,12 @@ cluster:
     --messages <u64>            messages to send (default 200)
     --rate <f64>                send rate msg/s (default 40)
     --shared-bounds             Figure 12(b) ablation
+
+figures:
+    --out <dir>                 output directory (default results)
+    --only <names>              comma-separated subset (e.g. fig03,fig05)
+    --quick                     CI smoke sizing (smallest end-to-end runs)
+    --full                      the paper's parameters
 ";
 
 fn protocol_of(args: &Args) -> Result<ProtocolVariant, String> {
@@ -249,6 +256,65 @@ fn run() -> Result<(), String> {
                 report.mean_throughput(),
                 report.mean_latency_ms()
             );
+        }
+        "figures" => {
+            let out_dir = std::path::PathBuf::from(args.get("out").unwrap_or("results"));
+            let only: Option<Vec<&str>> = args.get("only").map(|s| s.split(',').collect());
+            if args.flag("full") {
+                drum_bench::set_scale(drum_bench::Scale::Full);
+            } else if args.flag("quick") {
+                drum_bench::set_scale(drum_bench::Scale::Smoke);
+            } else {
+                drum_bench::set_scale(drum_bench::Scale::Quick);
+            }
+
+            let selected: Vec<_> = drum_bench::figures::FIGURES
+                .iter()
+                .filter(|(name, _)| only.as_ref().is_none_or(|o| o.contains(name)))
+                .collect();
+            if selected.is_empty() {
+                return Err(format!(
+                    "--only matched no figures; known: {}",
+                    drum_bench::figures::FIGURES
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            std::fs::create_dir_all(&out_dir)
+                .map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+
+            // Figures run sequentially: each one's simulation sweeps
+            // already saturate the worker pool internally, and the
+            // cluster figures bind real UDP sockets that should not
+            // fight a concurrent cluster for ports.
+            let pool = drum_pool::Pool::global();
+            println!(
+                "regenerating {} figure(s) into {} ({} pool thread(s))",
+                selected.len(),
+                out_dir.display(),
+                pool.threads()
+            );
+            let started = std::time::Instant::now();
+            for (name, figure) in selected {
+                let path = out_dir.join(format!("{name}.txt"));
+                let fig_started = std::time::Instant::now();
+                let mut out = std::io::BufWriter::new(
+                    std::fs::File::create(&path)
+                        .map_err(|e| format!("create {}: {e}", path.display()))?,
+                );
+                figure(&mut out).map_err(|e| format!("write {}: {e}", path.display()))?;
+                use std::io::Write as _;
+                out.flush()
+                    .map_err(|e| format!("flush {}: {e}", path.display()))?;
+                println!("  {name}  {:>6.1}s", fig_started.elapsed().as_secs_f64());
+            }
+            println!(
+                "done in {:.1}s; pool counters:",
+                started.elapsed().as_secs_f64()
+            );
+            println!("{}", pool.registry().to_table());
         }
         other => {
             return Err(format!("unknown command '{other}'; try 'drum-lab help'"));

@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod bounds;
 pub mod buffer;
 pub mod bytes;
@@ -68,6 +69,7 @@ pub mod ids;
 pub mod message;
 pub mod view;
 
+pub use bitset::BitSet;
 pub use bounds::{Channel, RoundBudget};
 pub use buffer::MessageBuffer;
 pub use bytes::{Bytes, BytesMut};

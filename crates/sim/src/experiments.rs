@@ -4,11 +4,19 @@
 //! the `drum-bench` figure binaries format into the same series the paper
 //! plots. `trials` is a parameter everywhere: the paper uses 1000 runs per
 //! point; tests and quick modes use fewer.
+//!
+//! Every sweep builds its grid of [`SweepPoint`]s up front and submits the
+//! whole thing through [`run_sweep`] as **one flat job set** on the global
+//! pool. That keeps the pool saturated across point boundaries: a worker
+//! that finishes a cheap baseline point immediately picks up trials from
+//! the expensive attacked points instead of idling at a per-point join
+//! barrier (the seed harness's behaviour, gated against in the `hotpath`
+//! bench).
 
 use drum_core::ProtocolVariant;
 
 use crate::config::SimConfig;
-use crate::runner::{run_experiment, ExperimentResult};
+use crate::runner::{run_many, ExperimentResult};
 
 /// The three protocols compared throughout the paper.
 pub const PROTOCOLS: [ProtocolVariant; 3] = [
@@ -17,69 +25,107 @@ pub const PROTOCOLS: [ProtocolVariant; 3] = [
     ProtocolVariant::Pull,
 ];
 
-/// One row of a sweep: the x-axis value and the per-protocol results in
-/// [`PROTOCOLS`] order.
+/// One x-axis value of a sweep and the configs evaluated at it.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter value.
+    pub x: f64,
+    /// The scenarios to evaluate at this point (one per output column).
+    pub configs: Vec<SimConfig>,
+}
+
+/// One row of a sweep: the x-axis value and the per-config results in
+/// the same order as the point's `configs`.
 #[derive(Debug, Clone)]
 pub struct SweepRow {
     /// The swept parameter value.
     pub x: f64,
-    /// Results for Drum, Push, Pull (in that order).
+    /// Results in the point's config order (protocol sweeps use
+    /// [`PROTOCOLS`] order: Drum, Push, Pull).
     pub results: Vec<ExperimentResult>,
+}
+
+/// Evaluates every config of every point — `trials` trials each — as one
+/// flat job set on the global pool, and reshapes the results back into
+/// per-point rows. All figure sweeps route through here.
+pub fn run_sweep(
+    points: &[SweepPoint],
+    trials: usize,
+    seed: u64,
+    cdf_rounds: usize,
+) -> Vec<SweepRow> {
+    let flat: Vec<SimConfig> = points
+        .iter()
+        .flat_map(|p| p.configs.iter().cloned())
+        .collect();
+    let mut results = run_many(&flat, trials, seed, cdf_rounds).into_iter();
+    points
+        .iter()
+        .map(|p| SweepRow {
+            x: p.x,
+            results: results.by_ref().take(p.configs.len()).collect(),
+        })
+        .collect()
+}
+
+/// Builds the standard per-protocol point: one config per entry of
+/// [`PROTOCOLS`], derived from `make`.
+fn protocol_point(x: f64, make: impl Fn(ProtocolVariant) -> SimConfig) -> SweepPoint {
+    SweepPoint {
+        x,
+        configs: PROTOCOLS.iter().map(|&p| make(p)).collect(),
+    }
 }
 
 /// Figure 2(a): failure-free propagation time as `n` grows.
 pub fn fig2a_scalability(ns: &[usize], trials: usize, seed: u64) -> Vec<SweepRow> {
-    ns.iter()
-        .map(|&n| SweepRow {
-            x: n as f64,
-            results: PROTOCOLS
-                .iter()
-                .map(|&p| run_experiment(&SimConfig::baseline(p, n), trials, seed, 0))
-                .collect(),
-        })
-        .collect()
+    let points: Vec<SweepPoint> = ns
+        .iter()
+        .map(|&n| protocol_point(n as f64, |p| SimConfig::baseline(p, n)))
+        .collect();
+    run_sweep(&points, trials, seed, 0)
 }
 
 /// Figure 2(b): propagation time as the fraction of crashed processes
 /// grows (`n` fixed).
 pub fn fig2b_crashes(n: usize, crash_fractions: &[f64], trials: usize, seed: u64) -> Vec<SweepRow> {
-    crash_fractions
+    let points: Vec<SweepPoint> = crash_fractions
         .iter()
-        .map(|&frac| SweepRow {
-            x: frac,
-            results: PROTOCOLS
-                .iter()
-                .map(|&p| {
-                    let mut cfg = SimConfig::baseline(p, n);
-                    cfg.crashed = (n as f64 * frac).round() as usize;
-                    run_experiment(&cfg, trials, seed, 0)
-                })
-                .collect(),
+        .map(|&frac| {
+            protocol_point(frac, |p| {
+                let mut cfg = SimConfig::baseline(p, n);
+                cfg.crashed = (n as f64 * frac).round() as usize;
+                cfg
+            })
         })
-        .collect()
+        .collect();
+    run_sweep(&points, trials, seed, 0)
+}
+
+/// The x = 0 (or α = 0) column of the attack figures: no fabricated
+/// traffic, but the 10% malicious processes still refuse to gossip.
+fn attack_baseline(p: ProtocolVariant, n: usize) -> SimConfig {
+    let mut c = SimConfig::baseline(p, n);
+    c.malicious = n / 10;
+    c
 }
 
 /// Figure 3(a) / Figure 9(a): targeted attack on 10% of the processes,
 /// propagation time vs. attack rate `x`.
 pub fn fig3a_attack_strength(n: usize, xs: &[f64], trials: usize, seed: u64) -> Vec<SweepRow> {
-    xs.iter()
-        .map(|&x| SweepRow {
-            x,
-            results: PROTOCOLS
-                .iter()
-                .map(|&p| {
-                    let cfg = if x == 0.0 {
-                        let mut c = SimConfig::baseline(p, n);
-                        c.malicious = n / 10;
-                        c
-                    } else {
-                        SimConfig::paper_attack(p, n, x)
-                    };
-                    run_experiment(&cfg, trials, seed, 0)
-                })
-                .collect(),
+    let points: Vec<SweepPoint> = xs
+        .iter()
+        .map(|&x| {
+            protocol_point(x, |p| {
+                if x == 0.0 {
+                    attack_baseline(p, n)
+                } else {
+                    SimConfig::paper_attack(p, n, x)
+                }
+            })
         })
-        .collect()
+        .collect();
+    run_sweep(&points, trials, seed, 0)
 }
 
 /// Figure 3(b) / Figure 9(b): fixed `x`, increasing attacked fraction α.
@@ -90,31 +136,35 @@ pub fn fig3b_attack_extent(
     trials: usize,
     seed: u64,
 ) -> Vec<SweepRow> {
-    alphas
+    let points: Vec<SweepPoint> = alphas
         .iter()
-        .map(|&alpha| SweepRow {
-            x: alpha,
-            results: PROTOCOLS
-                .iter()
-                .map(|&p| {
-                    let cfg = if alpha == 0.0 {
-                        let mut c = SimConfig::baseline(p, n);
-                        c.malicious = n / 10;
-                        c
-                    } else {
-                        SimConfig::attack_alpha(p, n, alpha, x)
-                    };
-                    run_experiment(&cfg, trials, seed, 0)
-                })
-                .collect(),
+        .map(|&alpha| {
+            protocol_point(alpha, |p| {
+                if alpha == 0.0 {
+                    attack_baseline(p, n)
+                } else {
+                    SimConfig::attack_alpha(p, n, alpha, x)
+                }
+            })
         })
-        .collect()
+        .collect();
+    run_sweep(&points, trials, seed, 0)
 }
 
 /// Figures 5 / 13 / 14: per-round CDF of the fraction of correct processes
 /// holding `M`, for one scenario.
 pub fn cdf_curve(cfg: &SimConfig, trials: usize, seed: u64, rounds: usize) -> Vec<f64> {
-    run_experiment(cfg, trials, seed, rounds).avg_fraction_per_round
+    cdf_curves(std::slice::from_ref(cfg), trials, seed, rounds)
+        .pop()
+        .expect("one config in, one curve out")
+}
+
+/// Per-round CDFs for several scenarios evaluated as one flat job set.
+pub fn cdf_curves(cfgs: &[SimConfig], trials: usize, seed: u64, rounds: usize) -> Vec<Vec<f64>> {
+    run_many(cfgs, trials, seed, rounds)
+        .into_iter()
+        .map(|r| r.avg_fraction_per_round)
+        .collect()
 }
 
 /// Figure 7 / 8: fixed total attack strength `B = c·F·n` spread over a
@@ -130,50 +180,51 @@ pub fn fixed_strength_sweep(
     trials: usize,
     seed: u64,
 ) -> Vec<SweepRow> {
-    alphas
+    let points: Vec<SweepPoint> = alphas
         .iter()
         .map(|&alpha| {
             let attacked = ((n as f64 * alpha).round() as usize).max(1);
             let x = total_b / attacked as f64;
-            SweepRow {
+            SweepPoint {
                 x: alpha,
-                results: protocols
+                configs: protocols
                     .iter()
-                    .map(|&p| {
-                        let cfg = SimConfig::attack_alpha(p, n, alpha, x);
-                        run_experiment(&cfg, trials, seed, 0)
-                    })
+                    .map(|&p| SimConfig::attack_alpha(p, n, alpha, x))
                     .collect(),
             }
         })
-        .collect()
+        .collect();
+    run_sweep(&points, trials, seed, 0)
 }
 
 /// Figure 12(a): Drum with and without random ports, vs. attack rate `x`.
 /// Returns rows whose `results` hold `[with_random_ports, without]`.
 pub fn fig12a_random_ports(n: usize, xs: &[f64], trials: usize, seed: u64) -> Vec<SweepRow> {
-    xs.iter()
-        .map(|&x| {
-            let mut results = Vec::with_capacity(2);
-            for random_ports in [true, false] {
-                let mut cfg = if x == 0.0 {
-                    let mut c = SimConfig::baseline(ProtocolVariant::Drum, n);
-                    c.malicious = n / 10;
-                    c
-                } else {
-                    SimConfig::paper_attack(ProtocolVariant::Drum, n, x)
-                };
-                cfg.random_ports = random_ports;
-                results.push(run_experiment(&cfg, trials, seed, 0));
-            }
-            SweepRow { x, results }
+    let points: Vec<SweepPoint> = xs
+        .iter()
+        .map(|&x| SweepPoint {
+            x,
+            configs: [true, false]
+                .iter()
+                .map(|&random_ports| {
+                    let mut cfg = if x == 0.0 {
+                        attack_baseline(ProtocolVariant::Drum, n)
+                    } else {
+                        SimConfig::paper_attack(ProtocolVariant::Drum, n, x)
+                    };
+                    cfg.random_ports = random_ports;
+                    cfg
+                })
+                .collect(),
         })
-        .collect()
+        .collect();
+    run_sweep(&points, trials, seed, 0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_experiment;
 
     const TRIALS: usize = 12;
 
@@ -218,6 +269,30 @@ mod tests {
             pull_growth > drum_growth,
             "pull {pull_growth} vs drum {drum_growth}"
         );
+    }
+
+    #[test]
+    fn flat_sweep_matches_per_point_experiments() {
+        // The whole-sweep flattening must not change any individual
+        // result: row (x, protocol) equals a standalone run_experiment
+        // with the same config, trials and seed.
+        let rows = fig3a_attack_strength(60, &[0.0, 64.0], TRIALS, 9);
+        for row in &rows {
+            for (i, &p) in PROTOCOLS.iter().enumerate() {
+                let cfg = if row.x == 0.0 {
+                    attack_baseline(p, 60)
+                } else {
+                    SimConfig::paper_attack(p, 60, row.x)
+                };
+                assert_eq!(
+                    row.results[i],
+                    run_experiment(&cfg, TRIALS, 9, 0),
+                    "x={} protocol {:?} diverged from standalone run",
+                    row.x,
+                    p
+                );
+            }
+        }
     }
 
     #[test]

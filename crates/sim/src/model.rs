@@ -20,6 +20,7 @@
 
 use rand::rngs::SmallRng;
 
+use drum_core::BitSet;
 use drum_trace::{trace_event, Timestamp, Tracer};
 
 use crate::config::{Role, SimConfig};
@@ -31,8 +32,9 @@ use crate::sampling::{
 #[derive(Debug)]
 pub struct SimState {
     cfg: SimConfig,
-    /// Whether process `i` holds `M`.
-    has_m: Vec<bool>,
+    /// Whether process `i` holds `M` — word-packed so the per-round
+    /// delivery bookkeeping runs on popcount/trailing-zeros word ops.
+    has_m: BitSet,
     /// Role of each process, precomputed.
     roles: Vec<Role>,
     /// Whether process `i` is currently under attack (dynamic when the
@@ -59,7 +61,7 @@ pub struct SimState {
     pull_requests: Vec<Vec<u32>>,
     reply_valid: Vec<u32>,
     reply_with_m: Vec<u32>,
-    new_m: Vec<bool>,
+    new_m: BitSet,
     targets: Vec<usize>,
     rotation_picks: Vec<usize>,
 }
@@ -75,8 +77,8 @@ impl SimState {
         let n = cfg.n;
         let roles: Vec<Role> = (0..n).map(|i| cfg.role_of(i)).collect();
         let attacked_flags: Vec<bool> = roles.iter().map(|r| *r == Role::AttackedCorrect).collect();
-        let mut has_m = vec![false; n];
-        has_m[0] = true;
+        let mut has_m = BitSet::new(n);
+        has_m.set(0);
         let correct_idx: Vec<usize> = (0..n)
             .filter(|&i| matches!(roles[i], Role::AttackedCorrect | Role::Correct))
             .collect();
@@ -99,7 +101,7 @@ impl SimState {
             pull_requests: vec![Vec::new(); n],
             reply_valid: vec![0; n],
             reply_with_m: vec![0; n],
-            new_m: vec![false; n],
+            new_m: BitSet::new(n),
             targets: Vec::new(),
             rotation_picks: Vec::new(),
         }
@@ -142,7 +144,7 @@ impl SimState {
 
     /// Whether process `i` currently holds `M`.
     pub fn has_m(&self, i: usize) -> bool {
-        self.has_m[i]
+        self.has_m.get(i)
     }
 
     fn is_correct(&self, i: usize) -> bool {
@@ -170,7 +172,7 @@ impl SimState {
         for &idx in &picked {
             let target = self.correct_idx[idx];
             self.attacked_flags[target] = true;
-            if self.has_m[target] {
+            if self.has_m.get(target) {
                 self.n_attacked_with_m += 1;
             }
         }
@@ -182,7 +184,7 @@ impl SimState {
         debug_assert_eq!(
             self.n_correct_with_m,
             (0..self.cfg.n)
-                .filter(|&i| self.is_correct(i) && self.has_m[i])
+                .filter(|&i| self.is_correct(i) && self.has_m.get(i))
                 .count()
         );
         self.n_correct_with_m
@@ -193,7 +195,7 @@ impl SimState {
         debug_assert_eq!(
             self.n_attacked_with_m,
             (0..self.cfg.n)
-                .filter(|&i| self.is_attacked(i) && self.has_m[i])
+                .filter(|&i| self.is_attacked(i) && self.has_m.get(i))
                 .count()
         );
         self.n_attacked_with_m
@@ -228,9 +230,7 @@ impl SimState {
             }
         }
 
-        for v in &mut self.new_m {
-            *v = false;
-        }
+        self.new_m.clear_all();
 
         // Fabricated-message totals injected this round (attack tracing).
         let mut fakes_push_total = 0u64;
@@ -251,7 +251,7 @@ impl SimState {
                     // Crashed/malicious targets silently discard.
                     if self.is_correct(t) && rng_chance(rng, ok) {
                         self.push_valid[t] += 1;
-                        if self.has_m[s] {
+                        if self.has_m.get(s) {
                             self.push_with_m[t] += 1;
                         }
                     }
@@ -261,7 +261,7 @@ impl SimState {
             let f_in_push = self.cfg.view_push();
             let x_push = self.cfg.x_push();
             for t in 0..n {
-                if !self.is_correct(t) || self.has_m[t] {
+                if !self.is_correct(t) || self.has_m.get(t) {
                     continue;
                 }
                 let fakes = if self.is_attacked(t) && x_push > 0.0 {
@@ -274,7 +274,7 @@ impl SimState {
                 let with_m = self.push_with_m[t] as usize;
                 let acc = accepted_valid(valid, fakes, f_in_push, rng);
                 if with_m > 0 && any_interesting(with_m, valid - with_m, acc, rng) {
-                    self.new_m[t] = true;
+                    self.new_m.set(t);
                 }
             }
         }
@@ -335,13 +335,13 @@ impl SimState {
                     }
                     if self.cfg.random_ports {
                         // Random reply port: always processed.
-                        if self.has_m[t] && !self.has_m[p] {
-                            self.new_m[p] = true;
+                        if self.has_m.get(t) && !self.has_m.get(p) {
+                            self.new_m.set(p);
                         }
                     } else {
                         // Well-known reply port: contends with fakes below.
                         self.reply_valid[p] += 1;
-                        if self.has_m[t] {
+                        if self.has_m.get(t) {
                             self.reply_with_m[p] += 1;
                         }
                     }
@@ -351,7 +351,7 @@ impl SimState {
 
             if !self.cfg.random_ports {
                 for p in 0..n {
-                    if !self.is_correct(p) || self.has_m[p] {
+                    if !self.is_correct(p) || self.has_m.get(p) {
                         continue;
                     }
                     let fakes = if self.is_attacked(p) && x_reply > 0.0 {
@@ -364,35 +364,36 @@ impl SimState {
                     let with_m = self.reply_with_m[p] as usize;
                     let acc = accepted_valid(valid, fakes, f_in_pull, rng);
                     if with_m > 0 && any_interesting(with_m, valid - with_m, acc, rng) {
-                        self.new_m[p] = true;
+                        self.new_m.set(p);
                     }
                 }
             }
         }
 
         // Simultaneous state update: messages received this round are
-        // forwarded starting next round.
-        let mut newly = 0u64;
-        for i in 0..n {
-            if self.new_m[i] {
-                self.has_m[i] = true;
-                newly += 1;
-                // Delivery-time counter maintenance; only correct processes
-                // ever have `new_m` set.
-                self.n_correct_with_m += 1;
-                if self.is_attacked(i) {
-                    self.n_attacked_with_m += 1;
-                }
-                trace_event!(
-                    self.tracer,
-                    "sim",
-                    "deliver",
-                    Timestamp::Round(u64::from(self.round)),
-                    process = i,
-                    attacked = self.is_attacked(i)
-                );
+        // forwarded starting next round. Word-level popcount gives the
+        // delivery total; the per-delivery walk visits set bits only, in
+        // ascending order (trace byte-stability).
+        let newly = self.new_m.count_ones() as u64;
+        let new_m = core::mem::replace(&mut self.new_m, BitSet::new(0));
+        for i in new_m.iter_ones() {
+            self.has_m.set(i);
+            // Delivery-time counter maintenance; only correct processes
+            // ever have `new_m` set.
+            self.n_correct_with_m += 1;
+            if self.is_attacked(i) {
+                self.n_attacked_with_m += 1;
             }
+            trace_event!(
+                self.tracer,
+                "sim",
+                "deliver",
+                Timestamp::Round(u64::from(self.round)),
+                process = i,
+                attacked = self.is_attacked(i)
+            );
         }
+        self.new_m = new_m;
         trace_event!(
             self.tracer,
             "sim",
@@ -507,14 +508,11 @@ mod tests {
     #[test]
     fn targeted_attack_slows_push_much_more_than_drum() {
         // The core claim (Figure 3(a)) at small scale: α=10%, strong x.
-        let trials = 8;
         let avg = |proto| {
-            let mut total = 0u32;
-            for seed in 0..trials {
+            drum_testkit::mean_over_seeds(0..8, |seed| {
                 let cfg = SimConfig::paper_attack(proto, 120, 256.0);
-                total += run(cfg, seed, 400).1;
-            }
-            total as f64 / trials as f64
+                run(cfg, seed, 400).1 as f64
+            })
         };
         let drum = avg(ProtocolVariant::Drum);
         let push = avg(ProtocolVariant::Push);
@@ -553,15 +551,12 @@ mod tests {
 
     #[test]
     fn no_random_ports_variant_is_slower_under_attack() {
-        let trials = 8;
         let avg = |random_ports: bool| {
-            let mut total = 0u32;
-            for seed in 0..trials {
+            drum_testkit::mean_over_seeds(0..8, |seed| {
                 let mut cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 120, 256.0);
                 cfg.random_ports = random_ports;
-                total += run(cfg, seed, 400).1;
-            }
-            total as f64 / trials as f64
+                run(cfg, seed, 400).1 as f64
+            })
         };
         let with_ports = avg(true);
         let without = avg(false);
@@ -655,15 +650,12 @@ mod tests {
     #[test]
     fn rotating_attack_does_not_beat_static_against_drum() {
         // The extension's finding: moving the attack around gains nothing.
-        let trials = 10;
         let mean = |rotate: Option<u32>| {
-            let mut total = 0u32;
-            for seed in 0..trials {
+            drum_testkit::mean_over_seeds(0..10, |seed| {
                 let mut cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 120, 128.0);
                 cfg.attack.as_mut().unwrap().rotate_every = rotate;
-                total += run(cfg, seed, 400).1;
-            }
-            total as f64 / trials as f64
+                run(cfg, seed, 400).1 as f64
+            })
         };
         let static_attack = mean(None);
         let rotating = mean(Some(1));

@@ -1,14 +1,37 @@
 //! Trial execution and aggregation.
 //!
 //! Each data point in the paper's simulation figures averages 1000
-//! independent runs. [`run_experiment`] executes trials in parallel
-//! (`std::thread::scope`) with per-trial deterministic seeds, so every
+//! independent runs. [`run_experiment`] executes trials on the shared
+//! [`drum_pool::Pool`] with per-trial deterministic seeds, so every
 //! figure is exactly reproducible from `(config, base_seed, trials)`.
+//!
+//! # Deterministic reduction under dynamic scheduling
+//!
+//! The pool claims jobs dynamically (whichever thread frees next takes
+//! the next index), so nothing about *which* thread ran a trial or *when*
+//! may leak into the result. The reduction is therefore arranged so the
+//! float operations happen in one fixed order regardless of worker count:
+//!
+//! 1. trial `i` always uses seed `base_seed + i` — the trial itself is a
+//!    pure function of `(cfg, seed)`;
+//! 2. trials are grouped into chunks whose size is a pure function of
+//!    `trials` alone ([`chunk_size`] — never of the worker count, unlike
+//!    the old static `trials / workers` split);
+//! 3. each chunk absorbs its trials in ascending trial order into its own
+//!    fixed-index [`Partial`] (Welford pushes are order-sensitive);
+//! 4. chunk partials are merged in ascending chunk order on the
+//!    submitting thread.
+//!
+//! Every float sees the same operands in the same order whether the pool
+//! has 1 worker or 64, so `ExperimentResult` is *byte-identical* across
+//! `DRUM_POOL_THREADS` settings — pinned by the worker-count-independence
+//! property test in `tests/pool_determinism.rs`.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use drum_metrics::stats::RunningStats;
+use drum_pool::Pool;
 
 use crate::config::SimConfig;
 use crate::model::SimState;
@@ -23,6 +46,11 @@ pub struct TrialOutcome {
     pub rounds_attacked: Option<u32>,
     /// Same threshold restricted to non-attacked correct processes.
     pub rounds_unattacked: Option<u32>,
+    /// Rounds the trial actually simulated before stopping (threshold
+    /// reached and CDF recorded, or `max_rounds`). This is the trial's
+    /// deterministic cost in scheduler units — the straggler spread the
+    /// dynamic pool exists to absorb.
+    pub rounds_executed: u32,
     /// Fraction of correct processes holding `M` after each round
     /// (index 0 = after round 1), recorded up to `cdf_rounds`.
     pub fraction_per_round: Vec<f64>,
@@ -69,11 +97,13 @@ pub fn run_trial_traced(
         rounds_to_threshold: None,
         rounds_attacked: if n_attacked == 0 { Some(0) } else { None },
         rounds_unattacked: if n_unattacked == 0 { Some(0) } else { None },
+        rounds_executed: 0,
         fraction_per_round: Vec::with_capacity(cdf_rounds),
     };
 
     for round in 1..=cfg.max_rounds {
         state.step(&mut rng);
+        outcome.rounds_executed = round;
         let with_m = state.correct_with_m();
         if (round as usize) <= cdf_rounds {
             outcome
@@ -144,10 +174,85 @@ impl ExperimentResult {
     }
 }
 
-/// Runs `trials` independent trials of `cfg` in parallel and aggregates.
+/// The scheduling unit: trials per pool job, a **pure function of
+/// `trials`** so the reduction order never depends on the machine.
+/// Small experiments get chunk 1 (maximum redistribution); large ones
+/// cap at 16 trials per job, which at the paper's 1000-trial points
+/// yields 63 jobs per config — plenty of slack for dynamic scheduling
+/// while keeping claim overhead negligible.
+pub fn chunk_size(trials: usize) -> usize {
+    trials.div_ceil(64).clamp(1, 16)
+}
+
+/// Runs `trials` trials of **every** config in `cfgs` as one flat job set
+/// on `pool`, and aggregates per config. This is the primitive sweeps
+/// build on: submitting (config × chunk) jobs together means the pool
+/// never drains at a sweep-point boundary — fast points' workers move
+/// straight onto the next point's trials instead of idling at a join
+/// barrier.
+///
+/// Trial `i` of every config uses seed `base_seed + i`; results are
+/// byte-identical for any pool size (see the module docs).
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, any configuration is invalid, or a trial
+/// panics (the pool re-raises the first job panic here).
+pub fn run_many_on(
+    pool: &Pool,
+    cfgs: &[SimConfig],
+    trials: usize,
+    base_seed: u64,
+    cdf_rounds: usize,
+) -> Vec<ExperimentResult> {
+    assert!(trials > 0, "need at least one trial");
+    for cfg in cfgs {
+        cfg.validate().expect("invalid simulation config");
+    }
+    if cfgs.is_empty() {
+        return Vec::new();
+    }
+
+    let chunk = chunk_size(trials);
+    let chunks_per_cfg = trials.div_ceil(chunk);
+    let partials: Vec<Partial> = pool.map(cfgs.len() * chunks_per_cfg, |job| {
+        let cfg = &cfgs[job / chunks_per_cfg];
+        let lo = (job % chunks_per_cfg) * chunk;
+        let hi = (lo + chunk).min(trials);
+        let mut part = Partial::new(cdf_rounds);
+        for i in lo..hi {
+            part.absorb(&run_trial(cfg, base_seed + i as u64, cdf_rounds));
+        }
+        part
+    });
+
+    partials
+        .chunks(chunks_per_cfg)
+        .map(|parts| {
+            let mut total = Partial::new(cdf_rounds);
+            for p in parts {
+                total.merge(p);
+            }
+            total.into_result(trials)
+        })
+        .collect()
+}
+
+/// [`run_many_on`] on the process-wide [`Pool::global`].
+pub fn run_many(
+    cfgs: &[SimConfig],
+    trials: usize,
+    base_seed: u64,
+    cdf_rounds: usize,
+) -> Vec<ExperimentResult> {
+    run_many_on(Pool::global(), cfgs, trials, base_seed, cdf_rounds)
+}
+
+/// Runs `trials` independent trials of `cfg` on the global pool and
+/// aggregates.
 ///
 /// Trial `i` uses seed `base_seed + i`, so results are reproducible and
-/// independent of thread scheduling.
+/// independent of thread scheduling and worker count.
 ///
 /// # Panics
 ///
@@ -158,60 +263,12 @@ pub fn run_experiment(
     base_seed: u64,
     cdf_rounds: usize,
 ) -> ExperimentResult {
-    assert!(trials > 0, "need at least one trial");
-    cfg.validate().expect("invalid simulation config");
-
-    let workers = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(4)
-        .min(trials);
-
-    let chunk = trials.div_ceil(workers);
-    let partials: Vec<Partial> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(trials);
-            if lo >= hi {
-                break;
-            }
-            let cfg = cfg.clone();
-            handles.push(scope.spawn(move || {
-                let mut part = Partial::new(cdf_rounds);
-                for i in lo..hi {
-                    let outcome = run_trial(&cfg, base_seed + i as u64, cdf_rounds);
-                    part.absorb(&outcome);
-                }
-                part
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-
-    let mut total = Partial::new(cdf_rounds);
-    for p in &partials {
-        total.merge(p);
-    }
-
-    let avg_fraction_per_round = total
-        .fraction_sums
-        .iter()
-        .map(|s| s / trials as f64)
-        .collect();
-
-    ExperimentResult {
-        trials,
-        failures: total.failures,
-        rounds: total.rounds,
-        rounds_attacked: total.rounds_attacked,
-        rounds_unattacked: total.rounds_unattacked,
-        avg_fraction_per_round,
-    }
+    run_many(std::slice::from_ref(cfg), trials, base_seed, cdf_rounds)
+        .pop()
+        .expect("one config in, one result out")
 }
 
+/// Order-sensitive partial aggregate of one chunk of trials.
 #[derive(Debug)]
 struct Partial {
     failures: usize,
@@ -265,6 +322,22 @@ impl Partial {
             *a += b;
         }
     }
+
+    fn into_result(self, trials: usize) -> ExperimentResult {
+        let avg_fraction_per_round = self
+            .fraction_sums
+            .iter()
+            .map(|s| s / trials as f64)
+            .collect();
+        ExperimentResult {
+            trials,
+            failures: self.failures,
+            rounds: self.rounds,
+            rounds_attacked: self.rounds_attacked,
+            rounds_unattacked: self.rounds_unattacked,
+            avg_fraction_per_round,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +370,21 @@ mod tests {
     }
 
     #[test]
+    fn trial_reports_its_executed_round_cost() {
+        let cfg = SimConfig::baseline(ProtocolVariant::Drum, 100);
+        let outcome = run_trial(&cfg, 1, 5);
+        // The trial ran at least until threshold + CDF, at most max_rounds.
+        let r = outcome.rounds_to_threshold.expect("should converge");
+        assert!(outcome.rounds_executed >= r.max(5));
+        assert!(outcome.rounds_executed <= cfg.max_rounds);
+
+        let mut capped = SimConfig::paper_attack(ProtocolVariant::Pull, 120, 512.0);
+        capped.max_rounds = 3;
+        let stuck = run_trial(&capped, 1, 2);
+        assert_eq!(stuck.rounds_executed, 3);
+    }
+
+    #[test]
     fn experiment_aggregates() {
         let cfg = SimConfig::baseline(ProtocolVariant::Push, 80);
         let res = run_experiment(&cfg, 20, 42, 15);
@@ -314,6 +402,39 @@ mod tests {
         let a = run_experiment(&cfg, 16, 7, 10);
         let b = run_experiment(&cfg, 16, 7, 10);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_many_matches_individual_experiments() {
+        let cfgs = vec![
+            SimConfig::baseline(ProtocolVariant::Drum, 60),
+            SimConfig::paper_attack(ProtocolVariant::Push, 60, 32.0),
+            SimConfig::paper_attack(ProtocolVariant::Pull, 60, 32.0),
+        ];
+        let flat = run_many(&cfgs, 12, 5, 8);
+        assert_eq!(flat.len(), cfgs.len());
+        for (cfg, flat_res) in cfgs.iter().zip(&flat) {
+            assert_eq!(flat_res, &run_experiment(cfg, 12, 5, 8));
+        }
+    }
+
+    #[test]
+    fn run_many_with_no_configs_is_empty() {
+        assert_eq!(run_many(&[], 4, 0, 4), Vec::new());
+    }
+
+    #[test]
+    fn chunk_size_is_a_pure_function_of_trials() {
+        assert_eq!(chunk_size(1), 1);
+        assert_eq!(chunk_size(16), 1);
+        assert_eq!(chunk_size(64), 1);
+        assert_eq!(chunk_size(65), 2);
+        assert_eq!(chunk_size(150), 3);
+        assert_eq!(chunk_size(1000), 16);
+        assert_eq!(chunk_size(100_000), 16);
+        // Job count per config stays >= 63 at the paper's point size, so
+        // there is always work to redistribute.
+        assert!(1000usize.div_ceil(chunk_size(1000)) >= 63);
     }
 
     #[test]

@@ -39,6 +39,17 @@ pub mod names {
     /// `net.syscalls_recv` for the mean batch fill. Zero on the fallback
     /// path — a cheap way for dashboards to tell which mode ran.
     pub const BATCH_FILL: &str = "net.batch_fill";
+    /// Jobs executed to completion by a `drum_pool::Pool`.
+    pub const POOL_JOBS: &str = "pool.jobs";
+    /// Pool jobs run by a thread other than their batch's submitter —
+    /// the cross-thread redistribution dynamic scheduling exists for.
+    /// `pool.steals / pool.jobs` near zero means the submitter did all
+    /// the work; near `(threads-1)/threads` means even sharing.
+    pub const POOL_STEALS: &str = "pool.steals";
+    /// Times an idle pool worker parked on the injector condvar. Stays
+    /// flat while a flat sweep keeps the pool fed; climbs when batches
+    /// drain between submissions.
+    pub const POOL_PARK: &str = "pool.park";
 }
 
 /// A monotonically increasing counter.

@@ -46,6 +46,14 @@ phase_begin "cargo build --offline --benches --features criterion"
 cargo build --offline --benches --features criterion
 phase_end "benches"
 
+# Smoke-regenerate every figure through the shared worker pool; writes to
+# a throwaway directory, so checked-in results/ stay untouched.
+phase_begin "drum-lab figures --quick"
+FIG_OUT="$(mktemp -d)"
+cargo run --release --offline -q -p drum-lab -- figures --quick --out "$FIG_OUT"
+rm -rf "$FIG_OUT"
+phase_end "figures"
+
 phase_begin "cargo fmt --check"
 cargo fmt --check
 phase_end "fmt"
