@@ -1,0 +1,11 @@
+//! Extension experiment (beyond the paper): large-n live-UDP clusters —
+//! hundreds to a thousand correct nodes multiplexed into one OS process
+//! by the sharded net runtime.
+//!
+//! Thin wrapper over [`drum_bench::figures::ext_cluster`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::ext_cluster(&mut out).expect("write ext_cluster to stdout");
+}

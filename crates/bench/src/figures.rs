@@ -55,6 +55,7 @@ pub const FIGURES: &[(&str, FigureFn)] = &[
     ("fig14", fig14),
     ("ext_fanout", ext_fanout),
     ("ext_rotation", ext_rotation),
+    ("ext_cluster", ext_cluster),
 ];
 
 /// Figure 1: the acceptance probabilities of Appendix A.
@@ -829,6 +830,129 @@ pub fn ext_fanout(w: &mut dyn Write) -> io::Result<()> {
         "finding: higher F speeds everything up (log base grows), but only Drum's\n\
          *shape* is attack-independent at every F; Push/Pull remain linear in x\n\
          no matter how much fan-out they are given."
+    )
+}
+
+/// Extension experiment: large-n multiplexed clusters.
+///
+/// The paper measures 50 machines; the sharded net runtime lifts the live
+/// UDP measurement to hundreds and (at `--full`) 1,000 correct nodes in
+/// one OS process. Reported per point: the fraction of correct nodes the
+/// multicast reached, the delivered message fraction, mean delivery
+/// latency, and the runtime's own `rounds_late` counter (cadence health
+/// under load).
+pub fn ext_cluster(w: &mut dyn Write) -> io::Result<()> {
+    use drum_net::experiment::{decode_payload, Cluster};
+    use std::time::Instant;
+
+    banner_to(
+        w,
+        "Extension: large-n multiplexed clusters",
+        "delivered fraction and latency vs attack strength, sharded runtime",
+    )?;
+    // `n` counts CORRECT nodes (engines actually running); the cluster
+    // adds the paper's 10% malicious members on top of them.
+    let ns: Vec<usize> = scaled3(vec![48], vec![96], vec![200, 500, 1000]);
+    let xs: Vec<f64> = scaled3(vec![0.0, 72.0], vec![0.0, 72.0], vec![0.0, 72.0, 360.0]);
+    let shards = scaled3(1usize, 2, 8);
+    let round = Duration::from_millis(scaled3(60, 100, 1000));
+    let messages = scaled3(4u64, 5, 5);
+    let wait = Duration::from_secs(scaled3(10, 15, 90));
+    writeln!(
+        w,
+        "Drum, alpha = 0.1, x fabricated messages per attacked node per round (the\n\
+         Figure 7 setting x = 72, and 5x it); every point is ONE OS process running\n\
+         all n engines on the sharded net runtime.\n"
+    )?;
+
+    let mut table = Table::new(vec![
+        "n".into(),
+        "shards".into(),
+        "x".into(),
+        "reached".into(),
+        "delivered".into(),
+        "mean latency".into(),
+        "rounds late".into(),
+    ]);
+    for &n in &ns {
+        for &x in &xs {
+            let attacked = if x == 0.0 {
+                0
+            } else {
+                ((n as f64) * 0.1).round() as usize
+            };
+            let mut cfg =
+                paper_cluster_config(ProtocolVariant::Drum, n + n / 10, attacked, x, round, SEED);
+            // paper_cluster_config derived malicious from the total;
+            // re-anchor it so exactly `n` engines run.
+            cfg.malicious = n / 10;
+            cfg.shards = shards;
+            let shard_count = cfg.resolved_shards();
+
+            let cluster = Cluster::start(cfg).expect("cluster start");
+            let epoch = cluster.epoch();
+            let correct = cluster.handles().len();
+            let mut reached = vec![false; correct];
+            reached[0] = true; // the source trivially has its own messages
+            let mut total = 0u64;
+            let mut lat_sum_ms = 0.0f64;
+            let mut lat_count = 0u64;
+            let mut drain = |reached: &mut Vec<bool>| {
+                for (i, h) in cluster.handles().iter().enumerate().skip(1) {
+                    for d in h.take_delivered() {
+                        total += 1;
+                        reached[i] = true;
+                        if let Some((_, sent_us)) = decode_payload(&d.message.payload) {
+                            let arrived_us = d.at.duration_since(epoch).as_micros() as u64;
+                            if arrived_us > sent_us {
+                                lat_sum_ms += (arrived_us - sent_us) as f64 / 1000.0;
+                                lat_count += 1;
+                            }
+                        }
+                    }
+                }
+            };
+
+            for m in 0..messages {
+                cluster.publish_from_source(m, 50);
+                std::thread::sleep(round * 2);
+                drain(&mut reached);
+            }
+            let deadline = Instant::now() + wait;
+            while Instant::now() < deadline && reached.iter().any(|r| !r) {
+                drain(&mut reached);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            drain(&mut reached);
+            let stats = cluster.shutdown();
+
+            let late: u64 = stats.iter().map(|s| s.rounds_late).sum();
+            let reached_frac =
+                reached.iter().filter(|r| **r).count() as f64 / correct.max(1) as f64;
+            let delivered_frac = total as f64 / (messages * (correct as u64 - 1)) as f64;
+            let mean_latency = if lat_count > 0 {
+                lat_sum_ms / lat_count as f64
+            } else {
+                f64::NAN
+            };
+            table.row(vec![
+                n.to_string(),
+                shard_count.to_string(),
+                format!("{x:.0}"),
+                format!("{:.3}", reached_frac),
+                format!("{:.3}", delivered_frac),
+                format!("{mean_latency:.0} ms"),
+                late.to_string(),
+            ]);
+        }
+    }
+    writeln!(w, "{table}")?;
+    writeln!(
+        w,
+        "finding: dissemination stays complete (reached ~1.0) as n grows past the\n\
+         paper's 50-machine testbed, with or without the flood — Drum's DoS\n\
+         resistance is not an artifact of small clusters. The fixed-cadence timer\n\
+         wheel reports how often engines ran behind their round deadline."
     )
 }
 

@@ -58,6 +58,9 @@ cluster:
     --round-ms <u64>            round duration in ms (default 100)
     --messages <u64>            messages to send (default 200)
     --rate <f64>                send rate msg/s (default 40)
+    --shards <usize>            multiplex engines onto this many shard
+                                threads (default 0 = thread per process;
+                                DRUM_NET_MULTIPLEX=1 picks one per core)
     --shared-bounds             Figure 12(b) ablation
 
 figures:
@@ -209,6 +212,7 @@ fn run() -> Result<(), String> {
             let messages = args.get_or("messages", 200u64).map_err(err)?;
             let rate = args.get_or("rate", 40.0f64).map_err(err)?;
             let seed = args.get_or("seed", 20040628u64).map_err(err)?;
+            let shards = args.get_or("shards", 0usize).map_err(err)?;
 
             let mut cfg = paper_cluster_config(
                 protocol,
@@ -218,15 +222,20 @@ fn run() -> Result<(), String> {
                 Duration::from_millis(round_ms),
                 seed,
             );
+            cfg.shards = shards;
             if args.flag("shared-bounds") {
                 cfg.net.gossip = cfg.net.gossip.with_bound_mode(BoundMode::SharedControl);
             }
             if args.flag("no-random-ports") {
                 cfg.net.gossip = GossipConfig::drum().with_random_ports(false);
             }
+            let layout = match cfg.resolved_shards() {
+                0 => "thread-per-process".to_string(),
+                s => format!("{s} shard(s)"),
+            };
             println!(
                 "cluster {protocol}: n={n} attacked={attacked} x={x} round={round_ms}ms \
-                 {messages} msgs at {rate}/s"
+                 {messages} msgs at {rate}/s, {layout}"
             );
             let report = throughput_experiment(cfg, messages, rate, 50, Duration::from_secs(3))
                 .map_err(|e| e.to_string())?;

@@ -56,15 +56,29 @@ pub trait PortOracle {
 }
 
 /// A trivial [`PortOracle`] for tests and simulations: sequential ports.
+///
+/// Rotation stays inside `[ROTATION_BASE, 65_535)` — the ephemeral range a
+/// real transport would draw from. The allocation counter is wider than the
+/// port space on purpose: long soak runs allocate far more than 64k ports,
+/// and the modular reduction keeps every one of them out of the privileged
+/// and system-service ranges below 40 000.
 #[derive(Debug, Default)]
 pub struct CountingPortOracle {
-    next: u16,
+    next: u64,
 }
+
+/// First port a [`CountingPortOracle`] rotation can produce.
+pub const ROTATION_BASE: u16 = 40_000;
+
+/// Size of the rotation window `[ROTATION_BASE, 65_535)`. The top port
+/// 65 535 is excluded so a wrapped value can never alias the "allocation
+/// failed" sentinel arithmetic of transports that offset from the base.
+pub const ROTATION_SPAN: u64 = (u16::MAX as u64) - (ROTATION_BASE as u64);
 
 impl PortOracle for CountingPortOracle {
     fn allocate_port(&mut self, _purpose: PortPurpose, _round: Round) -> u16 {
         self.next = self.next.wrapping_add(1);
-        40_000u16.wrapping_add(self.next)
+        ROTATION_BASE + (self.next % ROTATION_SPAN) as u16
     }
 }
 
@@ -954,5 +968,38 @@ mod tests {
             GossipMessage::PullReply { messages, .. } => assert_eq!(messages.len(), 3),
             other => panic!("expected pull-reply, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn counting_oracle_never_leaves_rotation_window() {
+        // Regression: the oracle used to compute `40_000u16.wrapping_add(n)`
+        // with a u16 counter, so allocation ~25.5k wrapped past 65 535 into
+        // the privileged port range. Drive well past both the old port-space
+        // wrap (25 535 allocations) and the old counter wrap (65 535).
+        let mut oracle = CountingPortOracle::default();
+        let mut first_window = Vec::with_capacity(4);
+        for i in 0u64..70_000 {
+            let port = oracle.allocate_port(PortPurpose::PullReply, Round(0));
+            assert!(
+                (ROTATION_BASE..u16::MAX).contains(&port),
+                "allocation {i} escaped the rotation window: {port}"
+            );
+            if i < 4 {
+                first_window.push(port);
+            }
+        }
+        // Unchanged low-allocation behavior: sequential from the base.
+        assert_eq!(first_window, vec![40_001, 40_002, 40_003, 40_004]);
+        // The rotation really cycles (modular, not saturating): after one
+        // full span the sequence returns to the base of the window.
+        let mut fresh = CountingPortOracle::default();
+        for _ in 0..ROTATION_SPAN {
+            fresh.allocate_port(PortPurpose::PushData, Round(0));
+        }
+        assert_eq!(
+            fresh.allocate_port(PortPurpose::PushData, Round(0)),
+            40_001,
+            "one full span must wrap back to the first port"
+        );
     }
 }

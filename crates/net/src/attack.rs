@@ -37,6 +37,12 @@ pub struct AttackerConfig {
     /// target list), the pull budget is split evenly between each target's
     /// pull-request port and its pull-reply port, as in §9.
     pub reply_port_targets: Vec<std::net::SocketAddr>,
+    /// Bursts per round: the per-round budget is sent in this many evenly
+    /// spaced batches so victims see pressure throughout their (unaligned)
+    /// rounds. Higher values smooth the flood; `1` concentrates it into one
+    /// burst per round (the harshest shape for a fixed-cadence receiver).
+    /// Defaults to 10.
+    pub batches_per_round: u32,
     /// Observability: per-batch `attack.batch` events (attack traffic
     /// classification) plus the `attack_sent` registry counter. Disabled
     /// by default.
@@ -51,6 +57,7 @@ impl AttackerConfig {
             round,
             victim_protocol,
             reply_port_targets: Vec::new(),
+            batches_per_round: 10,
             tracer: Tracer::disabled(),
         }
     }
@@ -161,13 +168,11 @@ pub fn spawn_attacker(
             } else {
                 (x_pull, 0.0)
             };
-            // Send in `BATCHES` evenly spaced bursts per round so victims
-            // see pressure throughout their (unaligned) rounds.
-            const BATCHES: u32 = 10;
-            let batch_interval = config.round / BATCHES;
-            let per_batch_push = x_push / BATCHES as f64;
-            let per_batch_pull = x_pull_req / BATCHES as f64;
-            let per_batch_reply = x_pull_reply / BATCHES as f64;
+            let batches = config.batches_per_round.max(1);
+            let batch_interval = config.round / batches;
+            let per_batch_push = x_push / batches as f64;
+            let per_batch_pull = x_pull_req / batches as f64;
+            let per_batch_reply = x_pull_reply / batches as f64;
             let mut carry_push = 0.0f64;
             let mut carry_pull = 0.0f64;
             let mut carry_reply = 0.0f64;
@@ -293,6 +298,29 @@ mod tests {
         }
         assert!(pull_count > 0, "no fabricated pull-requests arrived");
         assert!(push_count > 0, "no fabricated push-offers arrived");
+    }
+
+    #[test]
+    fn single_burst_attack_sends_full_round_budget_at_once() {
+        let (sockets, addrs) = WellKnownSockets::bind().unwrap();
+        let mut config =
+            AttackerConfig::new(40.0, Duration::from_millis(100), ProtocolVariant::Drum);
+        config.batches_per_round = 1;
+        let attacker = spawn_attacker(vec![addrs], config).unwrap();
+        // Wait well past the first burst, before the second round ends.
+        std::thread::sleep(Duration::from_millis(60));
+        let mut buf = [0u8; 2048];
+        let mut first_burst = 0;
+        while sockets.pull.recv_from(&mut buf).is_ok() {
+            first_burst += 1;
+        }
+        attacker.shutdown();
+        // One burst must carry the whole per-round pull budget (x/2 = 20),
+        // not the smoothed default's 1/10 slice.
+        assert!(
+            first_burst >= 20,
+            "first burst carried only {first_burst} datagrams"
+        );
     }
 
     #[test]

@@ -271,6 +271,28 @@ pub fn encode_into(msg: &GossipMessage, out: &mut BytesMut) {
     }
 }
 
+/// Classifies a datagram from its leading tag byte without decoding it.
+///
+/// Returns `None` for empty datagrams, unknown tags, and oversized inputs —
+/// exactly the inputs [`decode`] would reject on its first checks. A shard
+/// event loop triaging a flood can use this to attribute hostile traffic by
+/// kind before paying for a full decode; a `Some` result promises nothing
+/// about the rest of the datagram.
+pub fn peek_kind(bytes: &[u8]) -> Option<drum_core::message::MessageKind> {
+    use drum_core::message::MessageKind;
+    if bytes.len() > MAX_WIRE_LEN {
+        return None;
+    }
+    match *bytes.first()? {
+        TAG_PULL_REQUEST => Some(MessageKind::PullRequest),
+        TAG_PULL_REPLY => Some(MessageKind::PullReply),
+        TAG_PUSH_OFFER => Some(MessageKind::PushOffer),
+        TAG_PUSH_REPLY => Some(MessageKind::PushReply),
+        TAG_PUSH_DATA => Some(MessageKind::PushData),
+        _ => None,
+    }
+}
+
 /// Decodes a datagram payload into a [`GossipMessage`].
 ///
 /// # Errors
@@ -512,5 +534,52 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn peek_kind_matches_full_decode() {
+        use drum_core::message::MessageKind;
+        let messages = [
+            GossipMessage::PullRequest {
+                from: ProcessId(5),
+                digest: sample_digest(),
+                reply_port: sealed_port(),
+                nonce: 42,
+            },
+            GossipMessage::PullReply {
+                from: ProcessId(1),
+                messages: vec![sample_data(0)],
+            },
+            GossipMessage::PushOffer {
+                from: ProcessId(2),
+                reply_port: PortRef::None,
+                nonce: 9,
+            },
+            GossipMessage::PushReply {
+                from: ProcessId(2),
+                digest: sample_digest(),
+                data_port: sealed_port(),
+                nonce: 11,
+            },
+            GossipMessage::PushData {
+                from: ProcessId(2),
+                messages: vec![sample_data(7)],
+            },
+        ];
+        for msg in &messages {
+            let bytes = encode(msg);
+            assert_eq!(peek_kind(&bytes), Some(msg.kind()));
+            // The peek only needs the first byte.
+            assert_eq!(peek_kind(&bytes[..1]), Some(msg.kind()));
+        }
+        assert_eq!(peek_kind(&[]), None);
+        assert_eq!(peek_kind(&[0]), None);
+        assert_eq!(peek_kind(&[200]), None);
+        assert_eq!(peek_kind(&vec![1u8; MAX_WIRE_LEN + 1]), None);
+        // Tag byte alone decides — garbage after a valid tag still peeks.
+        assert_eq!(
+            peek_kind(&[TAG_PUSH_DATA, 0xFF, 0xFF]),
+            Some(MessageKind::PushData)
+        );
     }
 }

@@ -13,7 +13,10 @@ use drum_metrics::recorder::{LatencyRecorder, ThroughputRecorder};
 use drum_metrics::stats::{quantile_in_place, RunningStats};
 
 use crate::attack::{spawn_attacker, AttackerConfig, AttackerHandle};
-use crate::runtime::{seed_of, spawn_process, NetConfig, NetStats, ProcessHandle, ProcessSpec};
+use crate::runtime::{
+    seed_of, spawn_process, Delivery, NetConfig, NetStats, ProcessHandle, ProcessSpec,
+};
+use crate::shard::{spawn_shard, EngineHandle, ShardHandle};
 use crate::transport::{AblationSockets, AddressBook, WellKnownAddrs, WellKnownSockets};
 
 /// Scenario description for a networked cluster.
@@ -30,6 +33,16 @@ pub struct ClusterConfig {
     pub attacked: usize,
     /// Fabricated messages per attacked process per round.
     pub x_per_round: f64,
+    /// Multiplexed mode: number of shard event loops to spread the correct
+    /// processes over (each shard drives its engines from one thread; see
+    /// [`crate::shard`]). `0` (with `engines_per_shard` also 0) selects the
+    /// classic thread-per-process runtime — unless `DRUM_NET_MULTIPLEX=1`
+    /// is set, which defaults to one shard per available core. This is
+    /// what lifts cluster experiments to n = 1,000 in one OS process.
+    pub shards: usize,
+    /// Alternative shard sizing: cap on engines per shard (the shard count
+    /// is derived). Takes precedence over `shards` when nonzero.
+    pub engines_per_shard: usize,
     /// Runtime configuration shared by all processes.
     pub net: NetConfig,
     /// Base RNG seed.
@@ -41,11 +54,87 @@ impl ClusterConfig {
     pub fn correct(&self) -> usize {
         self.n - self.malicious
     }
+
+    /// Resolves the shard layout: `0` means thread-per-process, otherwise
+    /// the number of shard event loops to start. Explicit fields win over
+    /// the `DRUM_NET_MULTIPLEX=1` environment default.
+    pub fn resolved_shards(&self) -> usize {
+        resolve_shards(
+            self.correct(),
+            self.shards,
+            self.engines_per_shard,
+            std::env::var("DRUM_NET_MULTIPLEX").ok().as_deref(),
+        )
+    }
+}
+
+/// Shard-layout policy (see [`ClusterConfig::resolved_shards`]); a free
+/// function so the environment-variable arm is testable without mutating
+/// process-global state. `engines_per_shard` beats `shards` beats the
+/// `DRUM_NET_MULTIPLEX=1` default of one shard per available core.
+pub fn resolve_shards(
+    correct: usize,
+    shards: usize,
+    engines_per_shard: usize,
+    multiplex_env: Option<&str>,
+) -> usize {
+    if engines_per_shard > 0 {
+        correct.div_ceil(engines_per_shard)
+    } else if shards > 0 {
+        shards.min(correct)
+    } else if multiplex_env == Some("1") {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(correct)
+    } else {
+        0
+    }
+}
+
+/// A handle to one correct cluster node, in either runtime mode: a
+/// dedicated-thread process or an engine multiplexed into a shard. The
+/// application-facing surface (publish / delivered) is identical.
+#[derive(Debug)]
+pub enum NodeHandle {
+    /// Thread-per-process mode ([`spawn_process`]).
+    Thread(ProcessHandle),
+    /// Multiplexed mode ([`spawn_shard`]); the owning [`ShardHandle`]
+    /// carries shutdown.
+    Sharded(EngineHandle),
+}
+
+impl NodeHandle {
+    /// The node's process id.
+    pub fn id(&self) -> ProcessId {
+        match self {
+            NodeHandle::Thread(h) => h.id(),
+            NodeHandle::Sharded(e) => e.id(),
+        }
+    }
+
+    /// Queues a payload for multicast origination at this node's next
+    /// round start.
+    pub fn publish(&self, payload: Bytes) {
+        match self {
+            NodeHandle::Thread(h) => h.publish(payload),
+            NodeHandle::Sharded(e) => e.publish(payload),
+        }
+    }
+
+    /// Drains everything currently delivered.
+    pub fn take_delivered(&self) -> Vec<Delivery> {
+        match self {
+            NodeHandle::Thread(h) => h.take_delivered(),
+            NodeHandle::Sharded(e) => e.take_delivered(),
+        }
+    }
 }
 
 /// A running cluster.
 pub struct Cluster {
-    handles: Vec<ProcessHandle>,
+    handles: Vec<NodeHandle>,
+    shards: Vec<ShardHandle>,
     attacker: Option<AttackerHandle>,
     /// Malicious members' sockets: held open so their ports exist (and
     /// silently drop everything), mirroring non-cooperating group members.
@@ -100,11 +189,11 @@ impl Cluster {
         }
         let book = AddressBook::new(entries);
 
-        let handles: Vec<ProcessHandle> = correct_sockets
+        let specs: Vec<ProcessSpec> = correct_sockets
             .into_iter()
             .map(|(m, sockets, ablation)| {
                 let my_key = key_store.register(m.as_u64());
-                spawn_process(ProcessSpec {
+                ProcessSpec {
                     me: m,
                     members: members.clone(),
                     book: book.clone(),
@@ -114,9 +203,36 @@ impl Cluster {
                     ablation,
                     config: config.net.clone(),
                     seed: config.seed ^ seed_of(m),
-                })
+                }
             })
-            .collect::<std::io::Result<_>>()?;
+            .collect();
+
+        let shard_count = config.resolved_shards();
+        let mut handles = Vec::with_capacity(correct);
+        let mut shards = Vec::new();
+        // `checked_div` doubles as the mode switch: zero shards means the
+        // thread-per-process driver.
+        if let Some(base) = correct.checked_div(shard_count) {
+            // Contiguous, balanced chunks in id order: the first
+            // `correct % shard_count` shards take one extra engine, so
+            // handle index keeps equalling process id.
+            let mut specs = specs.into_iter();
+            let extra = correct % shard_count;
+            for s in 0..shard_count {
+                let take = base + usize::from(s < extra);
+                if take == 0 {
+                    continue;
+                }
+                let chunk: Vec<ProcessSpec> = specs.by_ref().take(take).collect();
+                let (shard, engines) = spawn_shard(chunk)?;
+                shards.push(shard);
+                handles.extend(engines.into_iter().map(NodeHandle::Sharded));
+            }
+        } else {
+            for spec in specs {
+                handles.push(NodeHandle::Thread(spawn_process(spec)?));
+            }
+        }
 
         let attacker = if config.attacked > 0 && config.x_per_round > 0.0 {
             let targets: Vec<WellKnownAddrs> = (0..config.attacked as u64)
@@ -144,6 +260,7 @@ impl Cluster {
 
         Ok(Cluster {
             handles,
+            shards,
             attacker,
             _malicious_sockets: malicious_sockets,
             epoch: Instant::now(),
@@ -162,7 +279,7 @@ impl Cluster {
     }
 
     /// Handles of the correct processes (index = process id).
-    pub fn handles(&self) -> &[ProcessHandle] {
+    pub fn handles(&self) -> &[NodeHandle] {
         &self.handles
     }
 
@@ -172,15 +289,23 @@ impl Cluster {
         self.handles[0].publish(payload);
     }
 
-    /// Stops everything; returns per-process stats.
+    /// Stops everything; returns per-process stats (index = process id —
+    /// shards return their engines' stats in spawn order, which start
+    /// chose to match id order).
     pub fn shutdown(mut self) -> Vec<NetStats> {
         if let Some(a) = self.attacker.take() {
             a.shutdown();
         }
-        self.handles
-            .drain(..)
-            .map(ProcessHandle::shutdown)
-            .collect()
+        let mut out = Vec::with_capacity(self.handles.len());
+        for handle in self.handles.drain(..) {
+            if let NodeHandle::Thread(h) = handle {
+                out.push(h.shutdown());
+            }
+        }
+        for shard in self.shards.drain(..) {
+            out.extend(shard.shutdown());
+        }
+        out
     }
 }
 
@@ -428,6 +553,8 @@ pub fn paper_cluster_config(
         malicious: n / 10,
         attacked,
         x_per_round: x,
+        shards: 0,
+        engines_per_shard: 0,
         net: NetConfig::new(gossip).with_round(round),
         seed,
     }
@@ -502,6 +629,66 @@ mod tests {
                 assert_eq!(s.batch_recv_datagrams, 0);
             }
         }
+    }
+
+    #[test]
+    fn shard_layout_resolution() {
+        // engines_per_shard beats shards beats the env default.
+        assert_eq!(resolve_shards(10, 0, 0, None), 0);
+        assert_eq!(resolve_shards(10, 3, 0, None), 3);
+        assert_eq!(resolve_shards(2, 8, 0, None), 2);
+        assert_eq!(resolve_shards(10, 3, 4, None), 3); // ceil(10/4)
+        assert_eq!(resolve_shards(1000, 0, 64, None), 16);
+        assert_eq!(resolve_shards(10, 0, 0, Some("0")), 0);
+        let env = resolve_shards(10, 0, 0, Some("1"));
+        assert!((1..=10).contains(&env), "env default out of range: {env}");
+        assert_eq!(resolve_shards(10, 2, 0, Some("1")), 2);
+    }
+
+    #[test]
+    fn sharded_cluster_delivers_and_reports_stats_in_id_order() {
+        let mut config = small_config(ProtocolVariant::Drum, 0, 0.0);
+        // 8 correct engines over 2 shards: chunks of 4 + 4.
+        config.shards = 2;
+        let cluster = Cluster::start(config).unwrap();
+        assert_eq!(cluster.handles().len(), 8);
+        for (i, h) in cluster.handles().iter().enumerate() {
+            assert_eq!(h.id(), ProcessId(i as u64));
+        }
+
+        cluster.publish_from_source(0, 50);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut got = vec![false; cluster.handles().len()];
+        got[0] = true;
+        while Instant::now() < deadline && got.iter().any(|g| !g) {
+            for (i, h) in cluster.handles().iter().enumerate() {
+                if !h.take_delivered().is_empty() {
+                    got[i] = true;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(got.iter().all(|g| *g), "undelivered receivers: {got:?}");
+
+        let stats = cluster.shutdown();
+        assert_eq!(stats.len(), 8);
+        for s in &stats {
+            assert!(s.rounds > 0, "engine ran no rounds: {s:?}");
+            // Shard mode accounts syscalls once per shard and mirrors the
+            // totals into every engine's stats at shutdown.
+            assert!(s.syscalls_recv > 0, "no recv syscalls recorded: {s:?}");
+            assert!(s.syscalls_send > 0, "no send syscalls recorded: {s:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_cluster_survives_attack() {
+        let mut config = small_config(ProtocolVariant::Drum, 2, 64.0);
+        config.engines_per_shard = 3; // ceil(8/3) = 3 shards
+        let report =
+            throughput_experiment(config, 15, 50.0, 50, Duration::from_millis(1500)).unwrap();
+        let total: u64 = report.receivers.iter().map(|r| r.received).sum();
+        assert!(total > 0, "attack silenced the sharded cluster");
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! * [`transport`] — well-known + random ephemeral sockets, address book;
 //! * [`runtime`] — the unsynchronized per-process round loop driving a
 //!   [`drum_core::engine::Engine`];
+//! * [`shard`] — the multiplexed runtime: one event loop (shared epoll +
+//!   timer wheel) drives many engines per OS thread, lifting single-process
+//!   clusters to 1,000+ real-UDP nodes;
 //! * [`attack`] — fabricated-traffic generators (the adversary);
 //! * [`experiment`] — clusters, throughput/latency reports (Figures 10–11)
 //!   and propagation-round measurements (Figure 9).
@@ -55,19 +58,22 @@ pub mod attack;
 pub mod codec;
 pub mod experiment;
 pub mod runtime;
+pub mod shard;
 #[allow(unsafe_code)]
 pub mod sys;
 pub mod transport;
 
 pub use attack::{spawn_attacker, AttackerConfig, AttackerHandle};
-pub use codec::{decode, encode, DecodeError};
+pub use codec::{decode, encode, peek_kind, DecodeError};
 pub use experiment::{
-    paper_cluster_config, propagation_experiment, throughput_experiment, Cluster, ClusterConfig,
-    PropagationReport, ReceiverReport, ThroughputReport,
+    paper_cluster_config, propagation_experiment, resolve_shards, throughput_experiment, Cluster,
+    ClusterConfig, NodeHandle, PropagationReport, ReceiverReport, ThroughputReport,
 };
 pub use runtime::{
-    os_random_seed, spawn_process, Delivery, NetConfig, NetStats, ProcessHandle, ProcessSpec,
+    os_random_seed, spawn_process, ChannelClass, Delivery, NetConfig, NetStats, NodeCore,
+    ProcessHandle, ProcessSpec,
 };
+pub use shard::{spawn_shard, EngineHandle, ShardCore, ShardHandle, TimerWheel};
 pub use transport::{AddressBook, BatchRx, BatchTx, SocketPool, WellKnownAddrs, WellKnownSockets};
 
 #[cfg(test)]

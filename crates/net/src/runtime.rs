@@ -9,6 +9,13 @@
 //! occur in a round are not synchronized" — process A may send before
 //! receiving, B the other way around; only the local round boundaries
 //! matter.
+//!
+//! The round logic itself lives in [`NodeCore`], a single-threaded state
+//! machine with no loop of its own: the per-thread [`spawn_process`]
+//! runtime drives one core per OS thread, and the sharded runtime
+//! ([`crate::shard`]) drives many cores from one event loop. Both callers
+//! feed the same methods in the same order, which is what makes the two
+//! modes decision-equivalent.
 
 use std::io;
 use std::net::UdpSocket;
@@ -29,7 +36,7 @@ use drum_core::ids::ProcessId;
 use drum_core::message::{DataMessage, GossipMessage, MessageKind};
 use drum_core::view::Membership;
 use drum_crypto::keys::{KeyStore, SecretKey};
-use drum_trace::{names, trace_event, Tracer};
+use drum_trace::{names, trace_event, Counter, Tracer};
 
 use crate::codec;
 use crate::sys;
@@ -114,6 +121,11 @@ pub struct Delivery {
 pub struct NetStats {
     /// Local rounds executed.
     pub rounds: u64,
+    /// Rounds whose fixed-cadence deadline had already passed when the
+    /// previous round's work finished. The deadline still advances from
+    /// the previous deadline (not from `Instant::now()`), so cadence is
+    /// preserved; this counts how often the node was behind it.
+    pub rounds_late: u64,
     /// Datagrams that failed to decode.
     pub decode_errors: u64,
     /// Datagrams whose kind did not match the port they arrived on.
@@ -122,6 +134,10 @@ pub struct NetStats {
     pub budget_drops: u64,
     /// Data messages dropped due to failed source authentication.
     pub auth_drops: u64,
+    /// Outbound messages dropped because their destination port was 0 — a
+    /// failed random-port allocation upstream (a local bind failure, or a
+    /// peer that advertised port 0 after its own allocation failed).
+    pub alloc_failed: u64,
     /// New data messages delivered to the application.
     pub delivered: u64,
     /// Datagrams successfully sent.
@@ -130,7 +146,8 @@ pub struct NetStats {
     pub received: u64,
     /// Receive syscalls made (`recvmmsg` on the batched path, `recv_from`
     /// on the fallback — the amortization the batching buys is visible as
-    /// this staying far below the datagram count under flood).
+    /// this staying far below the datagram count under flood). In shard
+    /// mode the syscall totals are shared by every engine of the shard.
     pub syscalls_recv: u64,
     /// Send syscalls made (`sendmmsg` or `send_to`).
     pub syscalls_send: u64,
@@ -254,7 +271,78 @@ const STAGE_CAP: usize = 1024;
 /// latency of noticing a stop request (and of the round-boundary check)
 /// without reintroducing the 1 kHz sleep-poll spin: a quiet round makes at
 /// most ~40 wakeups per second.
-const EPOLL_WAIT_CAP_MS: u128 = 25;
+pub(crate) const EPOLL_WAIT_CAP_MS: u128 = 25;
+
+/// The receive channels a node owns. The discriminant is packed into the
+/// low bits of a shard's epoll registration token (see [`pack_token`]), so
+/// a shared event loop can route each readiness event straight to the
+/// owning engine's drain for exactly that channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChannelClass {
+    /// Well-known pull port (stages `PullRequest`s).
+    WkPull,
+    /// Well-known push port (stages `PushOffer`s).
+    WkPush,
+    /// The rotating random-port pool (processed immediately; one token
+    /// covers the whole pool, the drain visits every live pool socket).
+    Pool,
+    /// Fixed pull-reply port (no-random-ports ablation only).
+    AbPullReply,
+    /// Fixed push-reply port (no-random-ports ablation only).
+    AbPushReply,
+    /// Fixed push-data port (no-random-ports ablation only).
+    AbPushData,
+}
+
+impl ChannelClass {
+    /// Every class, in the order [`NodeCore::drain_all`] visits them: the
+    /// attackable (staged) channels first, the random-port pool last.
+    pub const ALL: [ChannelClass; 6] = [
+        ChannelClass::WkPull,
+        ChannelClass::WkPush,
+        ChannelClass::AbPullReply,
+        ChannelClass::AbPushReply,
+        ChannelClass::AbPushData,
+        ChannelClass::Pool,
+    ];
+
+    fn code(self) -> u64 {
+        match self {
+            ChannelClass::WkPull => 0,
+            ChannelClass::WkPush => 1,
+            ChannelClass::Pool => 2,
+            ChannelClass::AbPullReply => 3,
+            ChannelClass::AbPushReply => 4,
+            ChannelClass::AbPushData => 5,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<ChannelClass> {
+        Some(match code {
+            0 => ChannelClass::WkPull,
+            1 => ChannelClass::WkPush,
+            2 => ChannelClass::Pool,
+            3 => ChannelClass::AbPullReply,
+            4 => ChannelClass::AbPushReply,
+            5 => ChannelClass::AbPushData,
+            _ => return None,
+        })
+    }
+}
+
+/// Packs an engine index and a channel class into an epoll registration
+/// token: `(engine << 3) | class`. 61 bits of engine index is far beyond
+/// any realistic shard width.
+pub fn pack_token(engine: usize, class: ChannelClass) -> u64 {
+    ((engine as u64) << 3) | class.code()
+}
+
+/// Unpacks an epoll registration token back into `(engine index, class)`.
+/// The class is `None` for a code no [`ChannelClass`] uses (a foreign
+/// registration); shard loops skip those.
+pub fn unpack_token(token: u64) -> (usize, Option<ChannelClass>) {
+    ((token >> 3) as usize, ChannelClass::from_code(token & 0x7))
+}
 
 /// Stages one arrival into its bounded per-channel reservoir. Reservoir
 /// replacement keeps the retained subset a uniform sample over every
@@ -278,36 +366,6 @@ fn stage_arrival(
     }
 }
 
-/// Drains one attackable socket until it would block, staging arrivals of
-/// the designated kind and counting mismatches/garbage. Shared by the
-/// well-known ports and the fixed reply ports of the ablation mode.
-///
-/// Datagrams move through `rx` — one `recvmmsg` per batch, or one
-/// `recv_from` per datagram on the fallback path. Both orders match the
-/// kernel queue, so the staging decisions (and therefore the reservoir RNG
-/// draws) are identical in either mode.
-#[allow(clippy::too_many_arguments)]
-fn drain_attackable(
-    socket: &UdpSocket,
-    expected: MessageKind,
-    slot: usize,
-    rx: &mut BatchRx,
-    scratch: &mut [u8],
-    staged: &mut [Vec<GossipMessage>; 5],
-    staged_seen: &mut [u64; 5],
-    stats: &mut NetStats,
-    rng: &mut SmallRng,
-) {
-    rx.drain_socket(socket, scratch, |bytes| match codec::decode(bytes) {
-        Ok(msg) if msg.kind() == expected => {
-            stats.received += 1;
-            stage_arrival(slot, msg, staged, staged_seen, rng);
-        }
-        Ok(_) => stats.port_mismatches += 1,
-        Err(_) => stats.decode_errors += 1,
-    });
-}
-
 fn shuffle_in_place(v: &mut [GossipMessage], rng: &mut SmallRng) {
     for i in (1..v.len()).rev() {
         let j = rng.random_range(0..=i as u64) as usize;
@@ -323,6 +381,552 @@ fn jittered(round: Duration, jitter: f64, rng: &mut SmallRng) -> Duration {
     round.mul_f64(factor.max(0.05))
 }
 
+/// Advances a round deadline on a fixed cadence.
+///
+/// The next deadline is `prev + jittered(round)` — anchored to the
+/// *previous deadline*, never to "now". Anchoring to `Instant::now()`
+/// after the round's work (the old behavior) made the effective round
+/// length `round + processing time`, so cadence silently stretched under
+/// flood — corrupting every per-round measurement. With the fixed anchor a
+/// late round is followed by a short one and the long-run rate stays at
+/// one round per `round` seconds.
+///
+/// Returns `(deadline, late)`. `late` is set when `now` had already
+/// reached the computed deadline — i.e. the previous round's work overran
+/// by at least a full round-length. When the backlog reaches a *further*
+/// full round (work persistently slower than the cadence), catching up is
+/// hopeless and the deadline re-anchors at `now + jittered(round)` —
+/// skipping the unrunnable rounds rather than degenerating into a
+/// zero-length round spin.
+fn advance_deadline(
+    prev: Instant,
+    now: Instant,
+    round: Duration,
+    jitter: f64,
+    rng: &mut SmallRng,
+) -> (Instant, bool) {
+    let next = prev + jittered(round, jitter, rng);
+    if next > now {
+        return (next, false);
+    }
+    if now.duration_since(next) >= round {
+        // More than one full round behind: skip forward.
+        (now + jittered(round, jitter, rng), true)
+    } else {
+        (next, true)
+    }
+}
+
+/// The single-threaded round state machine of one gossip node.
+///
+/// Owns the engine, sockets, staged-arrival reservoirs and per-node stats,
+/// and exposes the round loop as discrete steps — [`NodeCore::next_deadline`],
+/// [`NodeCore::start_round`], [`NodeCore::drain_all`] /
+/// [`NodeCore::drain_class`], [`NodeCore::finish_round`] — so that a
+/// driver can interleave many nodes on one thread. [`spawn_process`]
+/// drives one core per thread; [`crate::shard`] drives N cores from a
+/// timer wheel and a shared epoll instance.
+pub struct NodeCore {
+    me: ProcessId,
+    engine: Engine,
+    pool: SocketPool,
+    sockets: WellKnownSockets,
+    ablation: Option<AblationSockets>,
+    book: AddressBook,
+    rng: SmallRng,
+    config: NetConfig,
+    tracer: Tracer,
+    publish_rx: Receiver<Bytes>,
+    delivered_tx: Sender<Delivery>,
+    // Arrivals on attackable channels staged during round r are processed
+    // right after round r+1's budget reset (see `start_round`).
+    staged: [Vec<GossipMessage>; 5],
+    staged_seen: [u64; 5],
+    stats: NetStats,
+    prev: NetStats,
+    // Outbound scratch reused across rounds and poll iterations: `send_out`
+    // drains `outs`, so its capacity (and the wire buffer's) is allocated
+    // once and amortized over the node lifetime.
+    wire: BytesMut,
+    outs: Vec<Outbound>,
+    drained: Vec<(PortPurpose, GossipMessage)>,
+    started: bool,
+    c_sent: Counter,
+    c_received: Counter,
+    c_bound: Counter,
+    c_pull_refused: Counter,
+    c_decode: Counter,
+    c_sys_recv: Counter,
+    c_sys_send: Counter,
+    c_batch_fill: Counter,
+    c_rounds_late: Counter,
+    c_alloc_failed: Counter,
+}
+
+impl NodeCore {
+    /// Builds the node state from a spec and its application-facing
+    /// channels, and emits the `proc.start` trace event.
+    pub fn new(
+        spec: ProcessSpec,
+        publish_rx: Receiver<Bytes>,
+        delivered_tx: Sender<Delivery>,
+    ) -> NodeCore {
+        let ProcessSpec {
+            me,
+            members,
+            book,
+            key_store,
+            my_key,
+            sockets,
+            ablation,
+            config,
+            seed,
+        } = spec;
+        let membership = Membership::new(me, members);
+        let mut engine = Engine::new(config.gossip.clone(), membership, key_store, my_key, seed);
+        if let Some(ab) = &ablation {
+            // Figure 12(a) ablation: fixed reply ports that the engine will
+            // advertise instead of fresh random ones.
+            let port = |s: &UdpSocket| s.local_addr().map(|a| a.port()).unwrap_or(0);
+            engine.set_fixed_ports(
+                port(&ab.pull_reply),
+                port(&ab.push_reply),
+                port(&ab.push_data),
+            );
+        }
+        let rng = SmallRng::seed_from_u64(seed ^ seed_of(me));
+        let mut pool = SocketPool::new(config.gossip.port_lifetime_rounds.max(1));
+        let tracer = config.tracer.clone();
+        let reg = tracer.registry().clone();
+        pool.set_rotation_counter(reg.counter(names::PORT_ROTATIONS));
+        trace_event!(
+            tracer,
+            "net",
+            "proc.start",
+            tracer.wall_now(),
+            me = me.as_u64(),
+            variant = config.gossip.variant.to_string(),
+            random_ports = config.gossip.random_ports
+        );
+        NodeCore {
+            me,
+            engine,
+            pool,
+            sockets,
+            ablation,
+            book,
+            rng,
+            config,
+            tracer: tracer.clone(),
+            publish_rx,
+            delivered_tx,
+            staged: Default::default(),
+            staged_seen: [0u64; 5],
+            stats: NetStats::default(),
+            prev: NetStats::default(),
+            wire: BytesMut::with_capacity(codec::MAX_WIRE_LEN),
+            outs: Vec::new(),
+            drained: Vec::new(),
+            started: false,
+            c_sent: reg.counter(names::MESSAGES_SENT),
+            c_received: reg.counter(names::MESSAGES_RECEIVED),
+            c_bound: reg.counter(names::DROPPED_BY_BOUND),
+            c_pull_refused: reg.counter(names::PULL_REQUESTS_REFUSED),
+            c_decode: reg.counter(names::DECODE_ERRORS),
+            c_sys_recv: reg.counter(names::SYSCALLS_RECV),
+            c_sys_send: reg.counter(names::SYSCALLS_SEND),
+            c_batch_fill: reg.counter(names::BATCH_FILL),
+            c_rounds_late: reg.counter(names::NET_ROUNDS_LATE),
+            c_alloc_failed: reg.counter(names::NET_ALLOC_FAILED),
+        }
+    }
+
+    /// The node's process id.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Stats accumulated so far (finalized by [`NodeCore::finalize`]).
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Registers every receive socket with `ep` using fd-valued tokens
+    /// (the per-thread runtime never inspects them). All-or-nothing: a
+    /// partially registered set would sleep through live sockets, so any
+    /// failure reverts the caller to the sleep-poll fallback.
+    pub fn register_with(&mut self, ep: &Arc<sys::Epoll>) -> bool {
+        let mut ok = ep.add(&self.sockets.pull).is_ok() && ep.add(&self.sockets.push).is_ok();
+        if let Some(ab) = &self.ablation {
+            ok &= ep.add(&ab.pull_reply).is_ok()
+                && ep.add(&ab.push_reply).is_ok()
+                && ep.add(&ab.push_data).is_ok();
+        }
+        if ok {
+            self.pool.set_epoll(ep.clone());
+        }
+        ok
+    }
+
+    /// Registers every receive socket with a *shared* shard epoll, tagging
+    /// each registration with `pack_token(engine, class)` so the shard's
+    /// event loop can dispatch readiness straight to this engine. Pool
+    /// sockets bound later in the node's lifetime inherit the pool token.
+    /// All-or-nothing, like [`NodeCore::register_with`].
+    pub fn register_tagged(&mut self, ep: &Arc<sys::Epoll>, engine: usize) -> bool {
+        let mut ok = ep
+            .add_tagged(&self.sockets.pull, pack_token(engine, ChannelClass::WkPull))
+            .is_ok()
+            && ep
+                .add_tagged(&self.sockets.push, pack_token(engine, ChannelClass::WkPush))
+                .is_ok();
+        if let Some(ab) = &self.ablation {
+            ok &= ep
+                .add_tagged(
+                    &ab.pull_reply,
+                    pack_token(engine, ChannelClass::AbPullReply),
+                )
+                .is_ok()
+                && ep
+                    .add_tagged(
+                        &ab.push_reply,
+                        pack_token(engine, ChannelClass::AbPushReply),
+                    )
+                    .is_ok()
+                && ep
+                    .add_tagged(&ab.push_data, pack_token(engine, ChannelClass::AbPushData))
+                    .is_ok();
+        }
+        if ok {
+            self.pool
+                .set_epoll_tagged(ep.clone(), pack_token(engine, ChannelClass::Pool));
+        }
+        ok
+    }
+
+    /// Advances this node's round deadline on the fixed cadence (see
+    /// [`advance_deadline`]), counting late rounds.
+    pub fn next_deadline(&mut self, prev: Instant, now: Instant) -> Instant {
+        let (next, late) = advance_deadline(
+            prev,
+            now,
+            self.config.round,
+            self.config.jitter,
+            &mut self.rng,
+        );
+        if late {
+            self.stats.rounds_late += 1;
+            self.c_rounds_late.inc();
+        }
+        next
+    }
+
+    /// Starts a round: accepts pending application publishes, runs the
+    /// engine's round start (fresh budgets, new pull-requests and
+    /// push-offers), then processes the *previous* round's staged arrivals
+    /// against the fresh budgets.
+    ///
+    /// Messages on *attackable* channels (the well-known ports, plus the
+    /// fixed reply ports in ablation mode) are STAGED: collected all round
+    /// long into bounded reservoirs and only processed — as a uniformly
+    /// random budget-sized subset — here, at the next round start. This
+    /// realizes the paper's model exactly: "p discards all unread messages
+    /// from its incoming message buffers" at round end, with the accepted
+    /// subset independent of arrival timing, and it keeps the OS queues
+    /// drained so accepted pull-requests are never stale. Crucially for
+    /// the shared-bounds ablation, the flood charges the budget *before*
+    /// this round's mid-round replies contend for it, exactly as a bounded
+    /// FCFS reader would behave.
+    pub fn start_round(&mut self, send_socket: &UdpSocket, tx: &mut BatchTx) {
+        while let Ok(payload) = self.publish_rx.try_recv() {
+            self.engine.publish(payload);
+        }
+        let round_outs = self.engine.begin_round(&mut self.pool);
+        self.outs.extend(round_outs);
+        self.send_out(send_socket, tx);
+
+        for slot in 0..5 {
+            self.staged_seen[slot] = 0;
+            shuffle_in_place(&mut self.staged[slot], &mut self.rng);
+            for msg in self.staged[slot].drain(..) {
+                self.engine.handle_into(msg, &mut self.pool, &mut self.outs);
+            }
+        }
+        self.send_out(send_socket, tx);
+        self.deliver();
+        self.started = true;
+    }
+
+    /// Drains every receive channel once, sends the responses, and flushes
+    /// deliveries — one poll iteration of the round loop.
+    pub fn drain_all(
+        &mut self,
+        rx: &mut BatchRx,
+        scratch: &mut [u8],
+        send_socket: &UdpSocket,
+        tx: &mut BatchTx,
+    ) {
+        self.drain_staging(ChannelClass::WkPull, rx, scratch);
+        self.drain_staging(ChannelClass::WkPush, rx, scratch);
+        if self.ablation.is_some() {
+            self.drain_staging(ChannelClass::AbPullReply, rx, scratch);
+            self.drain_staging(ChannelClass::AbPushReply, rx, scratch);
+            self.drain_staging(ChannelClass::AbPushData, rx, scratch);
+        }
+        self.drain_pool(rx, scratch);
+        self.send_out(send_socket, tx);
+        self.deliver();
+    }
+
+    /// Drains one receive channel (for token-directed shard dispatch),
+    /// sending any responses it generated and flushing deliveries.
+    pub fn drain_class(
+        &mut self,
+        class: ChannelClass,
+        rx: &mut BatchRx,
+        scratch: &mut [u8],
+        send_socket: &UdpSocket,
+        tx: &mut BatchTx,
+    ) {
+        match class {
+            ChannelClass::Pool => self.drain_pool(rx, scratch),
+            attackable => self.drain_staging(attackable, rx, scratch),
+        }
+        if !self.outs.is_empty() {
+            self.send_out(send_socket, tx);
+        }
+        self.deliver();
+    }
+
+    /// Drains one attackable socket until it would block, staging arrivals
+    /// of its designated kind and counting mismatches/garbage. Shared by
+    /// the well-known ports and the fixed reply ports of the ablation mode.
+    ///
+    /// Datagrams move through `rx` — one `recvmmsg` per batch, or one
+    /// `recv_from` per datagram on the fallback path. Both orders match
+    /// the kernel queue, so the staging decisions (and therefore the
+    /// reservoir RNG draws) are identical in either mode.
+    fn drain_staging(&mut self, class: ChannelClass, rx: &mut BatchRx, scratch: &mut [u8]) {
+        let Self {
+            sockets,
+            ablation,
+            stats,
+            staged,
+            staged_seen,
+            rng,
+            ..
+        } = self;
+        let (socket, expected, slot) = match (class, ablation.as_ref()) {
+            (ChannelClass::WkPull, _) => (&sockets.pull, MessageKind::PullRequest, 0usize),
+            (ChannelClass::WkPush, _) => (&sockets.push, MessageKind::PushOffer, 1),
+            (ChannelClass::AbPullReply, Some(ab)) => (&ab.pull_reply, MessageKind::PullReply, 2),
+            (ChannelClass::AbPushReply, Some(ab)) => (&ab.push_reply, MessageKind::PushReply, 3),
+            (ChannelClass::AbPushData, Some(ab)) => (&ab.push_data, MessageKind::PushData, 4),
+            _ => return,
+        };
+        rx.drain_socket(socket, scratch, |bytes| match codec::decode(bytes) {
+            Ok(msg) if msg.kind() == expected => {
+                stats.received += 1;
+                stage_arrival(slot, msg, staged, staged_seen, rng);
+            }
+            Ok(_) => stats.port_mismatches += 1,
+            Err(_) => stats.decode_errors += 1,
+        });
+    }
+
+    /// Drains the random-port pool. Kind must match the port's allocated
+    /// purpose; matches are processed immediately (the adversary cannot
+    /// contend on concealed ports, and immediate processing gives the
+    /// model's same-round pull-replies).
+    fn drain_pool(&mut self, rx: &mut BatchRx, scratch: &mut [u8]) {
+        let Self {
+            pool,
+            stats,
+            drained,
+            ..
+        } = self;
+        pool.drain(rx, scratch, |purpose, bytes| match codec::decode(bytes) {
+            Ok(msg) => {
+                stats.received += 1;
+                drained.push((purpose, msg));
+            }
+            Err(_) => stats.decode_errors += 1,
+        });
+        for (purpose, msg) in self.drained.drain(..) {
+            let matches = matches!(
+                (purpose, msg.kind()),
+                (PortPurpose::PullReply, MessageKind::PullReply)
+                    | (PortPurpose::PushReply, MessageKind::PushReply)
+                    | (PortPurpose::PushData, MessageKind::PushData)
+            );
+            if matches {
+                self.engine.handle_into(msg, &mut self.pool, &mut self.outs);
+            } else {
+                self.stats.port_mismatches += 1;
+            }
+        }
+    }
+
+    /// Drains `self.outs`, encoding into the reusable wire scratch. The
+    /// engine fans the same `PushData`/`PushOffer`/`PullRequest` to
+    /// several recipients back-to-back, so the encoder runs only when the
+    /// message actually changes from the previously encoded one
+    /// (encode-once fan-out); the loss draw stays per-datagram either way.
+    /// Datagrams leave through `tx`: one sendmmsg per batch on the batched
+    /// path (repeats share the arena bytes), one send_to each on the
+    /// fallback.
+    fn send_out(&mut self, send_socket: &UdpSocket, tx: &mut BatchTx) {
+        let loss = self.config.loss;
+        let mut encoded: Option<usize> = None;
+        for i in 0..self.outs.len() {
+            if loss > 0.0 && self.rng.random_bool(loss) {
+                continue; // emulated link loss
+            }
+            let addr = match self.outs[i].port {
+                SendPort::WellKnownPull => match self.book.addrs_of(self.outs[i].to) {
+                    Some(a) => a.pull,
+                    None => continue,
+                },
+                SendPort::WellKnownPush => match self.book.addrs_of(self.outs[i].to) {
+                    Some(a) => a.push,
+                    None => continue,
+                },
+                SendPort::Port(0) => {
+                    // Allocation failed upstream; dropping silently would
+                    // hide socket exhaustion from every dashboard.
+                    self.stats.alloc_failed += 1;
+                    continue;
+                }
+                SendPort::Port(p) => AddressBook::loopback(p),
+            };
+            let repeat = matches!(encoded, Some(j) if self.outs[j].msg == self.outs[i].msg);
+            if !repeat {
+                codec::encode_into(&self.outs[i].msg, &mut self.wire);
+                encoded = Some(i);
+            }
+            tx.push(send_socket, addr, &self.wire[..], repeat);
+        }
+        self.stats.sent += tx.finish(send_socket);
+        self.outs.clear();
+    }
+
+    fn deliver(&mut self) {
+        let delivered = self.engine.take_delivered();
+        if delivered.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        for msg in delivered {
+            let _ = self.delivered_tx.send(Delivery {
+                message: msg,
+                at: now,
+            });
+        }
+    }
+
+    /// Mirrors the driver's syscall totals into the stats this node
+    /// reports. The per-thread runtime calls this every round (its I/O
+    /// batchers serve exactly one node); a shard calls it only through
+    /// [`NodeCore::finalize`], because its batchers are shared.
+    pub fn set_sys_totals(&mut self, recv: u64, send: u64, batched_datagrams: u64) {
+        self.stats.syscalls_recv = recv;
+        self.stats.syscalls_send = send;
+        self.stats.batch_recv_datagrams = batched_datagrams;
+    }
+
+    /// Ends the current round: engine round end, stats accumulation, pool
+    /// expiry, per-round registry counter deltas and the `round` trace
+    /// event.
+    pub fn finish_round(&mut self) {
+        let round_stats = self.engine.end_round();
+        self.stats.rounds += 1;
+        let round_drops = round_stats.dropped_budget.iter().sum::<u64>();
+        self.stats.budget_drops += round_drops;
+        self.stats.auth_drops += round_stats.dropped_auth;
+        self.stats.delivered += round_stats.delivered;
+        self.pool.expire(self.engine.round());
+
+        // Per-round observability: registry counters take the deltas (so
+        // cluster-wide totals aggregate across processes), and one event
+        // summarizes the round. Both are no-ops with a disabled tracer
+        // beyond a handful of relaxed atomic adds.
+        self.c_sent.add(self.stats.sent - self.prev.sent);
+        self.c_received
+            .add(self.stats.received - self.prev.received);
+        self.c_bound.add(round_drops);
+        self.c_pull_refused
+            .add(round_stats.dropped_of(MessageKind::PullRequest));
+        self.c_decode
+            .add(self.stats.decode_errors - self.prev.decode_errors);
+        self.c_sys_recv
+            .add(self.stats.syscalls_recv - self.prev.syscalls_recv);
+        self.c_sys_send
+            .add(self.stats.syscalls_send - self.prev.syscalls_send);
+        self.c_batch_fill
+            .add(self.stats.batch_recv_datagrams - self.prev.batch_recv_datagrams);
+        self.c_alloc_failed
+            .add(self.stats.alloc_failed - self.prev.alloc_failed);
+        trace_event!(
+            self.tracer,
+            "net",
+            "round",
+            self.tracer.wall_now(),
+            me = self.me.as_u64(),
+            round = self.engine.round().as_u64(),
+            sent = self.stats.sent - self.prev.sent,
+            received = self.stats.received - self.prev.received,
+            budget_drops = round_drops,
+            decode_errors = self.stats.decode_errors - self.prev.decode_errors,
+            port_mismatches = self.stats.port_mismatches - self.prev.port_mismatches,
+            alloc_failed = self.stats.alloc_failed - self.prev.alloc_failed,
+            delivered = round_stats.delivered
+        );
+        self.prev = self.stats;
+        self.started = false;
+    }
+
+    /// One timer-wheel tick: finish the running round (if any) and start
+    /// the next. The shard's wheel calls this when the node's deadline
+    /// fires.
+    pub fn round_tick(&mut self, send_socket: &UdpSocket, tx: &mut BatchTx) {
+        if self.started {
+            self.finish_round();
+        }
+        self.start_round(send_socket, tx);
+    }
+
+    /// Tears the node down: finishes a round still in flight, mirrors the
+    /// driver's final shared syscall totals (shard mode), emits the
+    /// `proc.stop` event and returns the final stats.
+    pub fn finalize(mut self, sys_totals: Option<(u64, u64, u64)>) -> NetStats {
+        if self.started {
+            self.finish_round();
+        }
+        if let Some((recv, send, batched)) = sys_totals {
+            // After the last finish_round, so the totals are not run
+            // through the per-round registry deltas a second time — the
+            // shard accounts for its shared batchers itself.
+            self.stats.syscalls_recv = recv;
+            self.stats.syscalls_send = send;
+            self.stats.batch_recv_datagrams = batched;
+        }
+        trace_event!(
+            self.tracer,
+            "net",
+            "proc.stop",
+            self.tracer.wall_now(),
+            me = self.me.as_u64(),
+            rounds = self.stats.rounds,
+            rounds_late = self.stats.rounds_late,
+            sent = self.stats.sent,
+            received = self.stats.received,
+            budget_drops = self.stats.budget_drops,
+            delivered = self.stats.delivered
+        );
+        self.stats
+    }
+}
+
 fn run_process(
     spec: ProcessSpec,
     send_socket: UdpSocket,
@@ -330,42 +934,8 @@ fn run_process(
     delivered_tx: Sender<Delivery>,
     stop: Arc<AtomicBool>,
 ) -> NetStats {
-    let ProcessSpec {
-        me,
-        members,
-        book,
-        key_store,
-        my_key,
-        sockets,
-        ablation,
-        config,
-        seed,
-    } = spec;
-    let membership = Membership::new(me, members);
-    let mut engine = Engine::new(config.gossip.clone(), membership, key_store, my_key, seed);
-    if let Some(ab) = &ablation {
-        // Figure 12(a) ablation: fixed reply ports that the engine will
-        // advertise instead of fresh random ones.
-        let port = |s: &UdpSocket| s.local_addr().map(|a| a.port()).unwrap_or(0);
-        engine.set_fixed_ports(
-            port(&ab.pull_reply),
-            port(&ab.push_reply),
-            port(&ab.push_data),
-        );
-    }
-    let mut rng = SmallRng::seed_from_u64(seed ^ seed_of(me));
-    let mut pool = SocketPool::new(config.gossip.port_lifetime_rounds.max(1));
-    let tracer = config.tracer.clone();
-    let reg = tracer.registry().clone();
-    let c_sent = reg.counter(names::MESSAGES_SENT);
-    let c_received = reg.counter(names::MESSAGES_RECEIVED);
-    let c_bound = reg.counter(names::DROPPED_BY_BOUND);
-    let c_pull_refused = reg.counter(names::PULL_REQUESTS_REFUSED);
-    let c_decode = reg.counter(names::DECODE_ERRORS);
-    let c_sys_recv = reg.counter(names::SYSCALLS_RECV);
-    let c_sys_send = reg.counter(names::SYSCALLS_SEND);
-    let c_batch_fill = reg.counter(names::BATCH_FILL);
-    pool.set_rotation_counter(reg.counter(names::PORT_ROTATIONS));
+    let config = spec.config.clone();
+    let mut core = NodeCore::new(spec, publish_rx, delivered_tx);
 
     // Batched syscall I/O (DESIGN.md §14): one recvmmsg drains up to 64
     // datagrams, the encode-once fan-out flushes through one sendmmsg per
@@ -375,234 +945,23 @@ fn run_process(
     // with identical accept/drop behavior.
     let mut batch_rx = BatchRx::new(codec::MAX_WIRE_LEN + 1);
     let mut batch_tx = BatchTx::new();
+    let mut scratch = vec![0u8; codec::MAX_WIRE_LEN + 1];
     let epoll = if sys::enabled() {
-        sys::Epoll::new().ok().map(Arc::new).filter(|ep| {
-            // All-or-nothing registration: a partially registered set
-            // would sleep through live sockets, so any failure reverts
-            // the whole round loop to the sleep-poll fallback.
-            let mut ok = ep.add(&sockets.pull).is_ok() && ep.add(&sockets.push).is_ok();
-            if let Some(ab) = &ablation {
-                ok &= ep.add(&ab.pull_reply).is_ok()
-                    && ep.add(&ab.push_reply).is_ok()
-                    && ep.add(&ab.push_data).is_ok();
-            }
-            ok
-        })
+        sys::Epoll::new()
+            .ok()
+            .map(Arc::new)
+            .filter(|ep| core.register_with(ep))
     } else {
         None
     };
-    if let Some(ep) = &epoll {
-        pool.set_epoll(ep.clone());
-    }
-    trace_event!(
-        tracer,
-        "net",
-        "proc.start",
-        tracer.wall_now(),
-        me = me.as_u64(),
-        variant = config.gossip.variant.to_string(),
-        random_ports = config.gossip.random_ports
-    );
-    let mut prev = NetStats::default();
-    let mut stats = NetStats::default();
-    let mut scratch = vec![0u8; codec::MAX_WIRE_LEN + 1];
-    // Arrivals on attackable channels staged during round r are processed
-    // right after round r+1's budget reset (see below).
-    let mut staged: [Vec<GossipMessage>; 5] = Default::default();
-    let mut staged_seen = [0u64; 5];
 
-    let loss = config.loss;
-    // Drains `outs`, encoding into the reusable `wire` scratch. The engine
-    // fans the same `PushData`/`PushOffer`/`PullRequest` to several
-    // recipients back-to-back, so the encoder runs only when the message
-    // actually changes from the previously encoded one (encode-once
-    // fan-out); the loss draw stays per-datagram either way. Datagrams
-    // leave through `tx`: one sendmmsg per batch on the batched path
-    // (repeats share the arena bytes), one send_to each on the fallback.
-    let send_out = |outs: &mut Vec<Outbound>,
-                    wire: &mut BytesMut,
-                    tx: &mut BatchTx,
-                    stats: &mut NetStats,
-                    rng: &mut SmallRng| {
-        let mut encoded: Option<usize> = None;
-        for i in 0..outs.len() {
-            if loss > 0.0 && rng.random_bool(loss) {
-                continue; // emulated link loss
-            }
-            let addr = match outs[i].port {
-                SendPort::WellKnownPull => match book.addrs_of(outs[i].to) {
-                    Some(a) => a.pull,
-                    None => continue,
-                },
-                SendPort::WellKnownPush => match book.addrs_of(outs[i].to) {
-                    Some(a) => a.push,
-                    None => continue,
-                },
-                SendPort::Port(0) => continue, // allocation failed upstream
-                SendPort::Port(p) => AddressBook::loopback(p),
-            };
-            let repeat = matches!(encoded, Some(j) if outs[j].msg == outs[i].msg);
-            if !repeat {
-                codec::encode_into(&outs[i].msg, wire);
-                encoded = Some(i);
-            }
-            tx.push(&send_socket, addr, &wire[..], repeat);
-        }
-        stats.sent += tx.finish(&send_socket);
-        outs.clear();
-    };
-    // Outbound scratch reused across rounds and poll iterations: `send_out`
-    // drains the vectors, so their capacity (and the wire buffer's) is
-    // allocated once and amortized over the process lifetime.
-    let mut wire = BytesMut::with_capacity(codec::MAX_WIRE_LEN);
-    let mut round_outs: Vec<Outbound> = Vec::new();
-    let mut staged_responses: Vec<Outbound> = Vec::new();
-    let mut responses: Vec<Outbound> = Vec::new();
-    let mut drained: Vec<(PortPurpose, GossipMessage)> = Vec::new();
-
+    let mut deadline = Instant::now();
     while !stop.load(Ordering::Relaxed) {
-        let deadline = Instant::now() + jittered(config.round, config.jitter, &mut rng);
-
-        // Accept application publishes at round boundaries.
-        while let Ok(payload) = publish_rx.try_recv() {
-            engine.publish(payload);
-        }
-
-        round_outs.extend(engine.begin_round(&mut pool));
-        send_out(
-            &mut round_outs,
-            &mut wire,
-            &mut batch_tx,
-            &mut stats,
-            &mut rng,
-        );
-
-        // Poll sockets until the round ends. Messages on *attackable*
-        // channels (the well-known ports, plus the fixed reply ports in
-        // ablation mode) are STAGED: collected all round long into bounded
-        // reservoirs and only processed — as a uniformly random
-        // budget-sized subset — at the end of the round. This realizes the
-        // paper's model exactly: "p discards all unread messages from its
-        // incoming message buffers" at round end, with the accepted subset
-        // independent of arrival timing, and it keeps the OS queues
-        // drained so accepted pull-requests are never stale.
-        //
-        // Messages on random (concealed) ports are processed immediately:
-        // the adversary cannot contend there, and immediate processing
-        // gives the model's same-round pull-replies.
-        // Process the previous round's staged arrivals now, against the
-        // fresh budgets: a uniformly random subset per channel is accepted
-        // (the reservoirs + shuffle make acceptance independent of arrival
-        // timing), and — crucially for the shared-bounds ablation — the
-        // flood charges the budget *before* this round's mid-round replies
-        // contend for it, exactly as a bounded FCFS reader would behave.
-        for (q, seen) in staged.iter_mut().zip(staged_seen.iter_mut()) {
-            *seen = 0;
-            shuffle_in_place(q, &mut rng);
-            for msg in q.drain(..) {
-                engine.handle_into(msg, &mut pool, &mut staged_responses);
-            }
-        }
-        send_out(
-            &mut staged_responses,
-            &mut wire,
-            &mut batch_tx,
-            &mut stats,
-            &mut rng,
-        );
-        {
-            let now = Instant::now();
-            for msg in engine.take_delivered() {
-                let _ = delivered_tx.send(Delivery {
-                    message: msg,
-                    at: now,
-                });
-            }
-        }
+        deadline = core.next_deadline(deadline, Instant::now());
+        core.start_round(&send_socket, &mut batch_tx);
 
         loop {
-            // Well-known ports: stage their designated message kinds.
-            for (socket, expected, slot) in [
-                (&sockets.pull, MessageKind::PullRequest, 0usize),
-                (&sockets.push, MessageKind::PushOffer, 1),
-            ] {
-                drain_attackable(
-                    socket,
-                    expected,
-                    slot,
-                    &mut batch_rx,
-                    &mut scratch,
-                    &mut staged,
-                    &mut staged_seen,
-                    &mut stats,
-                    &mut rng,
-                );
-            }
-
-            // Ablation mode: the fixed reply ports are attackable too, so
-            // they get the same staged treatment (Figure 12(a)).
-            if let Some(ab) = &ablation {
-                for (socket, expected, slot) in [
-                    (&ab.pull_reply, MessageKind::PullReply, 2usize),
-                    (&ab.push_reply, MessageKind::PushReply, 3),
-                    (&ab.push_data, MessageKind::PushData, 4),
-                ] {
-                    drain_attackable(
-                        socket,
-                        expected,
-                        slot,
-                        &mut batch_rx,
-                        &mut scratch,
-                        &mut staged,
-                        &mut staged_seen,
-                        &mut stats,
-                        &mut rng,
-                    );
-                }
-            }
-
-            // Random ports: kind must match the port's allocated purpose;
-            // processed immediately (unattackable).
-            pool.drain(
-                &mut batch_rx,
-                &mut scratch,
-                |purpose, bytes| match codec::decode(bytes) {
-                    Ok(msg) => {
-                        stats.received += 1;
-                        drained.push((purpose, msg));
-                    }
-                    Err(_) => stats.decode_errors += 1,
-                },
-            );
-            for (purpose, msg) in drained.drain(..) {
-                let matches = matches!(
-                    (purpose, msg.kind()),
-                    (PortPurpose::PullReply, MessageKind::PullReply)
-                        | (PortPurpose::PushReply, MessageKind::PushReply)
-                        | (PortPurpose::PushData, MessageKind::PushData)
-                );
-                if matches {
-                    engine.handle_into(msg, &mut pool, &mut responses);
-                } else {
-                    stats.port_mismatches += 1;
-                }
-            }
-
-            send_out(
-                &mut responses,
-                &mut wire,
-                &mut batch_tx,
-                &mut stats,
-                &mut rng,
-            );
-
-            let now = Instant::now();
-            for msg in engine.take_delivered() {
-                let _ = delivered_tx.send(Delivery {
-                    message: msg,
-                    at: now,
-                });
-            }
+            core.drain_all(&mut batch_rx, &mut scratch, &send_socket, &mut batch_tx);
 
             let now = Instant::now();
             if now >= deadline || stop.load(Ordering::Relaxed) {
@@ -628,59 +987,15 @@ fn run_process(
             }
         }
 
-        let round_stats = engine.end_round();
-        stats.rounds += 1;
-        stats.syscalls_recv = batch_rx.syscalls();
-        stats.syscalls_send = batch_tx.syscalls();
-        stats.batch_recv_datagrams = batch_rx.batched_datagrams();
-        let round_drops = round_stats.dropped_budget.iter().sum::<u64>();
-        stats.budget_drops += round_drops;
-        stats.auth_drops += round_stats.dropped_auth;
-        stats.delivered += round_stats.delivered;
-        pool.expire(engine.round());
-
-        // Per-round observability: registry counters take the deltas (so
-        // cluster-wide totals aggregate across processes), and one event
-        // summarizes the round. Both are no-ops with a disabled tracer
-        // beyond a handful of relaxed atomic adds.
-        c_sent.add(stats.sent - prev.sent);
-        c_received.add(stats.received - prev.received);
-        c_bound.add(round_drops);
-        c_pull_refused.add(round_stats.dropped_of(MessageKind::PullRequest));
-        c_decode.add(stats.decode_errors - prev.decode_errors);
-        c_sys_recv.add(stats.syscalls_recv - prev.syscalls_recv);
-        c_sys_send.add(stats.syscalls_send - prev.syscalls_send);
-        c_batch_fill.add(stats.batch_recv_datagrams - prev.batch_recv_datagrams);
-        trace_event!(
-            tracer,
-            "net",
-            "round",
-            tracer.wall_now(),
-            me = me.as_u64(),
-            round = engine.round().as_u64(),
-            sent = stats.sent - prev.sent,
-            received = stats.received - prev.received,
-            budget_drops = round_drops,
-            decode_errors = stats.decode_errors - prev.decode_errors,
-            port_mismatches = stats.port_mismatches - prev.port_mismatches,
-            delivered = round_stats.delivered
+        core.set_sys_totals(
+            batch_rx.syscalls(),
+            batch_tx.syscalls(),
+            batch_rx.batched_datagrams(),
         );
-        prev = stats;
+        core.finish_round();
     }
 
-    trace_event!(
-        tracer,
-        "net",
-        "proc.stop",
-        tracer.wall_now(),
-        me = me.as_u64(),
-        rounds = stats.rounds,
-        sent = stats.sent,
-        received = stats.received,
-        budget_drops = stats.budget_drops,
-        delivered = stats.delivered
-    );
-    stats
+    core.finalize(None)
 }
 
 /// Mixes a process id into a seed so that a shared base seed still gives
@@ -971,6 +1286,221 @@ mod tests {
         assert!(
             s0.decode_errors > 0,
             "p0 must have counted the malformed datagrams: {s0:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_advances_from_previous_deadline_not_now() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let round = Duration::from_millis(100);
+        let t0 = Instant::now();
+
+        // On time: next = prev + round, not late (jitter disabled so the
+        // arithmetic is exact).
+        let (d1, late) = advance_deadline(t0, t0, round, 0.0, &mut rng);
+        assert_eq!(d1, t0 + round);
+        assert!(!late);
+
+        // Work finished inside the next window: still anchored, not late.
+        let (d2, late) = advance_deadline(d1, d1 + Duration::from_millis(60), round, 0.0, &mut rng);
+        assert_eq!(d2, d1 + round);
+        assert!(!late);
+
+        // Work overran past the next deadline (but by less than a full
+        // round): keep the anchor — the next round is short, restoring the
+        // cadence — and flag the lateness.
+        let (d3, late) =
+            advance_deadline(d2, d2 + Duration::from_millis(130), round, 0.0, &mut rng);
+        assert_eq!(d3, d2 + round);
+        assert!(late);
+
+        // More than one full round behind the next deadline: skip forward
+        // (re-anchor at now) instead of spinning zero-length rounds.
+        let now = d3 + round + round + Duration::from_millis(5);
+        let (d4, late) = advance_deadline(d3, now, round, 0.0, &mut rng);
+        assert_eq!(d4, now + round);
+        assert!(late);
+    }
+
+    #[test]
+    fn cadence_holds_under_synthetic_overrun() {
+        // Every simulated round's work overruns its deadline by a full
+        // round-length. Under the old "deadline = now + jittered" rule the
+        // effective period would be ~2× round (100 rounds take ~200
+        // round-lengths); the fixed-cadence rule keeps the long-run rate
+        // at ~1 round per round-length.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let round = Duration::from_millis(50);
+        let t0 = Instant::now();
+        let mut deadline = t0;
+        let mut now = t0;
+        let mut late = 0u32;
+        const ROUNDS: u32 = 100;
+        for _ in 0..ROUNDS {
+            let (d, l) = advance_deadline(deadline, now, round, 0.2, &mut rng);
+            if l {
+                late += 1;
+            }
+            deadline = d;
+            now = deadline + round; // simulated overrun: one full round
+        }
+        let elapsed = deadline.duration_since(t0);
+        let nominal = round * ROUNDS;
+        assert!(
+            elapsed >= nominal.mul_f64(0.8) && elapsed <= nominal.mul_f64(1.2),
+            "cadence drifted: {ROUNDS} rounds spanned {elapsed:?}, nominal {nominal:?}"
+        );
+        assert!(late > 0, "a constant overrun must be flagged late");
+
+        // When work is persistently slower than the round itself, the
+        // skip-forward policy gives up on the unrunnable rounds instead of
+        // spinning: every advance is late and re-anchored ahead of now.
+        let mut deadline = Instant::now();
+        let mut now = deadline;
+        for _ in 0..20 {
+            let (d, l) = advance_deadline(deadline, now, round, 0.2, &mut rng);
+            assert!(l || d > now);
+            deadline = d;
+            now = deadline + round.mul_f64(2.5);
+        }
+        assert!(deadline > t0);
+    }
+
+    #[test]
+    fn flooded_node_keeps_round_cadence() {
+        // A 2-process cluster whose p0 well-known ports are flooded
+        // continuously with well-formed pull-requests. The fixed-cadence
+        // rule must keep p0's round count near elapsed/round even though
+        // every round has flood-processing work; bounds are generous for
+        // loaded CI machines.
+        use drum_core::digest::Digest;
+        use drum_core::message::PortRef;
+
+        let key_store = KeyStore::new(13);
+        let members: Vec<ProcessId> = (0..2).map(ProcessId).collect();
+        let mut socks = Vec::new();
+        let mut entries = Vec::new();
+        for &m in &members {
+            let (s, addrs) = WellKnownSockets::bind().unwrap();
+            socks.push((m, s));
+            entries.push((m, addrs));
+        }
+        let book = AddressBook::new(entries);
+        let p0_pull = book.addrs_of(ProcessId(0)).unwrap().pull;
+        let handles: Vec<ProcessHandle> = socks
+            .into_iter()
+            .map(|(m, sockets)| {
+                let my_key = key_store.register(m.as_u64());
+                spawn_process(ProcessSpec {
+                    me: m,
+                    members: members.clone(),
+                    book: book.clone(),
+                    key_store: key_store.clone(),
+                    my_key,
+                    sockets,
+                    ablation: None,
+                    config: NetConfig::new(GossipConfig::drum())
+                        .with_round(Duration::from_millis(40)),
+                    seed: seed_of(m),
+                })
+                .unwrap()
+            })
+            .collect();
+
+        handles[0].publish(Bytes::from_static(b"cadence"));
+        // A dead socket keeps fabricated replies addressable without ICMP
+        // noise; the flood itself is valid-looking pull-requests.
+        let dead = bind_ephemeral().unwrap();
+        let dead_port = dead.local_addr().unwrap().port();
+        let flood = codec::encode(&GossipMessage::PullRequest {
+            from: ProcessId(1),
+            digest: Digest::new(),
+            reply_port: PortRef::Plain(dead_port),
+            nonce: 5,
+        });
+        let sender = bind_ephemeral().unwrap();
+        let started = Instant::now();
+        let run = Duration::from_millis(1200);
+        while started.elapsed() < run {
+            for _ in 0..32 {
+                let _ = sender.send_to(&flood, p0_pull);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let elapsed = started.elapsed();
+        let stats = handles
+            .into_iter()
+            .map(|h| h.shutdown())
+            .collect::<Vec<_>>();
+        let nominal = elapsed.as_millis() as u64 / 40;
+        assert!(
+            stats[0].received > 0,
+            "the flood must have reached p0: {:?}",
+            stats[0]
+        );
+        for s in &stats {
+            assert!(
+                s.rounds >= nominal * 55 / 100,
+                "node fell behind cadence: {} rounds (+{} late) in {elapsed:?} (~{nominal} nominal)",
+                s.rounds,
+                s.rounds_late
+            );
+        }
+    }
+
+    #[test]
+    fn failed_port_allocation_is_counted() {
+        use drum_core::digest::Digest;
+        use drum_core::message::PortRef;
+        use drum_trace::{MemorySink, Tracer};
+
+        // A peer advertises reply port 0 (what a node whose own random-port
+        // allocation failed would send). The engine answers the pull
+        // request, the runtime cannot address the reply — the drop must be
+        // counted, in the per-node stats and the registry.
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink);
+        let key_store = KeyStore::new(3);
+        let members: Vec<ProcessId> = (0..2).map(ProcessId).collect();
+        let (sockets, addrs) = WellKnownSockets::bind().unwrap();
+        let pull_addr = addrs.pull;
+        let book = AddressBook::new([(ProcessId(0), addrs)]);
+        let my_key = key_store.register(0);
+        let handle = spawn_process(ProcessSpec {
+            me: ProcessId(0),
+            members,
+            book,
+            key_store: key_store.clone(),
+            my_key,
+            sockets,
+            ablation: None,
+            config: NetConfig::new(GossipConfig::drum())
+                .with_round(Duration::from_millis(20))
+                .with_tracer(tracer.clone()),
+            seed: 11,
+        })
+        .unwrap();
+
+        // Give the node something to serve, then pull with reply port 0.
+        handle.publish(Bytes::from_static(b"served"));
+        let sender = bind_ephemeral().unwrap();
+        let req = codec::encode(&GossipMessage::PullRequest {
+            from: ProcessId(1),
+            digest: Digest::new(),
+            reply_port: PortRef::Plain(0),
+            nonce: 9,
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut counted = false;
+        while Instant::now() < deadline && !counted {
+            let _ = sender.send_to(&req, pull_addr);
+            std::thread::sleep(Duration::from_millis(10));
+            counted = tracer.registry().counter(names::NET_ALLOC_FAILED).get() > 0;
+        }
+        let stats = handle.shutdown();
+        assert!(
+            counted && stats.alloc_failed > 0,
+            "the dropped reply must be counted: {stats:?}"
         );
     }
 }

@@ -294,6 +294,14 @@ mod imp {
         }
     }
 
+    // SAFETY: the only raw pointers the arena stores are the iovec/msghdr
+    // scratch, and those are re-derived from the owned, heap-stable
+    // vectors immediately before every syscall (see `recv`) — a value left
+    // over from before a move is never read. Everything the pointers
+    // target is owned by the arena, so it can move between threads (a
+    // shard is built on the spawning thread and runs on its own).
+    unsafe impl Send for RecvArena {}
+
     impl RecvArena {
         /// Creates an arena whose per-datagram slots hold `slot_len`
         /// bytes (callers pass the codec's maximum wire length, so
@@ -405,6 +413,11 @@ mod imp {
                 .finish_non_exhaustive()
         }
     }
+
+    // SAFETY: as for `RecvArena` — header/iovec pointers are re-derived
+    // from owned vectors right before the `sendmmsg` call, never carried
+    // across a move.
+    unsafe impl Send for SendArena {}
 
     impl Default for SendArena {
         fn default() -> Self {
@@ -579,9 +592,23 @@ mod imp {
         ///
         /// Propagates the kernel error.
         pub fn add(&self, socket: &UdpSocket) -> io::Result<()> {
+            self.add_tagged(socket, socket.as_raw_fd() as u64)
+        }
+
+        /// Registers `socket` for readability wakeups with an explicit
+        /// event token. The sharded runtime packs an engine index and a
+        /// channel class into the token so one `epoll_pwait` can route
+        /// each ready socket straight to the engine that owns it (see
+        /// [`Epoll::wait_tagged`]); [`Epoll::add`] is the untagged form
+        /// whose events are discarded.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the kernel error.
+        pub fn add_tagged(&self, socket: &UdpSocket, token: u64) -> io::Result<()> {
             let mut ev = EpollEvent {
                 events: EPOLLIN,
-                data: socket.as_raw_fd() as u64,
+                data: token,
             };
             // SAFETY: `ev` is a valid epoll_event alive across the call.
             let ret = unsafe {
@@ -624,6 +651,49 @@ mod imp {
             };
             match check(ret) {
                 Ok(n) => Ok(n),
+                Err(e) if is_soft(&e) => Ok(0),
+                Err(e) => Err(e),
+            }
+        }
+
+        /// Like [`Epoll::wait`], but appends the registration token of
+        /// every ready descriptor to `out` so the caller can drain only
+        /// the sockets the kernel reported. One call surfaces at most 64
+        /// tokens; level-triggered semantics re-report anything still
+        /// readable on the next call, so a shard serving thousands of
+        /// sockets never misses one — it just takes another wakeup.
+        ///
+        /// Returns the number of tokens appended (`0` on timeout or
+        /// interrupt).
+        ///
+        /// # Errors
+        ///
+        /// Propagates kernel errors other than `EINTR`.
+        pub fn wait_tagged(&self, timeout_ms: i32, out: &mut Vec<u64>) -> io::Result<usize> {
+            let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+            // SAFETY: `events` is writable for 64 epoll_event entries;
+            // null sigmask as in `wait`.
+            let ret = unsafe {
+                syscall6(
+                    nr::EPOLL_PWAIT,
+                    self.fd as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    timeout_ms as usize,
+                    0,
+                    0,
+                )
+            };
+            match check(ret) {
+                Ok(n) => {
+                    for ev in events.iter().take(n) {
+                        // By-value field copy: `data` may be unaligned in
+                        // the packed x86-64 layout, so never take a ref.
+                        let token = { *ev }.data;
+                        out.push(token);
+                    }
+                    Ok(n)
+                }
                 Err(e) if is_soft(&e) => Ok(0),
                 Err(e) => Err(e),
             }
@@ -747,7 +817,17 @@ mod imp {
         }
 
         /// Unreachable on this target.
+        pub fn add_tagged(&self, _socket: &UdpSocket, _token: u64) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable on this target.
         pub fn wait(&self, _timeout_ms: i32) -> io::Result<usize> {
+            Err(unsupported())
+        }
+
+        /// Unreachable on this target.
+        pub fn wait_tagged(&self, _timeout_ms: i32, _out: &mut Vec<u64>) -> io::Result<usize> {
             Err(unsupported())
         }
     }

@@ -367,9 +367,11 @@ pub struct SocketPool {
     bind_failures: u64,
     /// Optional observability counter bumped per fresh port allocation.
     rotations: Option<drum_trace::Counter>,
-    /// When set, fresh sockets register for readability wakeups here.
-    /// Expired sockets deregister themselves on close.
-    epoll: Option<Arc<sys::Epoll>>,
+    /// When set, fresh sockets register for readability wakeups here,
+    /// tagged with the token (if any) so a shard event loop can route the
+    /// wakeup back to the owning engine. Expired sockets deregister
+    /// themselves on close.
+    epoll: Option<(Arc<sys::Epoll>, Option<u64>)>,
 }
 
 impl SocketPool {
@@ -397,7 +399,19 @@ impl SocketPool {
         for (socket, _, _) in &self.sockets {
             let _ = epoll.add(socket);
         }
-        self.epoll = Some(epoll);
+        self.epoll = Some((epoll, None));
+    }
+
+    /// Like [`SocketPool::set_epoll`], but registers every current and
+    /// future pool socket under an explicit event token — the sharded
+    /// runtime's engine-index registration, so one shared `epoll_pwait`
+    /// can route a readable concealed port straight to the engine whose
+    /// pool owns it.
+    pub fn set_epoll_tagged(&mut self, epoll: Arc<sys::Epoll>, token: u64) {
+        for (socket, _, _) in &self.sockets {
+            let _ = epoll.add_tagged(socket, token);
+        }
+        self.epoll = Some((epoll, Some(token)));
     }
 
     /// Number of currently open random-port sockets.
@@ -441,8 +455,11 @@ impl PortOracle for SocketPool {
         match bind_ephemeral() {
             Ok(socket) => {
                 let port = socket.local_addr().map(|a| a.port()).unwrap_or(0);
-                if let Some(epoll) = &self.epoll {
-                    let _ = epoll.add(&socket);
+                if let Some((epoll, token)) = &self.epoll {
+                    let _ = match token {
+                        Some(t) => epoll.add_tagged(&socket, *t),
+                        None => epoll.add(&socket),
+                    };
                 }
                 self.sockets.push((socket, purpose, round));
                 if let Some(c) = &self.rotations {

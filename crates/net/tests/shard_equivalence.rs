@@ -1,0 +1,278 @@
+//! Per-thread vs. sharded runtime decision equivalence.
+//!
+//! Both runtimes drive the same [`NodeCore`] state machine; the only
+//! difference is *who* calls its methods — a dedicated thread draining
+//! every channel each poll iteration (`drain_all`), or a shard event loop
+//! dispatching epoll tokens channel by channel (`drain_class`). These
+//! tests drive two same-seed cores through both call patterns on identical
+//! hostile input — valid messages past the budget, wrong-purpose traffic,
+//! garbage, truncations — and require bit-identical decision counters.
+//! A divergence here would mean the multiplexed runtime changes protocol
+//! behavior, not just scheduling.
+
+use std::net::UdpSocket;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+use drum_core::bytes::Bytes;
+use drum_core::config::GossipConfig;
+use drum_core::digest::Digest;
+use drum_core::ids::ProcessId;
+use drum_core::message::{GossipMessage, PortRef};
+use drum_crypto::keys::KeyStore;
+use drum_net::codec;
+use drum_net::transport::{bind_ephemeral, AddressBook, WellKnownSockets};
+use drum_net::{
+    BatchRx, BatchTx, ChannelClass, Delivery, NetConfig, NetStats, NodeCore, ProcessSpec,
+};
+
+const SLOT_LEN: usize = codec::MAX_WIRE_LEN + 1;
+
+fn pull_request(nonce: u64, reply_port: u16) -> Vec<u8> {
+    codec::encode(&GossipMessage::PullRequest {
+        from: ProcessId(1),
+        digest: Digest::new(),
+        reply_port: PortRef::Plain(reply_port),
+        nonce,
+    })
+    .to_vec()
+}
+
+fn push_offer(nonce: u64, reply_port: u16) -> Vec<u8> {
+    codec::encode(&GossipMessage::PushOffer {
+        from: ProcessId(1),
+        reply_port: PortRef::Plain(reply_port),
+        nonce,
+    })
+    .to_vec()
+}
+
+/// The hostile mix from `batch_equivalence`, aimed at one channel: valid
+/// messages beyond any budget, a wrong-purpose message, garbage, a
+/// truncation and an empty datagram.
+fn hostile_mix(valid: impl Fn(u64) -> Vec<u8>, wrong: Vec<u8>) -> Vec<Vec<u8>> {
+    let mut seq: Vec<Vec<u8>> = (0..10).map(&valid).collect();
+    seq.push(wrong);
+    seq.push(vec![0xFF; 40]);
+    let mut truncated = valid(77);
+    truncated.truncate(truncated.len() / 2);
+    seq.push(truncated);
+    seq.push(Vec::new());
+    seq.push(valid(11));
+    seq
+}
+
+/// One node-under-test plus a silent peer, with everything the manual
+/// drivers need. The peer's sockets are bound (so sends succeed) but
+/// never read — the node's decisions depend only on what we inject.
+struct Rig {
+    core: NodeCore,
+    pull_addr: std::net::SocketAddr,
+    push_addr: std::net::SocketAddr,
+    _peer: WellKnownSockets,
+    send_socket: UdpSocket,
+    rx: BatchRx,
+    tx: BatchTx,
+    scratch: Vec<u8>,
+    injector: UdpSocket,
+    // Kept alive so the core never observes a channel disconnect.
+    _publish_tx: Sender<Bytes>,
+    _delivered_rx: Receiver<Delivery>,
+}
+
+fn rig(seed: u64) -> Rig {
+    let key_store = KeyStore::new(seed);
+    let members: Vec<ProcessId> = vec![ProcessId(0), ProcessId(1)];
+    let (sockets, addrs) = WellKnownSockets::bind().unwrap();
+    let (peer, peer_addrs) = WellKnownSockets::bind().unwrap();
+    let book = AddressBook::new(vec![(ProcessId(0), addrs), (ProcessId(1), peer_addrs)]);
+    let my_key = key_store.register(0);
+    let spec = ProcessSpec {
+        me: ProcessId(0),
+        members,
+        book,
+        key_store,
+        my_key,
+        sockets,
+        ablation: None,
+        config: NetConfig::new(GossipConfig::drum()),
+        seed,
+    };
+    let (publish_tx, publish_rx) = channel();
+    let (delivered_tx, delivered_rx) = channel();
+    Rig {
+        core: NodeCore::new(spec, publish_rx, delivered_tx),
+        pull_addr: addrs.pull,
+        push_addr: addrs.push,
+        _peer: peer,
+        send_socket: bind_ephemeral().unwrap(),
+        rx: BatchRx::new(SLOT_LEN),
+        tx: BatchTx::new(),
+        scratch: vec![0u8; SLOT_LEN],
+        injector: bind_ephemeral().unwrap(),
+        _publish_tx: publish_tx,
+        _delivered_rx: delivered_rx,
+    }
+}
+
+impl Rig {
+    fn inject(&self, to: std::net::SocketAddr, datagrams: &[Vec<u8>]) {
+        for d in datagrams {
+            // Loopback can momentarily refuse (ENOBUFS) under bursts.
+            while self.injector.send_to(d, to).is_err() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Total decisions recorded so far (every injected datagram lands in
+    /// exactly one of these buckets).
+    fn decisions(&self) -> u64 {
+        let s = self.core.stats();
+        s.received + s.port_mismatches + s.decode_errors
+    }
+
+    fn wait_for_decisions<F: FnMut(&mut Rig)>(&mut self, target: u64, mut drain: F) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.decisions() < target && Instant::now() < deadline {
+            drain(self);
+            if self.decisions() < target {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert_eq!(
+            self.decisions(),
+            target,
+            "injected datagrams never all surfaced"
+        );
+    }
+}
+
+/// Scheduling-independent fields only: syscall accounting legitimately
+/// differs between one-batcher-per-node and shared-batcher dispatch.
+fn decision_stats(mut s: NetStats) -> NetStats {
+    s.syscalls_recv = 0;
+    s.syscalls_send = 0;
+    s.batch_recv_datagrams = 0;
+    s
+}
+
+#[test]
+fn per_thread_and_sharded_call_patterns_make_identical_decisions() {
+    const ROUNDS: u64 = 4;
+    const SEED: u64 = 1234;
+    // The node replies to valid requests at this dead (but real) port; a
+    // bound socket absorbs them without ICMP noise.
+    let dead = bind_ephemeral().unwrap();
+    let dead_port = dead.local_addr().unwrap().port();
+
+    let pulls = hostile_mix(|n| pull_request(n, dead_port), push_offer(99, dead_port));
+    let pushes = hostile_mix(|n| push_offer(n, dead_port), pull_request(99, dead_port));
+    let per_round = (pulls.len() + pushes.len()) as u64;
+
+    // Mode A: the per-thread runtime's order — start, drain every channel
+    // each poll iteration, finish.
+    let mut a = rig(SEED);
+    for r in 0..ROUNDS {
+        let Rig {
+            core,
+            send_socket,
+            tx,
+            ..
+        } = &mut a;
+        core.start_round(send_socket, tx);
+        a.inject(a.pull_addr, &pulls);
+        a.inject(a.push_addr, &pushes);
+        a.wait_for_decisions((r + 1) * per_round, |rig| {
+            let Rig {
+                core,
+                rx,
+                scratch,
+                send_socket,
+                tx,
+                ..
+            } = rig;
+            core.drain_all(rx, scratch, send_socket, tx);
+        });
+        a.core.finish_round();
+    }
+
+    // Mode B: the shard event loop's order — start, dispatch channel by
+    // channel in token drain order, finish.
+    let mut b = rig(SEED);
+    for r in 0..ROUNDS {
+        let Rig {
+            core,
+            send_socket,
+            tx,
+            ..
+        } = &mut b;
+        core.start_round(send_socket, tx);
+        b.inject(b.pull_addr, &pulls);
+        b.inject(b.push_addr, &pushes);
+        b.wait_for_decisions((r + 1) * per_round, |rig| {
+            let Rig {
+                core,
+                rx,
+                scratch,
+                send_socket,
+                tx,
+                ..
+            } = rig;
+            for class in ChannelClass::ALL {
+                core.drain_class(class, rx, scratch, send_socket, tx);
+            }
+        });
+        b.core.finish_round();
+    }
+
+    let stats_a = decision_stats(a.core.finalize(None));
+    let stats_b = decision_stats(b.core.finalize(None));
+    assert_eq!(
+        stats_a, stats_b,
+        "per-thread and sharded dispatch diverged on identical input"
+    );
+    // The hostile mix actually exercised every decision path.
+    assert_eq!(stats_a.rounds, ROUNDS);
+    assert_eq!(stats_a.received, ROUNDS * 22); // 11 valid per channel
+    assert_eq!(stats_a.port_mismatches, ROUNDS * 2);
+    assert_eq!(stats_a.decode_errors, ROUNDS * 6);
+    assert!(
+        stats_a.budget_drops > 0,
+        "budget never engaged: {stats_a:?}"
+    );
+    assert!(stats_a.sent > 0);
+}
+
+#[test]
+fn same_seed_cores_draw_identical_jitter_streams() {
+    // The per-engine RNG stream must be a function of the seed alone, not
+    // of which runtime drives the core — shard-mode determinism (and the
+    // equivalence test above) rests on this.
+    let gaps = |seed: u64| -> Vec<Duration> {
+        let mut r = rig(seed);
+        let t0 = Instant::now();
+        let mut prev = t0;
+        (0..32)
+            .map(|_| {
+                let next = r.core.next_deadline(prev, t0);
+                let gap = next - prev;
+                prev = next;
+                gap
+            })
+            .collect()
+    };
+    let x = gaps(42);
+    let y = gaps(42);
+    let z = gaps(43);
+    assert_eq!(x, y, "same seed must reproduce the jitter stream");
+    assert_ne!(x, z, "different seeds must not share a jitter stream");
+    // Jitter bounds: every gap within round × [1 − j, 1 + j].
+    let round = Duration::from_millis(100);
+    for gap in &x {
+        assert!(
+            *gap >= round.mul_f64(0.8) && *gap <= round.mul_f64(1.2),
+            "gap {gap:?} outside jitter bounds"
+        );
+    }
+}

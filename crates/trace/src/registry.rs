@@ -39,6 +39,22 @@ pub mod names {
     /// `net.syscalls_recv` for the mean batch fill. Zero on the fallback
     /// path — a cheap way for dashboards to tell which mode ran.
     pub const BATCH_FILL: &str = "net.batch_fill";
+    /// Rounds whose fixed-cadence deadline had already passed when the
+    /// previous round's work finished — the load indicator that replaced
+    /// the silent cadence drift (the deadline now advances from the
+    /// previous deadline, not from `Instant::now()` after round work).
+    pub const NET_ROUNDS_LATE: &str = "net.rounds_late";
+    /// Outbound messages dropped because their destination port was 0 —
+    /// a failed random-port allocation upstream (local bind failure, or a
+    /// peer advertising port 0 after exhausting its own oracle).
+    pub const NET_ALLOC_FAILED: &str = "net.alloc_failed";
+    /// Sharded runtime: `epoll_pwait` wakeups taken by shard event loops.
+    /// Divide `net.shard_dispatch` by this for engines-worth of datagram
+    /// work served per kernel wakeup.
+    pub const SHARD_WAKEUPS: &str = "net.shard_wakeups";
+    /// Sharded runtime: ready-socket dispatches (token → engine drain)
+    /// performed by shard event loops.
+    pub const SHARD_DISPATCH: &str = "net.shard_dispatch";
     /// Jobs executed to completion by a `drum_pool::Pool`.
     pub const POOL_JOBS: &str = "pool.jobs";
     /// Pool jobs run by a thread other than their batch's submitter —

@@ -46,6 +46,14 @@ phase_begin "cargo build --offline --benches --features criterion"
 cargo build --offline --benches --features criterion
 phase_end "benches"
 
+# A 64-engine live-UDP cluster on ONE shard: every engine's sockets are
+# multiplexed into a single epoll event loop, exercising the timer wheel
+# and tagged dispatch far past what unit tests cover.
+phase_begin "drum-lab cluster --shards 1 (64 engines, one event loop)"
+cargo run --release --offline -q -p drum-lab -- cluster \
+    --n 64 --shards 1 --attacked 6 --x 32 --messages 12 --rate 30 --round-ms 50
+phase_end "cluster"
+
 # Smoke-regenerate every figure through the shared worker pool; writes to
 # a throwaway directory, so checked-in results/ stay untouched.
 phase_begin "drum-lab figures --quick"
