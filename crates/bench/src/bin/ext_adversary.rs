@@ -1,0 +1,6 @@
+//! Extension experiment: adaptive adversary strategies vs the static flood.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::ext_adversary(&mut out).expect("write ext_adversary to stdout");
+}

@@ -1,0 +1,6 @@
+//! Extension experiment: pull-channel abuse vs attack strength.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::ext_pull_abuse(&mut out).expect("write ext_pull_abuse to stdout");
+}

@@ -35,6 +35,12 @@
 //! small on this dev kernel). Both are skipped on targets without the
 //! raw-syscall fast path.
 //!
+//! * `mac_verify_flood_512` — full-MAC-verifies per datagram under an
+//!   identical-fan-in flood (the replay adversary's wire pattern): seed =
+//!   one HMAC per datagram (the per-datagram path); current = one HMAC per
+//!   unique `(source, seq, tag)` triple per round via the round-scoped
+//!   `drum_crypto::batch::BatchVerifier`. Exact and machine-independent,
+//!   like the syscall gates.
 //! * `shard_dispatch_256e` — the multiplexed runtime's wakeup economics
 //!   (DESIGN.md §16), gated on **epoll wakeups per engine**: 256 engine
 //!   sockets all readable at once. Seed = one epoll instance per engine
@@ -690,6 +696,66 @@ fn bench_shard_dispatch(_samples: usize) -> Comparison {
     }
 }
 
+/// Datagrams in the identical-fan-in MAC flood; fixed so the gated ratio
+/// is the same exact constant on every machine.
+const MAC_FLOOD: usize = 512;
+/// Distinct `(source, seq, tag)` triples in that flood — the replay
+/// adversary's corpus size.
+const MAC_UNIQUE: usize = 8;
+
+/// Full-HMAC verifications per datagram under an identical-fan-in flood —
+/// the quantity batched verification exists to shrink (DESIGN.md §17).
+///
+/// The flood is the replay adversary's wire pattern: `MAC_UNIQUE` captured
+/// authentic datagrams resent round-robin until `MAC_FLOOD` copies have
+/// arrived within one victim round. The seed arm is the per-datagram path
+/// (one HMAC per copy, by construction of `auth::verify`); the current arm
+/// is the round-scoped [`drum_crypto::batch::BatchVerifier`], whose own
+/// `full_verifies` counter reports the exact HMAC count. Both arms accept
+/// every datagram — the equivalence tests pin that — so the comparison is
+/// purely HMACs/datagram: exact, machine-independent, and gated.
+fn bench_mac_verify_flood(_samples: usize) -> Comparison {
+    use drum_crypto::batch::BatchVerifier;
+
+    let store = KeyStore::new(7);
+    let key = store.register(1);
+    let corpus: Vec<(u64, Vec<u8>, auth::AuthTag)> = (0..MAC_UNIQUE as u64)
+        .map(|seq| {
+            let payload = vec![0x5Au8; 16];
+            let tag = auth::sign(&key, 1, seq, &payload);
+            (seq, payload, tag)
+        })
+        .collect();
+
+    // Seed arm: the per-datagram path pays one full HMAC per copy.
+    let mut seed_verifies = 0u64;
+    for i in 0..MAC_FLOOD {
+        let (seq, payload, tag) = &corpus[i % MAC_UNIQUE];
+        auth::verify(&store, 1, *seq, payload, tag).expect("authentic datagram");
+        seed_verifies += 1;
+    }
+
+    // Current arm: one round's BatchVerifier over the same flood.
+    let mut bv = BatchVerifier::new();
+    bv.begin_round();
+    for i in 0..MAC_FLOOD {
+        let (seq, payload, tag) = &corpus[i % MAC_UNIQUE];
+        bv.verify(&store, 1, *seq, payload, tag)
+            .expect("authentic datagram");
+    }
+
+    Comparison {
+        name: "mac_verify_flood_512",
+        seed_per_op: seed_verifies as f64 / MAC_FLOOD as f64,
+        current_per_op: bv.full_verifies() as f64 / MAC_FLOOD as f64,
+        // Expected exactly MAC_FLOOD / MAC_UNIQUE = 64x; the floor guards
+        // the mechanism (the cache actually collapses fan-in), not the
+        // corpus size.
+        floor: 2.0,
+        unit: "verifies/dgram",
+    }
+}
+
 /// Workers for the sweep-scheduling comparison. Fixed (not
 /// `available_parallelism`) so the modeled spans are identical on every
 /// machine.
@@ -836,6 +902,15 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    // `--only a,b`: run just the named benches (exact names as printed/
+    // emitted). Lets verify.sh smoke the exact-count gates without paying
+    // for the timed ones.
+    let only: Option<Vec<String>> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').map(str::to_string).collect());
+    let want = |name: &str| only.as_ref().is_none_or(|o| o.iter().any(|n| n == name));
     let samples = if quick { 7 } else { 21 };
 
     println!("=== hot-path benchmarks (seed baseline vs current) ===");
@@ -844,20 +919,47 @@ fn main() {
         if quick { "quick" } else { "full" }
     );
 
-    let mut results = vec![
-        bench_auth_verify(samples),
-        bench_encode_fanout(samples),
-        bench_sim_round(samples),
-    ];
-    results.extend(bench_sweep_schedule(quick));
+    let mut results = Vec::new();
+    if want("auth_verify_small") {
+        results.push(bench_auth_verify(samples));
+    }
+    if want("encode_fanout_x8") {
+        results.push(bench_encode_fanout(samples));
+    }
+    if want("sim_round_n1000_attacked") {
+        results.push(bench_sim_round(samples));
+    }
+    if want("mac_verify_flood_512") {
+        results.push(bench_mac_verify_flood(samples));
+    }
+    if ["sweep_span_8w", "sweep_idle_per_job_8w", "sweep_wall_clock"]
+        .iter()
+        .any(|n| want(n))
+    {
+        results.extend(
+            bench_sweep_schedule(quick)
+                .into_iter()
+                .filter(|c| want(c.name)),
+        );
+    }
     if drum_net::sys::available() {
-        results.push(bench_recv_drain(samples));
-        results.push(bench_send_fanout(samples));
-        results.push(bench_shard_dispatch(samples));
+        if want("recv_drain_flood_1024") {
+            results.push(bench_recv_drain(samples));
+        }
+        if want("send_fanout_mmsg") {
+            results.push(bench_send_fanout(samples));
+        }
+        if want("shard_dispatch_256e") {
+            results.push(bench_shard_dispatch(samples));
+        }
     } else {
         println!(
             "  (skipping syscall-batching benches: no recvmmsg/sendmmsg fast path on this target)"
         );
+    }
+    if results.is_empty() {
+        eprintln!("--only matched no benchmarks");
+        std::process::exit(2);
     }
 
     println!(

@@ -56,6 +56,8 @@ pub const FIGURES: &[(&str, FigureFn)] = &[
     ("ext_fanout", ext_fanout),
     ("ext_rotation", ext_rotation),
     ("ext_cluster", ext_cluster),
+    ("ext_adversary", ext_adversary),
+    ("ext_pull_abuse", ext_pull_abuse),
 ];
 
 /// Figure 1: the acceptance probabilities of Appendix A.
@@ -999,5 +1001,116 @@ pub fn ext_rotation(w: &mut dyn Write) -> io::Result<()> {
         "finding: rotation never helps the adversary — for Push and Pull it\n\
          *hurts* the attack (the pinned-down victims get released), and Drum\n\
          is indifferent, as its design predicts."
+    )
+}
+
+/// Extension experiment: adaptive adversary strategies.
+pub fn ext_adversary(w: &mut dyn Write) -> io::Result<()> {
+    use drum_sim::AdversaryKind;
+
+    banner_to(
+        w,
+        "Extension: adaptive adversaries",
+        "pluggable attack strategies vs the paper's static flood, alpha = 10%, x = 128",
+    )?;
+    let trials = trials();
+    let n = scaled(120, 1000);
+
+    let mut table = Table::new(
+        std::iter::once("adversary".to_string())
+            .chain(PROTOCOL_NAMES.iter().map(|s| s.to_string()))
+            .collect(),
+    );
+
+    for (label, kind) in [
+        ("static (paper)", AdversaryKind::Static),
+        ("chase every 8", AdversaryKind::TargetChasing { every: 8 }),
+        ("chase every 2", AdversaryKind::TargetChasing { every: 2 }),
+        (
+            "chase every round",
+            AdversaryKind::TargetChasing { every: 1 },
+        ),
+        ("eclipse the source", AdversaryKind::Eclipse),
+        ("replay flood", AdversaryKind::Replay),
+    ] {
+        let mut cells = vec![label.to_string()];
+        for &p in &PROTOCOLS {
+            let mut cfg = SimConfig::paper_attack(p, n, 128.0).with_adversary(kind);
+            cfg.max_rounds = 2000;
+            let res = run_experiment(&cfg, trials, SEED, 0);
+            cells.push(format!("{:.1}", res.mean_rounds()));
+        }
+        table.row(cells);
+    }
+    writeln!(
+        w,
+        "average rounds to 99% of correct processes, n = {n} ({trials} trials)"
+    )?;
+    writeln!(w, "{table}")?;
+    writeln!(
+        w,
+        "finding: every adaptive strategy redistributes the same total budget,\n\
+         and none of them moves Drum by more than half a round — its per-round\n\
+         per-channel bounds cap what *any* aiming of the budget can extract.\n\
+         The undefended protocols tell the opposite story: eclipsing the\n\
+         source is catastrophic for Pull (progress rides on the source\n\
+         answering pull-requests) yet *helps* Push, since concentrating on\n\
+         one process releases the other victims; fast chasing releases\n\
+         victims before the flood bites, so Pull recovers. The adversary's\n\
+         best strategy is thus protocol-specific — and against Drum there\n\
+         isn't one. Replay is budget-identical to static before\n\
+         authentication; its real cost, the per-copy MAC verify, is what\n\
+         batched verification removes."
+    )
+}
+
+/// Extension experiment: pull-channel abuse vs attack strength.
+pub fn ext_pull_abuse(w: &mut dyn Write) -> io::Result<()> {
+    use drum_sim::AdversaryKind;
+
+    banner_to(
+        w,
+        "Extension: pull-channel abuse",
+        "whole budget as valid-looking pull-requests vs the split flood",
+    )?;
+    let trials = trials();
+    let n = scaled(120, 1000);
+    let xs: &[f64] = &[32.0, 64.0, 128.0, 256.0];
+
+    let mut table = Table::new(vec![
+        "x".into(),
+        "drum static".into(),
+        "drum pull-abuse".into(),
+        "pull static".into(),
+        "pull pull-abuse".into(),
+    ]);
+    for &x in xs {
+        let mut cells = vec![format!("{x:.0}")];
+        for p in [ProtocolVariant::Drum, ProtocolVariant::Pull] {
+            for kind in [AdversaryKind::Static, AdversaryKind::PullAbuse] {
+                let mut cfg = SimConfig::paper_attack(p, n, x).with_adversary(kind);
+                cfg.max_rounds = 2000;
+                let res = run_experiment(&cfg, trials, SEED, 0);
+                cells.push(format!("{:.1}", res.mean_rounds()));
+            }
+        }
+        table.row(cells);
+    }
+    writeln!(
+        w,
+        "average rounds to 99% of correct processes, n = {n} ({trials} trials)"
+    )?;
+    writeln!(w, "{table}")?;
+    writeln!(
+        w,
+        "finding: doubling the pressure on pull-request reception never pays.\n\
+         For pure Pull it is a no-op — the static flood already spends the\n\
+         whole budget on the only channel there is, and degradation keeps\n\
+         growing unbounded with x. For Drum it slightly *helps* the victims:\n\
+         the pull bound caps what the extra traffic can displace, so the\n\
+         budget moved off the push channel is simply wasted against a\n\
+         saturated limit while pushes flow unharassed. Under per-channel\n\
+         bounds the pull channel is a budget sink, which is the paper's\n\
+         channel-separation argument driven to its limit."
     )
 }

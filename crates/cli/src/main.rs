@@ -45,6 +45,9 @@ simulate:
     --crashed <usize>           crashed processes (default 0)
     --loss <f64>                link loss (default 0.01)
     --rotate <u32>              rotate attack targets every k rounds
+    --adversary <name>          attack strategy: static|chase[:k]|eclipse|
+                                pull-abuse|replay (default: DRUM_ADVERSARY
+                                env, else static)
     --no-random-ports           Figure 12(a) ablation
 
 analyze:
@@ -61,6 +64,8 @@ cluster:
     --shards <usize>            multiplex engines onto this many shard
                                 threads (default 0 = thread per process;
                                 DRUM_NET_MULTIPLEX=1 picks one per core)
+    --adversary <name>          wire-level attack strategy (same names as
+                                simulate; default: DRUM_ADVERSARY env)
     --shared-bounds             Figure 12(b) ablation
 
 figures:
@@ -119,12 +124,22 @@ fn run() -> Result<(), String> {
                     a.rotate_every = Some(rotate);
                 }
             }
+            let adversary = match args.get("adversary") {
+                Some(s) => drum_sim::AdversaryKind::parse(s).ok_or_else(|| {
+                    format!("unknown adversary '{s}' (static|chase[:k]|eclipse|pull-abuse|replay)")
+                })?,
+                None => drum_sim::AdversaryKind::from_env().unwrap_or_default(),
+            };
+            cfg = cfg.with_adversary(adversary);
             cfg.validate().map_err(|e| e.to_string())?;
 
             println!(
                 "simulating {protocol}: n={n} alpha={alpha} x={x} crashed={} loss={} \
-                 random_ports={} ({trials} trials, seed {seed})",
-                cfg.crashed, cfg.loss, cfg.random_ports
+                 random_ports={} adversary={} ({trials} trials, seed {seed})",
+                cfg.crashed,
+                cfg.loss,
+                cfg.random_ports,
+                cfg.adversary().name()
             );
             let res = run_experiment(&cfg, trials, seed, 0);
             let mut t = Table::new(vec!["metric".into(), "value".into()]);
@@ -223,6 +238,11 @@ fn run() -> Result<(), String> {
                 seed,
             );
             cfg.shards = shards;
+            if let Some(s) = args.get("adversary") {
+                cfg.adversary = drum_net::FloodStrategy::parse(s).ok_or_else(|| {
+                    format!("unknown adversary '{s}' (static|chase[:k]|eclipse|pull-abuse|replay)")
+                })?;
+            }
             if args.flag("shared-bounds") {
                 cfg.net.gossip = cfg.net.gossip.with_bound_mode(BoundMode::SharedControl);
             }

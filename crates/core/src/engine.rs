@@ -22,10 +22,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
 
+use drum_crypto::batch::BatchVerifier;
 use drum_crypto::hmac::HmacKey;
 use drum_crypto::keys::{KeyStore, SecretKey};
 use drum_crypto::seal;
-use drum_trace::{trace_event, Timestamp, Tracer};
+use drum_trace::{names, trace_event, Counter, Timestamp, Tracer};
 
 use crate::bounds::{Channel, RoundBudget};
 use crate::buffer::MessageBuffer;
@@ -170,6 +171,16 @@ pub struct Engine {
     fixed_push_data_port: u16,
     /// Structured-event emitter (disabled by default: one branch per site).
     tracer: Tracer,
+    /// Round-scoped batched MAC verification (`drum_crypto::batch`):
+    /// identical `(source, seq, tag)` fan-in within a round pays one HMAC.
+    /// `None` runs the behaviorally identical per-datagram fallback
+    /// (`DRUM_NET_NO_BATCH=1`).
+    verify_cache: Option<BatchVerifier>,
+    /// Cached registry handles for the batch-verification counters,
+    /// refreshed by [`Engine::set_tracer`] so the hot receive path never
+    /// takes the registry lock.
+    c_mac_full: Counter,
+    c_mac_hits: Counter,
 }
 
 impl core::fmt::Debug for Engine {
@@ -197,6 +208,9 @@ impl Engine {
         let budget = RoundBudget::for_config(&config);
         let buffer = MessageBuffer::new(config.buffer_rounds);
         let my_auth_key = my_key.hmac_key();
+        let tracer = Tracer::disabled();
+        let c_mac_full = tracer.registry().counter(names::MAC_FULL_VERIFIES);
+        let c_mac_hits = tracer.registry().counter(names::MAC_BATCH_HITS);
         Engine {
             config,
             membership,
@@ -215,7 +229,14 @@ impl Engine {
             fixed_pull_reply_port: crate::WELL_KNOWN_PULL_REPLY_PORT,
             fixed_push_reply_port: crate::WELL_KNOWN_PUSH_REPLY_PORT,
             fixed_push_data_port: crate::WELL_KNOWN_PUSH_DATA_PORT,
-            tracer: Tracer::disabled(),
+            tracer,
+            verify_cache: if std::env::var_os("DRUM_NET_NO_BATCH").is_some() {
+                None
+            } else {
+                Some(BatchVerifier::new())
+            },
+            c_mac_full,
+            c_mac_hits,
         }
     }
 
@@ -223,6 +244,23 @@ impl Engine {
     /// fixed-seed runs trace byte-identically.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+        self.c_mac_full = self.tracer.registry().counter(names::MAC_FULL_VERIFIES);
+        self.c_mac_hits = self.tracer.registry().counter(names::MAC_BATCH_HITS);
+    }
+
+    /// Forces the batched verification path on or off, overriding the
+    /// `DRUM_NET_NO_BATCH` environment default picked up by [`Engine::new`].
+    /// Tests use this to compare the two paths side by side.
+    pub fn set_batch_verify(&mut self, enabled: bool) {
+        if enabled == self.verify_cache.is_some() {
+            return;
+        }
+        self.verify_cache = enabled.then(BatchVerifier::new);
+    }
+
+    /// Whether received data messages go through the batched verifier.
+    pub fn batch_verify_enabled(&self) -> bool {
+        self.verify_cache.is_some()
     }
 
     /// The attached tracer (disabled by default).
@@ -358,6 +396,9 @@ impl Engine {
         self.budget.reset();
         self.stats = RoundStats::default();
         self.offered_to.clear();
+        if let Some(cache) = self.verify_cache.as_mut() {
+            cache.begin_round();
+        }
         self.buffer.increment_hops();
         self.buffer.purge(self.round);
 
@@ -567,10 +608,27 @@ impl Engine {
     }
 
     /// Verifies, de-duplicates and delivers incoming data messages.
+    ///
+    /// On the batched path, this round's verdicts are cached per
+    /// `(source, seq, tag)` so identical flood fan-in — which `recvmmsg`
+    /// delivers many datagrams at a time — pays one HMAC per unique triple.
+    /// Verdicts are applied in arrival order, so `RoundStats`, delivery
+    /// order and trace events are byte-identical to the per-datagram
+    /// fallback; only the HMAC count differs.
     fn receive_data(&mut self, messages: Vec<DataMessage>) {
         for msg in messages {
             // Sanity checks (§4): source must authenticate.
-            if msg.verify(&self.key_store).is_err() {
+            let verdict = match self.verify_cache.as_mut() {
+                Some(cache) => cache.verify(
+                    &self.key_store,
+                    msg.id.source.as_u64(),
+                    msg.id.seq,
+                    &msg.payload,
+                    &msg.auth,
+                ),
+                None => msg.verify(&self.key_store),
+            };
+            if verdict.is_err() {
                 self.stats.dropped_auth += 1;
                 trace_event!(
                     self.tracer,
@@ -597,6 +655,13 @@ impl Engine {
                 );
                 self.delivered.push(msg);
             }
+        }
+        // Export the verifier's counters into the registry. Zero on the
+        // fallback path, mirroring `net.batch_fill`'s mode signal.
+        if let Some(cache) = self.verify_cache.as_mut() {
+            let (full, hits) = cache.take_counters();
+            self.c_mac_full.add(full);
+            self.c_mac_hits.add(hits);
         }
     }
 
@@ -1001,5 +1066,121 @@ mod tests {
             40_001,
             "one full span must wrap back to the first port"
         );
+    }
+
+    /// A hostile data batch: a valid message, duplicate fan-in of it, a
+    /// payload-tampered copy, an outright forgery, and repeats of each —
+    /// the mix a flooded receiver actually drains out of `recvmmsg`.
+    fn hostile_mix(publisher: &mut Engine) -> Vec<DataMessage> {
+        let id = publisher.publish(Bytes::from_static(b"real"));
+        let real = publisher.buffer().get(id).unwrap().clone();
+        let mut tampered = real.clone();
+        tampered.payload = Bytes::from_static(b"tampered");
+        let forged = DataMessage {
+            id: MessageId::new(ProcessId(0), 77),
+            hops: 0,
+            payload: Bytes::from_static(b"forged"),
+            auth: drum_crypto::auth::AuthTag::zero(),
+        };
+        vec![
+            real.clone(),
+            real.clone(),
+            tampered.clone(),
+            forged.clone(),
+            real,
+            tampered,
+            forged,
+        ]
+    }
+
+    #[test]
+    fn batched_verification_matches_per_datagram_path() {
+        // Two identically seeded instances; only the verification path
+        // differs. Accept/reject decisions, stats and delivery must match.
+        let (mut batched, _) = setup(2, ProtocolVariant::Drum);
+        let (mut fallback, _) = setup(2, ProtocolVariant::Drum);
+        batched[1].set_batch_verify(true);
+        fallback[1].set_batch_verify(false);
+
+        let mut results = Vec::new();
+        for engines in [&mut batched, &mut fallback] {
+            let mix = hostile_mix(&mut engines[0]);
+            let mut oracle = CountingPortOracle::default();
+            engines[1].begin_round(&mut oracle);
+            engines[1].handle(
+                GossipMessage::PushData {
+                    from: ProcessId(0),
+                    messages: mix,
+                },
+                &mut oracle,
+            );
+            let stats = engines[1].end_round();
+            results.push((stats, engines[1].take_delivered()));
+        }
+        assert_eq!(results[0], results[1]);
+        // The mix carries 4 bad datagrams (2 tampered + 2 forged) and one
+        // unique valid message delivered once.
+        assert_eq!(results[0].0.dropped_auth, 4);
+        assert_eq!(results[0].0.delivered, 1);
+    }
+
+    #[test]
+    fn identical_fan_in_pays_one_hmac() {
+        let (mut engines, _) = setup(2, ProtocolVariant::Drum);
+        engines[1].set_batch_verify(true);
+        let id = engines[0].publish(Bytes::from_static(b"m"));
+        let real = engines[0].buffer().get(id).unwrap().clone();
+        let mut oracle = CountingPortOracle::default();
+        engines[1].begin_round(&mut oracle);
+        engines[1].handle(
+            GossipMessage::PushData {
+                from: ProcessId(0),
+                messages: vec![real.clone(); 32],
+            },
+            &mut oracle,
+        );
+        let (c_full, c_hits) = {
+            let reg = engines[1].tracer().registry();
+            (
+                reg.counter(names::MAC_FULL_VERIFIES),
+                reg.counter(names::MAC_BATCH_HITS),
+            )
+        };
+        assert_eq!(c_full.get(), 1);
+        assert_eq!(c_hits.get(), 31);
+
+        // The cache is round-scoped: the same fan-in next round pays one
+        // fresh HMAC rather than trusting a stale verdict.
+        engines[1].begin_round(&mut oracle);
+        engines[1].handle(
+            GossipMessage::PushData {
+                from: ProcessId(0),
+                messages: vec![real; 8],
+            },
+            &mut oracle,
+        );
+        assert_eq!(c_full.get(), 2);
+        assert_eq!(c_hits.get(), 38);
+    }
+
+    #[test]
+    fn fallback_path_leaves_batch_counters_at_zero() {
+        let (mut engines, _) = setup(2, ProtocolVariant::Drum);
+        engines[1].set_batch_verify(false);
+        assert!(!engines[1].batch_verify_enabled());
+        let id = engines[0].publish(Bytes::from_static(b"m"));
+        let real = engines[0].buffer().get(id).unwrap().clone();
+        let mut oracle = CountingPortOracle::default();
+        engines[1].begin_round(&mut oracle);
+        engines[1].handle(
+            GossipMessage::PushData {
+                from: ProcessId(0),
+                messages: vec![real; 16],
+            },
+            &mut oracle,
+        );
+        let reg = engines[1].tracer().registry();
+        assert_eq!(reg.counter(names::MAC_FULL_VERIFIES).get(), 0);
+        assert_eq!(reg.counter(names::MAC_BATCH_HITS).get(), 0);
     }
 }

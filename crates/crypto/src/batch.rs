@@ -1,0 +1,273 @@
+//! Batched verification of authentication tags under flood fan-in.
+//!
+//! The attacks in the Drum paper (and the MABS line of work on batch
+//! signatures) exploit the asymmetry between *sending* a fabricated message
+//! (cheap) and *verifying* it (an HMAC, or worse a signature, per packet).
+//! A blind flood, however, is highly redundant: the attacker replays the
+//! same fabricated — or previously authentic — datagram at every victim,
+//! many times per round, and `recvmmsg` hands the receiver whole batches of
+//! identical `(source, seq, tag)` triples.
+//!
+//! [`BatchVerifier`] amortizes that redundancy. It keeps a round-scoped
+//! verdict cache keyed on the `(source, seq, tag)` triple: the first
+//! occurrence pays the full HMAC (`full_verifies`), every identical
+//! repetition — whether a duplicate of a valid message, a replayed
+//! authentic datagram, or a repeated forgery — reuses the cached verdict
+//! (`batch_hits`). Candidates are ordered cheapest-reject-first: the
+//! unknown-source key lookup (a hash probe) runs before any HMAC is
+//! computed, so datagrams claiming a nonexistent source never reach the
+//! compression function at all.
+//!
+//! Because the tag is an HMAC over `(source, seq, payload)`, two distinct
+//! payloads colliding on the same triple is cryptographically negligible —
+//! but the cache does not *assume* it: each cache entry records the payload
+//! it was verified against, and a mismatching payload under the same triple
+//! pays its own full verification. The verifier is therefore *exactly*
+//! equivalent, accept/reject-wise, to calling [`crate::auth::verify`] per
+//! datagram; it only changes how often the HMAC is computed.
+//!
+//! The cache is cleared at every round boundary ([`BatchVerifier::begin_round`])
+//! so its memory is bounded by one round's reception budget of *unique*
+//! messages, and so verdicts never outlive the key-store state they were
+//! computed under.
+
+use std::collections::HashMap;
+
+use crate::auth::{verify_with, AuthError, AuthTag, AUTH_TAG_LEN};
+use crate::keys::KeyStore;
+
+/// Cache key: the wire-visible identity of a datagram's authentication
+/// claim. Everything an attacker can replay verbatim hashes to the same key.
+type TripleKey = (u64, u64, [u8; AUTH_TAG_LEN]);
+
+/// Verdicts recorded under one triple. The `Vec` disambiguates the
+/// (negligible, but handled) case of distinct payloads under one triple;
+/// in practice it holds exactly one entry.
+type Verdicts = Vec<(Vec<u8>, Result<(), AuthError>)>;
+
+/// A round-scoped, payload-checked verdict cache over `(source, seq, tag)`
+/// triples. See the [module docs](self) for the design rationale.
+#[derive(Debug, Default)]
+pub struct BatchVerifier {
+    cache: HashMap<TripleKey, Verdicts>,
+    full_verifies: u64,
+    batch_hits: u64,
+}
+
+impl BatchVerifier {
+    /// Creates an empty verifier with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the verdict cache at a round boundary. Counters are
+    /// cumulative across rounds; they are harvested with
+    /// [`take_counters`](Self::take_counters).
+    pub fn begin_round(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Verifies one datagram's tag, reusing this round's cached verdict for
+    /// identical `(source, seq, tag, payload)` fan-in.
+    ///
+    /// Accept/reject behavior is bit-identical to [`crate::auth::verify`];
+    /// only the number of HMAC computations differs.
+    ///
+    /// # Errors
+    ///
+    /// * [`AuthError::UnknownSource`] — `source` has no key in `store`
+    ///   (rejected before any HMAC work, and never cached: the lookup is
+    ///   already as cheap as the cache probe).
+    /// * [`AuthError::Forged`] — the tag does not match.
+    pub fn verify(
+        &mut self,
+        store: &KeyStore,
+        source: u64,
+        seq: u64,
+        payload: &[u8],
+        tag: &AuthTag,
+    ) -> Result<(), AuthError> {
+        // Cheapest reject first: an unregistered source is a hash probe,
+        // not an HMAC. Checking it before the cache also keeps the cache
+        // free of entries that a concurrent key-store change could stale.
+        let key = match store.auth_key_of(source) {
+            Ok(key) => key,
+            Err(e) => return Err(AuthError::UnknownSource(e)),
+        };
+
+        let triple = (source, seq, tag.0);
+        if let Some(entries) = self.cache.get(&triple) {
+            for (seen_payload, verdict) in entries {
+                if seen_payload.as_slice() == payload {
+                    self.batch_hits += 1;
+                    return *verdict;
+                }
+            }
+        }
+
+        let verdict = verify_with(&key, source, seq, payload, tag);
+        self.full_verifies += 1;
+        self.cache
+            .entry(triple)
+            .or_default()
+            .push((payload.to_vec(), verdict));
+        verdict
+    }
+
+    /// HMAC computations performed since the last counter harvest.
+    pub fn full_verifies(&self) -> u64 {
+        self.full_verifies
+    }
+
+    /// Verdicts served from the round cache since the last counter harvest.
+    pub fn batch_hits(&self) -> u64 {
+        self.batch_hits
+    }
+
+    /// Returns `(full_verifies, batch_hits)` and resets both to zero, for
+    /// periodic export into a metrics registry.
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        let out = (self.full_verifies, self.batch_hits);
+        self.full_verifies = 0;
+        self.batch_hits = 0;
+        out
+    }
+
+    /// Number of distinct `(source, seq, tag)` triples cached this round.
+    pub fn cached_triples(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::{sign, verify};
+    use crate::keys::SecretKey;
+
+    fn store_with(source: u64) -> (KeyStore, SecretKey) {
+        let store = KeyStore::new(123);
+        let key = store.register(source);
+        (store, key)
+    }
+
+    #[test]
+    fn identical_fan_in_verifies_once() {
+        let (store, key) = store_with(1);
+        let tag = sign(&key, 1, 7, b"payload");
+        let mut bv = BatchVerifier::new();
+        for _ in 0..64 {
+            assert!(bv.verify(&store, 1, 7, b"payload", &tag).is_ok());
+        }
+        assert_eq!(bv.full_verifies(), 1);
+        assert_eq!(bv.batch_hits(), 63);
+    }
+
+    #[test]
+    fn repeated_forgery_rejected_from_cache() {
+        let (store, _) = store_with(1);
+        let mut bv = BatchVerifier::new();
+        for _ in 0..10 {
+            assert_eq!(
+                bv.verify(&store, 1, 0, b"fake", &AuthTag::zero()),
+                Err(AuthError::Forged)
+            );
+        }
+        assert_eq!(bv.full_verifies(), 1);
+        assert_eq!(bv.batch_hits(), 9);
+    }
+
+    #[test]
+    fn unknown_source_rejected_without_hmac() {
+        let (store, key) = store_with(1);
+        let tag = sign(&key, 9, 0, b"m");
+        let mut bv = BatchVerifier::new();
+        for _ in 0..5 {
+            assert!(matches!(
+                bv.verify(&store, 9, 0, b"m", &tag),
+                Err(AuthError::UnknownSource(_))
+            ));
+        }
+        assert_eq!(bv.full_verifies(), 0);
+        assert_eq!(bv.batch_hits(), 0);
+    }
+
+    #[test]
+    fn same_triple_different_payload_pays_its_own_verify() {
+        let (store, key) = store_with(1);
+        let tag = sign(&key, 1, 3, b"real");
+        let mut bv = BatchVerifier::new();
+        assert!(bv.verify(&store, 1, 3, b"real", &tag).is_ok());
+        // An attacker grafting a different payload under the same triple
+        // must not inherit the cached accept.
+        assert_eq!(
+            bv.verify(&store, 1, 3, b"graft", &tag),
+            Err(AuthError::Forged)
+        );
+        assert!(bv.verify(&store, 1, 3, b"real", &tag).is_ok());
+        assert_eq!(bv.full_verifies(), 2);
+        assert_eq!(bv.batch_hits(), 1);
+        assert_eq!(bv.cached_triples(), 1);
+    }
+
+    #[test]
+    fn round_boundary_clears_the_cache_but_not_counters() {
+        let (store, key) = store_with(1);
+        let tag = sign(&key, 1, 0, b"m");
+        let mut bv = BatchVerifier::new();
+        assert!(bv.verify(&store, 1, 0, b"m", &tag).is_ok());
+        bv.begin_round();
+        assert_eq!(bv.cached_triples(), 0);
+        assert!(bv.verify(&store, 1, 0, b"m", &tag).is_ok());
+        assert_eq!(bv.full_verifies(), 2);
+        assert_eq!(bv.batch_hits(), 0);
+    }
+
+    #[test]
+    fn take_counters_resets() {
+        let (store, key) = store_with(1);
+        let tag = sign(&key, 1, 0, b"m");
+        let mut bv = BatchVerifier::new();
+        bv.verify(&store, 1, 0, b"m", &tag).unwrap();
+        bv.verify(&store, 1, 0, b"m", &tag).unwrap();
+        assert_eq!(bv.take_counters(), (1, 1));
+        assert_eq!(bv.take_counters(), (0, 0));
+    }
+
+    /// The equivalence contract: on a hostile mixed batch (valid messages,
+    /// forgeries, replays of authentic datagrams, duplicate fan-in, unknown
+    /// sources), the batched path returns exactly the per-datagram verdicts.
+    #[test]
+    fn hostile_mixed_batch_matches_per_datagram_path() {
+        let store = KeyStore::new(7);
+        let k1 = store.register(1);
+        let k2 = store.register(2);
+
+        let real1 = sign(&k1, 1, 10, b"alpha");
+        let real2 = sign(&k2, 2, 11, b"beta");
+        let cross = sign(&k1, 2, 11, b"beta"); // wrong key for claimed source
+
+        let batch: Vec<(u64, u64, &[u8], AuthTag)> = vec![
+            (1, 10, b"alpha", real1),    // valid
+            (1, 10, b"alpha", real1),    // duplicate fan-in
+            (2, 11, b"beta", real2),     // valid, second source
+            (1, 10, b"tampered", real1), // forged payload
+            (2, 11, b"beta", cross),     // spoofed source
+            (1, 10, b"alpha", real1),    // replayed authentic datagram
+            (9, 10, b"alpha", real1),    // unknown source
+            (1, 99, b"alpha", real1),    // wrong seq
+            (1, 10, b"tampered", real1), // repeated forgery
+        ];
+
+        let mut bv = BatchVerifier::new();
+        for (source, seq, payload, tag) in &batch {
+            let batched = bv.verify(&store, *source, *seq, payload, tag);
+            let reference = verify(&store, *source, *seq, payload, tag);
+            assert_eq!(batched, reference);
+        }
+        // 5 unique registered-source claims paid an HMAC; 3 repeats hit the
+        // cache; the unknown source touched neither counter.
+        assert_eq!(bv.full_verifies(), 5);
+        assert_eq!(bv.batch_hits(), 3);
+    }
+}

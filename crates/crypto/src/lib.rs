@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod auth;
+pub mod batch;
 pub mod hex;
 pub mod hmac;
 pub mod keys;
@@ -49,6 +50,7 @@ pub mod seal;
 pub mod sha256;
 
 pub use auth::{sign, sign_with, verify, verify_with, AuthError, AuthTag, AUTH_TAG_LEN};
+pub use batch::BatchVerifier;
 pub use hmac::HmacKey;
 pub use keys::{KeyStore, SecretKey, UnknownPeerError};
 pub use seal::{open, open_port, seal, seal_port, SealError, SealedBox};

@@ -23,6 +23,81 @@ use drum_trace::{names, trace_event, Tracer};
 use crate::codec;
 use crate::transport::{bind_ephemeral, BatchTx, WellKnownAddrs};
 
+/// How the flood is aimed and shaped — the wire-level mirror of
+/// `drum_sim::AdversaryKind` (the net crate deliberately does not depend
+/// on the simulator; the two enums are kept in sync by the shared
+/// `DRUM_ADVERSARY` spellings).
+///
+/// Every strategy conserves the adversary's total send budget
+/// (`x_per_round × targets`): adaptive strategies redistribute it, they do
+/// not get more of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FloodStrategy {
+    /// The paper's adversary: a fixed per-target flood, split across the
+    /// victim protocol's well-known channels (`x/2 + x/2` for Drum).
+    Static,
+    /// Rotates the whole group budget onto one victim at a time, moving to
+    /// the next target every `every` rounds — chasing the victims the way
+    /// an adaptive attacker chases port rotation.
+    TargetChasing {
+        /// Rounds between focus shifts (≥ 1).
+        every: u32,
+    },
+    /// Concentrates the whole group budget on the first target forever,
+    /// trying to eclipse that one process from the group.
+    Eclipse,
+    /// Spends the entire budget on pull-requests: each one costs the
+    /// victim a reply-budget slot, not just a reception slot.
+    PullAbuse,
+    /// Resends previously captured wire datagrams verbatim instead of
+    /// fabricating fresh ones. With an empty corpus the attacker replays
+    /// its own first fabrication — either way the victim sees identical
+    /// fan-in, the case batched MAC verification collapses.
+    Replay {
+        /// Captured datagrams to cycle through (may be empty).
+        corpus: Vec<Vec<u8>>,
+    },
+}
+
+impl FloodStrategy {
+    /// Stable name, matching the `DRUM_ADVERSARY` spellings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FloodStrategy::Static => "static",
+            FloodStrategy::TargetChasing { .. } => "chase",
+            FloodStrategy::Eclipse => "eclipse",
+            FloodStrategy::PullAbuse => "pull-abuse",
+            FloodStrategy::Replay { .. } => "replay",
+        }
+    }
+
+    /// Parses a `DRUM_ADVERSARY` value (`static`, `chase`, `chase:N`,
+    /// `eclipse`, `pull-abuse`, `replay`). Returns `None` for unknown
+    /// names and `chase:0`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "static" => Some(FloodStrategy::Static),
+            "chase" => Some(FloodStrategy::TargetChasing { every: 1 }),
+            "eclipse" => Some(FloodStrategy::Eclipse),
+            "pull-abuse" => Some(FloodStrategy::PullAbuse),
+            "replay" => Some(FloodStrategy::Replay { corpus: Vec::new() }),
+            _ => {
+                let every: u32 = s.strip_prefix("chase:")?.parse().ok()?;
+                (every > 0).then_some(FloodStrategy::TargetChasing { every })
+            }
+        }
+    }
+
+    /// Reads `DRUM_ADVERSARY`, defaulting to [`FloodStrategy::Static`]
+    /// when unset or unparseable.
+    pub fn from_env() -> Self {
+        std::env::var("DRUM_ADVERSARY")
+            .ok()
+            .and_then(|s| Self::parse(&s))
+            .unwrap_or(FloodStrategy::Static)
+    }
+}
+
 /// Configuration of one attacker.
 #[derive(Debug, Clone)]
 pub struct AttackerConfig {
@@ -47,6 +122,11 @@ pub struct AttackerConfig {
     /// classification) plus the `attack_sent` registry counter. Disabled
     /// by default.
     pub tracer: Tracer,
+    /// How the flood is aimed ([`FloodStrategy::Static`] is the paper's
+    /// adversary; [`AttackerConfig::new`] pins it explicitly so the
+    /// `DRUM_ADVERSARY` environment never silently reshapes a
+    /// statically-configured experiment).
+    pub strategy: FloodStrategy,
 }
 
 impl AttackerConfig {
@@ -59,7 +139,20 @@ impl AttackerConfig {
             reply_port_targets: Vec::new(),
             batches_per_round: 10,
             tracer: Tracer::disabled(),
+            strategy: FloodStrategy::Static,
         }
+    }
+
+    /// Like [`AttackerConfig::new`], but honoring the `DRUM_ADVERSARY`
+    /// environment knob — the entry point the CLI and CI matrix use.
+    pub fn new_from_env(
+        x_per_round: f64,
+        round: Duration,
+        victim_protocol: ProtocolVariant,
+    ) -> Self {
+        let mut config = Self::new(x_per_round, round, victim_protocol);
+        config.strategy = FloodStrategy::from_env();
+        config
     }
 }
 
@@ -155,10 +248,37 @@ pub fn spawn_attacker(
             let mut wire = drum_core::bytes::BytesMut::with_capacity(codec::MAX_WIRE_LEN);
             let mut tx = BatchTx::new();
             // Per-round per-target counts on each channel.
-            let (x_push, x_pull) = match config.victim_protocol {
+            let (mut x_push, mut x_pull) = match config.victim_protocol {
                 ProtocolVariant::Drum => (config.x_per_round / 2.0, config.x_per_round / 2.0),
                 ProtocolVariant::Push => (config.x_per_round, 0.0),
                 ProtocolVariant::Pull => (0.0, config.x_per_round),
+            };
+            // Adaptive strategies redistribute — never enlarge — the total
+            // send budget: focused floods multiply the per-target rate by
+            // the number of targets they stop flooding; pull-abuse shifts
+            // the push half onto the pull channel.
+            match &config.strategy {
+                FloodStrategy::PullAbuse => {
+                    x_pull += x_push;
+                    x_push = 0.0;
+                }
+                FloodStrategy::Eclipse | FloodStrategy::TargetChasing { .. } => {
+                    let scale = targets.len() as f64;
+                    x_push *= scale;
+                    x_pull *= scale;
+                }
+                FloodStrategy::Static | FloodStrategy::Replay { .. } => {}
+            }
+            // Replay ammunition: captured datagrams, or — with an empty
+            // corpus — the attacker's own first fabrications, resent
+            // verbatim (identical fan-in either way).
+            let replay_corpus: Option<Vec<Vec<u8>>> = match &config.strategy {
+                FloodStrategy::Replay { corpus } if !corpus.is_empty() => Some(corpus.clone()),
+                FloodStrategy::Replay { .. } => Some(vec![
+                    codec::encode(&fabricated_pull_request(1)).to_vec(),
+                    codec::encode(&fabricated_push_offer(2)).to_vec(),
+                ]),
+                _ => None,
             };
             // Against the no-random-ports ablation the pull budget is split
             // between the request port and the (knowable) reply port (§9).
@@ -186,9 +306,11 @@ pub fn spawn_attacker(
                 targets = targets.len(),
                 x_per_round = config.x_per_round,
                 protocol = config.victim_protocol.to_string(),
+                strategy = config.strategy.name(),
                 reply_ports = attack_replies
             );
 
+            let mut batch_no: u64 = 0;
             while !stop_flag.load(Ordering::Relaxed) {
                 let batch_deadline = Instant::now() + batch_interval;
                 carry_push += per_batch_push;
@@ -201,31 +323,64 @@ pub fn spawn_attacker(
                 carry_pull -= n_pull as f64;
                 carry_reply -= n_reply as f64;
 
+                // Focused strategies aim the whole (scaled) budget at one
+                // target; target-chasing moves that focus every `every`
+                // rounds (batches_per_round batches ≈ one victim round).
+                let round_no = batch_no / u64::from(batches);
+                batch_no += 1;
+                let focus = match &config.strategy {
+                    FloodStrategy::Eclipse => Some(0),
+                    FloodStrategy::TargetChasing { every } => Some(
+                        ((round_no / u64::from(*every)) % targets.len().max(1) as u64) as usize,
+                    ),
+                    _ => None,
+                };
+
+                let mut batch_total = 0u64;
                 for (i, target) in targets.iter().enumerate() {
+                    if focus.is_some_and(|f| f != i) {
+                        continue;
+                    }
                     for _ in 0..n_pull {
                         seq += 1;
-                        codec::encode_into(&fabricated_pull_request(seq), &mut wire);
-                        tx.push(&socket, target.pull, &wire[..], false);
+                        match &replay_corpus {
+                            Some(corpus) => {
+                                let dg = &corpus[seq as usize % corpus.len()];
+                                tx.push(&socket, target.pull, dg, false);
+                            }
+                            None => {
+                                codec::encode_into(&fabricated_pull_request(seq), &mut wire);
+                                tx.push(&socket, target.pull, &wire[..], false);
+                            }
+                        }
+                        batch_total += 1;
                     }
                     for _ in 0..n_push {
                         seq += 1;
-                        codec::encode_into(&fabricated_push_offer(seq), &mut wire);
-                        tx.push(&socket, target.push, &wire[..], false);
+                        match &replay_corpus {
+                            Some(corpus) => {
+                                let dg = &corpus[seq as usize % corpus.len()];
+                                tx.push(&socket, target.push, dg, false);
+                            }
+                            None => {
+                                codec::encode_into(&fabricated_push_offer(seq), &mut wire);
+                                tx.push(&socket, target.push, &wire[..], false);
+                            }
+                        }
+                        batch_total += 1;
                     }
                     if let Some(reply_addr) = config.reply_port_targets.get(i) {
                         for _ in 0..n_reply {
                             seq += 1;
                             codec::encode_into(&fabricated_pull_reply(seq), &mut wire);
                             tx.push(&socket, *reply_addr, &wire[..], false);
+                            batch_total += 1;
                         }
                     }
                 }
                 sent += tx.finish(&socket);
 
-                if n_push + n_pull + n_reply > 0 {
-                    let reply_targets = config.reply_port_targets.len().min(targets.len());
-                    let batch_total = (n_push + n_pull) as u64 * targets.len() as u64
-                        + n_reply as u64 * reply_targets as u64;
+                if batch_total > 0 {
                     c_attack.add(batch_total);
                     trace_event!(
                         tracer,
@@ -321,6 +476,100 @@ mod tests {
             first_burst >= 20,
             "first burst carried only {first_burst} datagrams"
         );
+    }
+
+    #[test]
+    fn strategy_names_parse_round_trip() {
+        for name in ["static", "chase", "eclipse", "pull-abuse", "replay"] {
+            let s = FloodStrategy::parse(name).unwrap();
+            assert_eq!(s.name(), name);
+        }
+        assert_eq!(
+            FloodStrategy::parse("chase:4"),
+            Some(FloodStrategy::TargetChasing { every: 4 })
+        );
+        assert_eq!(FloodStrategy::parse("chase:0"), None);
+        assert_eq!(FloodStrategy::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn eclipse_attack_floods_only_the_first_target() {
+        let (sockets_a, addrs_a) = WellKnownSockets::bind().unwrap();
+        let (sockets_b, addrs_b) = WellKnownSockets::bind().unwrap();
+        let mut config =
+            AttackerConfig::new(60.0, Duration::from_millis(50), ProtocolVariant::Drum);
+        config.strategy = FloodStrategy::Eclipse;
+        let attacker = spawn_attacker(vec![addrs_a, addrs_b], config).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        attacker.shutdown();
+
+        let mut buf = [0u8; 2048];
+        let mut eclipsed = 0;
+        while sockets_a.pull.recv_from(&mut buf).is_ok() {
+            eclipsed += 1;
+        }
+        while sockets_a.push.recv_from(&mut buf).is_ok() {
+            eclipsed += 1;
+        }
+        assert!(eclipsed > 0, "eclipse sent nothing to its victim");
+        // The second target must be left entirely alone: the whole group
+        // budget lands on the eclipsed process.
+        assert!(sockets_b.pull.recv_from(&mut buf).is_err());
+        assert!(sockets_b.push.recv_from(&mut buf).is_err());
+    }
+
+    #[test]
+    fn pull_abuse_attack_spares_push_port_for_drum_victims() {
+        let (sockets, addrs) = WellKnownSockets::bind().unwrap();
+        let mut config =
+            AttackerConfig::new(50.0, Duration::from_millis(50), ProtocolVariant::Drum);
+        config.strategy = FloodStrategy::PullAbuse;
+        let attacker = spawn_attacker(vec![addrs], config).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        attacker.shutdown();
+
+        let mut buf = [0u8; 2048];
+        let mut push_count = 0;
+        while sockets.push.recv_from(&mut buf).is_ok() {
+            push_count += 1;
+        }
+        assert_eq!(
+            push_count, 0,
+            "pull-abuse must spend the whole budget on the pull channel"
+        );
+        let mut pull_count = 0;
+        while sockets.pull.recv_from(&mut buf).is_ok() {
+            pull_count += 1;
+        }
+        assert!(pull_count > 0);
+    }
+
+    #[test]
+    fn replay_attack_resends_captured_bytes_verbatim() {
+        let (sockets, addrs) = WellKnownSockets::bind().unwrap();
+        // "Capture" one authentic-looking wire datagram and hand it to the
+        // replay strategy as its corpus.
+        let captured = codec::encode(&fabricated_pull_request(42)).to_vec();
+        let mut config =
+            AttackerConfig::new(40.0, Duration::from_millis(50), ProtocolVariant::Drum);
+        config.strategy = FloodStrategy::Replay {
+            corpus: vec![captured.clone()],
+        };
+        let attacker = spawn_attacker(vec![addrs], config).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        attacker.shutdown();
+
+        let mut buf = [0u8; 2048];
+        let mut replayed = 0;
+        while let Ok((len, _)) = sockets.pull.recv_from(&mut buf) {
+            assert_eq!(
+                &buf[..len],
+                &captured[..],
+                "replayed datagram must be byte-identical to the capture"
+            );
+            replayed += 1;
+        }
+        assert!(replayed > 1, "expected identical fan-in, got {replayed}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use drum_crypto::keys::KeyStore;
 use drum_metrics::recorder::{LatencyRecorder, ThroughputRecorder};
 use drum_metrics::stats::{quantile_in_place, RunningStats};
 
-use crate::attack::{spawn_attacker, AttackerConfig, AttackerHandle};
+use crate::attack::{spawn_attacker, AttackerConfig, AttackerHandle, FloodStrategy};
 use crate::runtime::{
     seed_of, spawn_process, Delivery, NetConfig, NetStats, ProcessHandle, ProcessSpec,
 };
@@ -47,6 +47,10 @@ pub struct ClusterConfig {
     pub net: NetConfig,
     /// Base RNG seed.
     pub seed: u64,
+    /// How the attacker aims its flood. [`paper_cluster_config`] seeds this
+    /// from the `DRUM_ADVERSARY` environment knob; callers with an explicit
+    /// scenario (tests, `--adversary`) overwrite it.
+    pub adversary: FloodStrategy,
 }
 
 impl ClusterConfig {
@@ -244,6 +248,7 @@ impl Cluster {
                 config.net.gossip.variant,
             );
             attacker_config.tracer = config.net.tracer.clone();
+            attacker_config.strategy = config.adversary.clone();
             if ablation_mode {
                 // §9: against well-known reply ports the adversary splits
                 // its pull budget between the request and reply ports.
@@ -557,6 +562,7 @@ pub fn paper_cluster_config(
         engines_per_shard: 0,
         net: NetConfig::new(gossip).with_round(round),
         seed,
+        adversary: FloodStrategy::from_env(),
     }
 }
 

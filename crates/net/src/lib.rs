@@ -63,7 +63,7 @@ pub mod shard;
 pub mod sys;
 pub mod transport;
 
-pub use attack::{spawn_attacker, AttackerConfig, AttackerHandle};
+pub use attack::{spawn_attacker, AttackerConfig, AttackerHandle, FloodStrategy};
 pub use codec::{decode, encode, peek_kind, DecodeError};
 pub use experiment::{
     paper_cluster_config, propagation_experiment, resolve_shards, throughput_experiment, Cluster,

@@ -29,6 +29,13 @@ use crate::sys;
 /// and stop at the first `WouldBlock`, so every downstream accept/drop
 /// decision is identical — only the syscall count differs, which is
 /// exactly what the running totals expose.
+///
+/// The same `DRUM_NET_NO_BATCH` knob also selects the engine's MAC
+/// verification path (`drum_crypto::batch`): in batched mode, the
+/// identical-fan-in datagrams that one `recvmmsg` call drains are verified
+/// once per unique `(source, seq, tag)` triple per round instead of once
+/// per copy — syscall amortization and HMAC amortization degrade together
+/// back to the per-datagram baseline.
 #[derive(Debug)]
 pub struct BatchRx {
     arena: Option<sys::RecvArena>,

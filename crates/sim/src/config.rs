@@ -2,6 +2,8 @@
 
 use drum_core::ProtocolVariant;
 
+use crate::adversary::AdversaryKind;
+
 /// Process roles inside a simulated group.
 ///
 /// Index layout within `0..n`:
@@ -36,6 +38,10 @@ pub struct AttackConfig {
     /// does better — it does not, against any of the protocols, because no
     /// per-target state survives the move.
     pub rotate_every: Option<u32>,
+    /// Which adversary strategy drives targeting and channel rates.
+    /// [`AdversaryKind::Static`] is the paper's fixed flood and leaves the
+    /// model byte-identical to the pre-strategy implementation.
+    pub strategy: AdversaryKind,
 }
 
 impl AttackConfig {
@@ -139,6 +145,7 @@ impl SimConfig {
                 attacked: tenth,
                 x_per_round: x,
                 rotate_every: None,
+                strategy: AdversaryKind::Static,
             }),
             ..Self::baseline(protocol, n)
         }
@@ -154,9 +161,24 @@ impl SimConfig {
                 attacked,
                 x_per_round: x,
                 rotate_every: None,
+                strategy: AdversaryKind::Static,
             }),
             ..Self::baseline(protocol, n)
         }
+    }
+
+    /// Sets the adversary strategy on an attack scenario (no-op when no
+    /// attack is configured).
+    pub fn with_adversary(mut self, kind: AdversaryKind) -> Self {
+        if let Some(a) = self.attack.as_mut() {
+            a.strategy = kind;
+        }
+        self
+    }
+
+    /// The configured adversary strategy (static when unattacked).
+    pub fn adversary(&self) -> AdversaryKind {
+        self.attack.map(|a| a.strategy).unwrap_or_default()
     }
 
     /// Number of correct processes (`n − crashed − malicious`).
@@ -342,6 +364,7 @@ mod tests {
             attacked: 0,
             x_per_round: 10.0,
             rotate_every: None,
+            strategy: AdversaryKind::Static,
         });
         assert_eq!(cfg.validate(), Err(SimConfigError::EmptyAttack));
 
@@ -350,6 +373,7 @@ mod tests {
             attacked: 500,
             x_per_round: 10.0,
             rotate_every: None,
+            strategy: AdversaryKind::Static,
         });
         assert_eq!(cfg.validate(), Err(SimConfigError::BadPopulation));
     }

@@ -10,6 +10,8 @@
 //!
 //! * [`model`] — the per-round protocol dynamics (push, pull, bounds,
 //!   random-port ablation);
+//! * [`adversary`] — pluggable attack strategies (static flood,
+//!   target-chasing, eclipse, pull-abuse, replay);
 //! * [`sampling`] — hypergeometric acceptance and view sampling;
 //! * [`runner`] — parallel, deterministic multi-trial execution;
 //! * [`experiments`] — canned sweeps matching Figures 2–8 and 12–14.
@@ -35,12 +37,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod config;
 pub mod experiments;
 pub mod model;
 pub mod runner;
 pub mod sampling;
 
+pub use adversary::{AdversaryKind, AdversaryStrategy};
 pub use config::{AttackConfig, Role, SimConfig, SimConfigError};
 pub use model::SimState;
 pub use runner::{run_experiment, run_trial, run_trial_traced, ExperimentResult, TrialOutcome};

@@ -23,6 +23,7 @@ use rand::rngs::SmallRng;
 use drum_core::BitSet;
 use drum_trace::{trace_event, Timestamp, Tracer};
 
+use crate::adversary::{AdversaryStrategy, TargetView};
 use crate::config::{Role, SimConfig};
 use crate::sampling::{
     accepted_valid, any_interesting, binomial, randomized_round, sample_targets, sample_targets_any,
@@ -54,6 +55,13 @@ pub struct SimState {
     /// Incrementally maintained `attacked_with_m`; rebuilt on target
     /// rotation, bumped at delivery time otherwise.
     n_attacked_with_m: usize,
+    /// The adversary strategy driving targeting; consulted at the top of
+    /// every round. [`crate::adversary::StaticFlood`] for unattacked runs.
+    strategy: Box<dyn AdversaryStrategy>,
+    /// Per-target per-round channel rates `(push, pull)` chosen by the
+    /// strategy. Constant for a trial's lifetime, so computed once.
+    adv_x_push: f64,
+    adv_x_pull: f64,
 
     // Scratch buffers, reused across rounds.
     push_valid: Vec<u32>,
@@ -86,6 +94,8 @@ impl SimState {
         let n_correct_with_m =
             usize::from(matches!(roles[0], Role::AttackedCorrect | Role::Correct));
         let n_attacked_with_m = usize::from(attacked_flags[0]);
+        let strategy = cfg.adversary().strategy();
+        let (adv_x_push, adv_x_pull) = strategy.rates(&cfg);
         SimState {
             cfg,
             has_m,
@@ -96,6 +106,9 @@ impl SimState {
             correct_idx,
             n_correct_with_m,
             n_attacked_with_m,
+            strategy,
+            adv_x_push,
+            adv_x_pull,
             push_valid: vec![0; n],
             push_with_m: vec![0; n],
             pull_requests: vec![Vec::new(); n],
@@ -128,7 +141,8 @@ impl SimState {
             crashed = self.cfg.crashed,
             attacked = self.cfg.attacked(),
             x_per_round = self.cfg.attack.map_or(0.0, |a| a.x_per_round),
-            random_ports = self.cfg.random_ports
+            random_ports = self.cfg.random_ports,
+            adversary = self.strategy.name()
         );
     }
 
@@ -163,20 +177,27 @@ impl SimState {
     /// nothing after the first call.
     fn rotate_targets(&mut self, rng: &mut SmallRng) {
         let k = self.cfg.attacked();
+        let mut picked = core::mem::take(&mut self.rotation_picks);
+        sample_targets_any(self.correct_idx.len(), k, rng, &mut picked);
+        self.apply_targets(&picked);
+        self.rotation_picks = picked;
+    }
+
+    /// Replaces the attacked set with `picked` (indices into
+    /// `correct_idx`) and rebuilds the incremental attacked-with-`M`
+    /// counter.
+    fn apply_targets(&mut self, picked: &[usize]) {
         for flag in &mut self.attacked_flags {
             *flag = false;
         }
-        let mut picked = core::mem::take(&mut self.rotation_picks);
-        sample_targets_any(self.correct_idx.len(), k, rng, &mut picked);
         self.n_attacked_with_m = 0;
-        for &idx in &picked {
+        for &idx in picked {
             let target = self.correct_idx[idx];
             self.attacked_flags[target] = true;
             if self.has_m.get(target) {
                 self.n_attacked_with_m += 1;
             }
         }
-        self.rotation_picks = picked;
     }
 
     /// Number of correct processes currently holding `M`.
@@ -230,6 +251,36 @@ impl SimState {
             }
         }
 
+        // Adaptive-strategy targeting. `StaticFlood` (the paper's model and
+        // the default) always declines, drawing nothing from the RNG, so
+        // static scenarios keep their pre-strategy random stream.
+        if self.cfg.attack.is_some() {
+            let k = self.cfg.attacked();
+            let mut picked = core::mem::take(&mut self.rotation_picks);
+            let changed = self.strategy.retarget(
+                &TargetView {
+                    round: self.round,
+                    k,
+                    correct: &self.correct_idx,
+                    has_m: &self.has_m,
+                },
+                rng,
+                &mut picked,
+            );
+            if changed {
+                self.apply_targets(&picked);
+                trace_event!(
+                    self.tracer,
+                    "sim",
+                    "attack.retarget",
+                    Timestamp::Round(u64::from(self.round)),
+                    strategy = self.strategy.name(),
+                    targets = picked.len()
+                );
+            }
+            self.rotation_picks = picked;
+        }
+
         self.new_m.clear_all();
 
         // Fabricated-message totals injected this round (attack tracing).
@@ -259,7 +310,7 @@ impl SimState {
                 self.targets = targets;
             }
             let f_in_push = self.cfg.view_push();
-            let x_push = self.cfg.x_push();
+            let x_push = self.adv_x_push;
             for t in 0..n {
                 if !self.is_correct(t) || self.has_m.get(t) {
                     continue;
@@ -306,9 +357,9 @@ impl SimState {
             // In the no-random-ports variant the pull attack budget is split
             // evenly between the request port and the reply port (§9).
             let (x_req, x_reply) = if self.cfg.random_ports {
-                (self.cfg.x_pull(), 0.0)
+                (self.adv_x_pull, 0.0)
             } else {
-                (self.cfg.x_pull() / 2.0, self.cfg.x_pull() / 2.0)
+                (self.adv_x_pull / 2.0, self.adv_x_pull / 2.0)
             };
 
             for t in 0..n {
@@ -662,6 +713,96 @@ mod tests {
         assert!(
             rotating < static_attack + 3.0,
             "rotation should not help the adversary: static {static_attack:.1} vs rotating {rotating:.1}"
+        );
+    }
+
+    #[test]
+    fn eclipse_attacks_only_the_source() {
+        use crate::adversary::AdversaryKind;
+        let cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 60, 64.0)
+            .with_adversary(AdversaryKind::Eclipse);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut state = SimState::new(cfg);
+        for _ in 0..5 {
+            state.step(&mut rng);
+            let attacked: Vec<usize> = (0..60).filter(|&i| state.is_attacked(i)).collect();
+            assert_eq!(attacked, vec![0], "eclipse must pin the source alone");
+        }
+    }
+
+    #[test]
+    fn chasing_adversary_tracks_the_frontier() {
+        use crate::adversary::AdversaryKind;
+        let cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 60, 64.0)
+            .with_adversary(AdversaryKind::TargetChasing { every: 1 });
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut state = SimState::new(cfg.clone());
+        // Early rounds: far more than 6 processes lack M, so every chased
+        // target must be one of them. Targets are re-drawn at the top of
+        // the round, so check against the *pre-step* frontier.
+        for _ in 0..3 {
+            let frontier: Vec<usize> = (0..60)
+                .filter(|&i| state.is_correct(i) && !state.has_m(i))
+                .collect();
+            assert!(frontier.len() > 6);
+            state.step(&mut rng);
+            let targets: Vec<usize> = (0..60).filter(|&i| state.is_attacked(i)).collect();
+            assert_eq!(targets.len(), 6, "target count must be preserved");
+            for &t in &targets {
+                assert!(
+                    frontier.contains(&t),
+                    "chased target {t} already held M at round start"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_adversaries_do_not_break_drum_bounds() {
+        use crate::adversary::AdversaryKind;
+        // The tentpole claim (extension beyond the paper): none of the
+        // adaptive strategies slows Drum catastrophically relative to the
+        // paper's static flood at the same total budget.
+        let mean = |kind: AdversaryKind| {
+            drum_testkit::mean_over_seeds(0..8, |seed| {
+                let cfg =
+                    SimConfig::paper_attack(ProtocolVariant::Drum, 120, 128.0).with_adversary(kind);
+                run(cfg, seed, 400).1 as f64
+            })
+        };
+        let static_rounds = mean(AdversaryKind::Static);
+        for kind in [
+            AdversaryKind::TargetChasing { every: 1 },
+            AdversaryKind::Eclipse,
+            AdversaryKind::PullAbuse,
+            AdversaryKind::Replay,
+        ] {
+            let adaptive = mean(kind);
+            assert!(
+                adaptive < static_rounds * 2.0 + 5.0,
+                "{} broke Drum's bound: {adaptive:.1} rounds vs static {static_rounds:.1}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pull_abuse_hurts_pull_more_than_drum() {
+        use crate::adversary::AdversaryKind;
+        // Where the bound story differs by protocol: the all-pull budget
+        // lands on Pull's only channel but just one of Drum's two.
+        let mean = |proto| {
+            drum_testkit::mean_over_seeds(0..8, |seed| {
+                let cfg = SimConfig::paper_attack(proto, 120, 128.0)
+                    .with_adversary(AdversaryKind::PullAbuse);
+                run(cfg, seed, 400).1 as f64
+            })
+        };
+        let drum = mean(ProtocolVariant::Drum);
+        let pull = mean(ProtocolVariant::Pull);
+        assert!(
+            pull > drum * 1.5,
+            "pull-abuse should hurt Pull ({pull:.1}) more than Drum ({drum:.1})"
         );
     }
 

@@ -146,6 +146,49 @@ fn prop_worker_count_never_changes_results() {
     );
 }
 
+/// Every adversary strategy is as deterministic as the static flood:
+/// retargeting decisions are pure functions of the trial RNG and round
+/// state, so a fixed seed must give byte-identical results no matter how
+/// many pool workers interleave the trials. This is what makes the
+/// `DRUM_ADVERSARY` CI matrix rows meaningful — a strategy whose results
+/// depended on scheduling would turn those jobs into noise.
+#[test]
+fn adversary_strategies_deterministic_across_worker_counts() {
+    use drum_sim::AdversaryKind;
+
+    // Honor the CI matrix knob: under DRUM_ADVERSARY=<kind> pin that
+    // strategy on every scenario too, so the env rows exercise it here.
+    let env_kind = AdversaryKind::from_env();
+    for kind in AdversaryKind::ALL {
+        let cfgs: Vec<SimConfig> = [
+            SimConfig::paper_attack(ProtocolVariant::Drum, 80, 128.0),
+            SimConfig::paper_attack(ProtocolVariant::Push, 80, 64.0),
+            SimConfig::paper_attack(ProtocolVariant::Pull, 80, 64.0),
+        ]
+        .into_iter()
+        .map(|cfg| {
+            let mut cfg = cfg.with_adversary(env_kind.unwrap_or(kind));
+            // Adaptive floods against Pull can be slow to converge; the
+            // determinism contract does not need full propagation.
+            cfg.max_rounds = 150;
+            cfg
+        })
+        .collect();
+        let trials = 12;
+        let oracle = run_many_on(&Pool::new(1), &cfgs, trials, 20040628, 8);
+        for threads in [3, 7] {
+            let got = run_many_on(&Pool::new(threads), &cfgs, trials, 20040628, 8);
+            for (cfg_i, (a, b)) in oracle.iter().zip(&got).enumerate() {
+                assert_bitwise_eq(
+                    a,
+                    b,
+                    &format!("adversary={} threads={threads} cfg={cfg_i}", kind.name()),
+                );
+            }
+        }
+    }
+}
+
 /// The regression dynamic scheduling was built for: on a realistic
 /// attacked sweep mix, per-point static chunking strands most workers
 /// behind the straggler chunk, while dynamic self-scheduling (modeled as

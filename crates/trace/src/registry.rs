@@ -55,6 +55,14 @@ pub mod names {
     /// Sharded runtime: ready-socket dispatches (token → engine drain)
     /// performed by shard event loops.
     pub const SHARD_DISPATCH: &str = "net.shard_dispatch";
+    /// Full HMAC verifications paid on received data messages. Under an
+    /// identical-fan-in flood this stays near the number of *unique*
+    /// `(source, seq, tag)` triples per round while `messages_received`
+    /// counts every copy — the gap is the batched-verification win.
+    pub const MAC_FULL_VERIFIES: &str = "crypto.mac_full_verifies";
+    /// Verdicts served from the round-scoped batch-verification cache
+    /// instead of recomputing the HMAC (see `drum_crypto::batch`).
+    pub const MAC_BATCH_HITS: &str = "crypto.mac_batch_hits";
     /// Jobs executed to completion by a `drum_pool::Pool`.
     pub const POOL_JOBS: &str = "pool.jobs";
     /// Pool jobs run by a thread other than their batch's submitter —

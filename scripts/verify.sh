@@ -37,6 +37,20 @@ phase_begin "cargo test -q --offline"
 cargo test -q --offline
 phase_end "test"
 
+# One adaptive-adversary scenario end to end (the eclipse strategy against
+# Drum, §17) and the batched-authentication bench with its exact
+# machine-independent gate — cheap enough to keep on the quick path.
+phase_begin "adaptive-adversary + batched-auth smoke"
+cargo run --release --offline -q -p drum-lab -- simulate \
+    --protocol drum --n 80 --adversary eclipse --x 64 --trials 20
+# --out to a throwaway path: the default would overwrite the checked-in
+# full-mode BENCH_hotpath.json with a one-bench quick run.
+BENCH_OUT="$(mktemp)"
+cargo run --release --offline -q -p drum-bench --bin hotpath -- \
+    --quick --only mac_verify_flood_512 --out "$BENCH_OUT"
+rm -f "$BENCH_OUT"
+phase_end "smoke"
+
 if [ "$QUICK" -eq 1 ]; then
     echo "==> verify --quick: all green (total $((SECONDS))s)"
     exit 0
