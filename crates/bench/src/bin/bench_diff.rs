@@ -34,6 +34,8 @@ const EXACT_UNITS: &[&str] = &[
     "verifies/dgram",
     "rounds",
     "idle/job",
+    "split",
+    "merge-ops",
 ];
 
 /// Slack for decimal round-tripping of the stored f64s; exact metrics

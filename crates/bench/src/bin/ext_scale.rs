@@ -1,0 +1,10 @@
+//! Extension experiment (beyond the paper): million-member simulated
+//! groups on the sharded intra-trial stepper.
+//!
+//! Thin wrapper over [`drum_bench::figures::ext_scale`]; `drum-lab figures`
+//! regenerates every figure in one process instead.
+
+fn main() {
+    let mut out = std::io::stdout().lock();
+    drum_bench::figures::ext_scale(&mut out).expect("write ext_scale to stdout");
+}

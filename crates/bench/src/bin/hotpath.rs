@@ -68,6 +68,15 @@
 //! wall-clock cannot resolve a scheduling win that the modeled metrics
 //! measure exactly.
 //!
+//! The sharded intra-trial stepper (DESIGN.md §18) gets the same
+//! treatment at its design scale of n = 10^6: `sim_round_sharded_1m`
+//! reports the serial-vs-sharded wall clock per round ungated (it tracks
+//! the host core count) and hard-asserts zero heap allocations per
+//! warmed-up round via this binary's counting global allocator, while
+//! `sim_shard_balance_1m` and `sim_merge_ops_1m` gate the modeled
+//! per-shard work split and the shard-count-dependent serial merge ops —
+//! pure functions of `(n, auto_shards(n))`, exact on every machine.
+//!
 //! Emits `BENCH_hotpath.json` (override with `--out PATH`) and exits
 //! non-zero when a speedup falls below its floor unless `--no-gate` is
 //! given. Ratios of two in-process measurements are stable across machines
@@ -86,10 +95,55 @@ use drum_crypto::keys::KeyStore;
 use drum_metrics::json::Json;
 use drum_pool::{schedule, Pool};
 use drum_sim::config::{Role, SimConfig};
-use drum_sim::model::SimState;
-use drum_sim::runner::{chunk_size, run_many_on, run_trial};
+use drum_sim::model::{shard_range, SimState};
+use drum_sim::runner::{auto_shards, chunk_size, run_many_on, run_trial};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Counting global allocator backing the sharded stepper's
+/// zero-allocation-per-round assertion. Every heap operation that obtains
+/// memory bumps one relaxed atomic; the per-op cost is a nanosecond-scale
+/// constant on both arms of every timed comparison, so the ratios the
+/// gates consume are unaffected.
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Heap acquisitions (alloc/alloc_zeroed/realloc) since process start.
+    pub fn total() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    pub struct Counting;
+
+    // SAFETY: defers every operation to `System` unchanged; the counter
+    // itself never allocates.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+    }
+}
+
+#[global_allocator]
+static COUNTING_ALLOC: alloc_count::Counting = alloc_count::Counting;
 
 /// The seed revision's crypto hot path, frozen verbatim so the baseline
 /// numbers keep coming from the code that actually shipped in the seed:
@@ -892,6 +946,130 @@ fn bench_sweep_schedule(quick: bool) -> Vec<Comparison> {
     ]
 }
 
+/// Members in the sharded-stepper scenario: the tentpole scale, two
+/// orders of magnitude past the paper's n = 1000 simulations.
+const SIM_1M: usize = 1_000_000;
+
+/// The million-member flood scenario (the `ext_scale` figure's heaviest
+/// point): Drum, alpha = 0.1, x = 72 — the Figure 7 setting.
+fn sim_1m_cfg() -> SimConfig {
+    SimConfig::attack_alpha(ProtocolVariant::Drum, SIM_1M, 0.1, 72.0)
+}
+
+/// Modeled shard/merge metrics of one sharded round at n = 10^6 — pure
+/// functions of `(n, auto_shards(n))`, so they are the same exact
+/// constants in --quick and full mode and on every machine (bench_diff
+/// compares them across runs).
+///
+/// * `sim_shard_balance_1m` — sender work per shard is proportional to
+///   its contiguous range, so the split efficiency is
+///   `n / (shards * max_range)`: 1.0 means no shard waits on a longer
+///   neighbour. `shard_range` differs by at most one process, so the
+///   gate pins near-perfect balance.
+/// * `sim_merge_ops_1m` — the serial merge word-ops per round that grow
+///   with the shard count: OR-ing each shard's `new_m` fragment
+///   (`shards * ceil(n/64)` word ops) plus the per-shard fake-counter
+///   sums. Gated against a budget of one op per member per round: the
+///   floor proves the `auto_shards` cap keeps the shard-count-dependent
+///   serial section at O(n/4) word ops, so adding shards can't push the
+///   merge toward an O(n)-per-shard rescan. (The CSR pull-request merge
+///   is shard-count-independent — O(requests) total regardless of the
+///   split — so it belongs to the wall-clock comparison, not this gate.)
+fn bench_sim_sharded_model() -> Vec<Comparison> {
+    let shards = auto_shards(SIM_1M);
+    let max_range = (0..shards)
+        .map(|s| {
+            let (lo, hi) = shard_range(SIM_1M, shards, s);
+            hi - lo
+        })
+        .max()
+        .expect("at least one shard");
+    let merge_ops = shards * SIM_1M.div_ceil(64) + 2 * shards;
+
+    vec![
+        Comparison {
+            name: "sim_shard_balance_1m",
+            seed_per_op: SIM_1M as f64,
+            current_per_op: (shards * max_range) as f64,
+            floor: 0.99,
+            unit: "split",
+        },
+        Comparison {
+            name: "sim_merge_ops_1m",
+            seed_per_op: SIM_1M as f64,
+            current_per_op: merge_ops as f64,
+            floor: 2.0,
+            unit: "merge-ops",
+        },
+    ]
+}
+
+/// One million-member round: serial stepper vs sharded stepper, plus the
+/// zero-allocation assertion.
+///
+/// The wall-clock ratio is reported ungated (floor 0): it tracks the host
+/// core count, which CI runners don't guarantee. The allocation check is
+/// the hard gate — measured on a 1-thread pool, whose inline `Pool::run`
+/// path allocates nothing itself, so the counter sees exactly the
+/// stepper's own behaviour: after the first round has sized the
+/// grow-once scratch, a round at n = 10^6 must perform ZERO heap
+/// allocations. (On a multi-thread pool the only per-round allocations
+/// are the pool's own batch handles — O(1) per `Pool::run`, not O(n).)
+fn bench_sim_round_sharded_1m(quick: bool) -> Comparison {
+    let cfg = sim_1m_cfg();
+    let shards = auto_shards(SIM_1M);
+    let rounds = if quick { 2u32 } else { 4 };
+
+    // Serial arm: the seed stepper at the same scale.
+    let serial_per_round = {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut state = SimState::new(cfg.clone());
+        state.step(&mut rng); // size the serial scratch
+        let start = Instant::now();
+        for _ in 0..rounds {
+            state.step(&mut rng);
+        }
+        start.elapsed().as_secs_f64() * 1e9 / f64::from(rounds)
+    };
+
+    // Sharded arm on the global pool: the headline wall-clock number.
+    let sharded_per_round = {
+        let pool = Pool::global();
+        let mut state = SimState::new(cfg.clone());
+        state.step_sharded(11, shards, pool);
+        let start = Instant::now();
+        for r in 0..rounds {
+            state.step_sharded(11 + u64::from(r), shards, pool);
+        }
+        start.elapsed().as_secs_f64() * 1e9 / f64::from(rounds)
+    };
+
+    // Allocation gate on the inline pool.
+    {
+        let pool = Pool::new(1);
+        let mut state = SimState::new(cfg);
+        state.step_sharded(11, shards, &pool);
+        let before = alloc_count::total();
+        state.step_sharded(12, shards, &pool);
+        state.step_sharded(13, shards, &pool);
+        let allocs = alloc_count::total() - before;
+        println!("  sim_round_sharded_1m: {allocs} heap allocations across 2 warmed-up rounds");
+        assert_eq!(
+            allocs, 0,
+            "sharded stepper allocated {allocs} times in warmed-up rounds; \
+             per-round scratch must be grow-once"
+        );
+    }
+
+    Comparison {
+        name: "sim_round_sharded_1m",
+        seed_per_op: serial_per_round,
+        current_per_op: sharded_per_round,
+        floor: 0.0,
+        unit: "ns/round",
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -928,6 +1106,19 @@ fn main() {
     }
     if want("sim_round_n1000_attacked") {
         results.push(bench_sim_round(samples));
+    }
+    if ["sim_shard_balance_1m", "sim_merge_ops_1m"]
+        .iter()
+        .any(|n| want(n))
+    {
+        results.extend(
+            bench_sim_sharded_model()
+                .into_iter()
+                .filter(|c| want(c.name)),
+        );
+    }
+    if want("sim_round_sharded_1m") {
+        results.push(bench_sim_round_sharded_1m(quick));
     }
     if want("mac_verify_flood_512") {
         results.push(bench_mac_verify_flood(samples));

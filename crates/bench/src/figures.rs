@@ -23,7 +23,7 @@ use drum_metrics::table::Table;
 use drum_net::experiment::{paper_cluster_config, propagation_experiment, throughput_experiment};
 use drum_sim::config::SimConfig;
 use drum_sim::experiments::{
-    cdf_curve, cdf_curves, fig12a_random_ports, fig2a_scalability, fig2b_crashes,
+    cdf_curve, cdf_curves, ext_scale_sweep, fig12a_random_ports, fig2a_scalability, fig2b_crashes,
     fig3a_attack_strength, fig3b_attack_extent, fixed_strength_sweep,
 };
 use drum_sim::runner::run_experiment;
@@ -54,6 +54,7 @@ pub const FIGURES: &[(&str, FigureFn)] = &[
     ("fig13", fig13),
     ("fig14", fig14),
     ("ext_fanout", ext_fanout),
+    ("ext_scale", ext_scale),
     ("ext_rotation", ext_rotation),
     ("ext_cluster", ext_cluster),
     ("ext_adversary", ext_adversary),
@@ -832,6 +833,63 @@ pub fn ext_fanout(w: &mut dyn Write) -> io::Result<()> {
         "finding: higher F speeds everything up (log base grows), but only Drum's\n\
          *shape* is attack-independent at every F; Push/Pull remain linear in x\n\
          no matter how much fan-out they are given."
+    )
+}
+
+/// Extension experiment: million-member simulated groups.
+///
+/// The paper's simulations stop at n = 1000. The sharded intra-trial
+/// stepper (struct-of-arrays state, counter-derived per-sender RNG
+/// streams, deterministic shard merge) runs single trials at n = 10⁶,
+/// so the O(log n) propagation claim — and its robustness to the
+/// Figure 7 flood — can be checked two orders of magnitude further out.
+/// Trial counts shrink with n; every point is byte-identical for any
+/// `DRUM_POOL_THREADS` / `DRUM_SIM_SHARDS` setting.
+pub fn ext_scale(w: &mut dyn Write) -> io::Result<()> {
+    banner_to(
+        w,
+        "Extension: million-member groups",
+        "rounds to 99% vs n, with and without the Figure 7 flood (sharded stepper)",
+    )?;
+    // (n, trials) pairs: larger groups tighten their own confidence
+    // (each trial averages over n members), so fewer trials suffice.
+    let points: Vec<(usize, usize)> = scaled3(
+        vec![(1_000, 4), (10_000, 2)],
+        vec![(10_000, 24), (100_000, 8), (1_000_000, 3)],
+        vec![(10_000, 100), (100_000, 24), (1_000_000, 8)],
+    );
+    let (alpha, x) = (0.1, 72.0);
+    writeln!(
+        w,
+        "Drum only; flood column is the Figure 7 setting alpha = {alpha}, x = {x}\n\
+         (both columns keep the paper's 10% malicious non-cooperators)\n"
+    )?;
+    let rows = ext_scale_sweep(&points, alpha, x, SEED);
+    let mut table = Table::new(vec![
+        "n".into(),
+        "trials".into(),
+        "no attack".into(),
+        "flood x=72".into(),
+        "delta".into(),
+    ]);
+    for (row, &(_, trials)) in rows.iter().zip(&points) {
+        let base = row.results[0].mean_rounds();
+        let flood = row.results[1].mean_rounds();
+        table.row(vec![
+            format!("{}", row.x as usize),
+            trials.to_string(),
+            format!("{base:.1}"),
+            format!("{flood:.1}"),
+            format!("{:+.1}", flood - base),
+        ]);
+    }
+    writeln!(w, "{table}")?;
+    writeln!(
+        w,
+        "finding: rounds-to-99% grows like log n — each 10x in n adds a near-\n\
+         constant number of rounds — and the flood's toll stays a small additive\n\
+         delta at every scale: Drum's per-round bounds do not erode as the group\n\
+         (and with it the adversary's 10% slice) grows a hundredfold."
     )
 }
 

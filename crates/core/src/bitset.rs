@@ -67,6 +67,60 @@ impl BitSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// ORs `other` into `self`, word by word — the shard-merge primitive:
+    /// per-shard `new_m` fragments are combined into the round's delivery
+    /// set with `len/64` word operations instead of a per-bit loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets address different bit counts.
+    pub fn or_with(&mut self, other: &BitSet) {
+        assert_eq!(
+            self.len, other.len,
+            "or_with requires equal lengths ({} vs {})",
+            self.len, other.len
+        );
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Number of set bits with index in `lo..hi`, via masked popcounts on
+    /// the boundary words and whole-word popcounts in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > len`.
+    pub fn count_range(&self, lo: usize, hi: usize) -> usize {
+        assert!(
+            lo <= hi && hi <= self.len,
+            "range {lo}..{hi} out of 0..{}",
+            self.len
+        );
+        if lo == hi {
+            return 0;
+        }
+        let (first, last) = (lo / 64, (hi - 1) / 64);
+        // Mask of bits >= lo%64 in the first word, bits <= (hi-1)%64 in
+        // the last.
+        let lo_mask = !0u64 << (lo % 64);
+        let hi_mask = !0u64 >> (63 - (hi - 1) % 64);
+        if first == last {
+            return (self.words[first] & lo_mask & hi_mask).count_ones() as usize;
+        }
+        let mut total = (self.words[first] & lo_mask).count_ones() as usize;
+        for w in &self.words[first + 1..last] {
+            total += w.count_ones() as usize;
+        }
+        total + (self.words[last] & hi_mask).count_ones() as usize
+    }
+
+    /// The packed backing words, 64 bits per word, least-significant bit
+    /// first; bits at `len` and above are always clear.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterates the set bits in ascending index order, skipping clear
     /// words wholesale (`trailing_zeros` within each word).
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
@@ -170,5 +224,103 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_get_panics() {
         BitSet::new(64).get(64);
+    }
+
+    #[test]
+    fn or_with_unions_across_word_boundaries() {
+        let mut a = BitSet::new(200);
+        let mut b = BitSet::new(200);
+        for i in [0, 63, 64, 199] {
+            a.set(i);
+        }
+        for i in [1, 63, 128, 199] {
+            b.set(i);
+        }
+        a.or_with(&b);
+        assert_eq!(
+            a.iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 63, 64, 128, 199]
+        );
+        // `b` is untouched.
+        assert_eq!(b.count_ones(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn or_with_rejects_length_mismatch() {
+        BitSet::new(64).or_with(&BitSet::new(65));
+    }
+
+    #[test]
+    fn count_range_boundary_cases() {
+        let mut b = BitSet::new(300);
+        for i in [0, 1, 63, 64, 65, 127, 128, 191, 192, 299] {
+            b.set(i);
+        }
+        assert_eq!(b.count_range(0, 300), b.count_ones());
+        assert_eq!(b.count_range(0, 0), 0);
+        assert_eq!(b.count_range(150, 150), 0);
+        assert_eq!(b.count_range(0, 1), 1);
+        assert_eq!(b.count_range(1, 63), 1);
+        assert_eq!(b.count_range(63, 65), 2);
+        assert_eq!(b.count_range(64, 192), 5);
+        assert_eq!(b.count_range(299, 300), 1);
+        // Sub-word range entirely inside one word.
+        assert_eq!(b.count_range(65, 66), 1);
+        assert_eq!(b.count_range(66, 127), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 0..")]
+    fn count_range_rejects_out_of_bounds() {
+        BitSet::new(100).count_range(50, 101);
+    }
+
+    #[test]
+    fn words_exposes_packed_layout() {
+        let mut b = BitSet::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert_eq!(b.words(), &[1u64, 1u64, 2u64]);
+    }
+
+    #[test]
+    fn prop_or_and_count_range_match_naive_loops() {
+        // Property test against the naive per-bit reference: random pairs
+        // of sets, random ranges.
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(2004);
+        for _ in 0..60 {
+            let len = rng.random_range(1usize..500);
+            let mut a = BitSet::new(len);
+            let mut b = BitSet::new(len);
+            let mut ra = vec![false; len];
+            let mut rb = vec![false; len];
+            for _ in 0..len / 2 {
+                let i = rng.random_range(0..len);
+                a.set(i);
+                ra[i] = true;
+                let j = rng.random_range(0..len);
+                b.set(j);
+                rb[j] = true;
+            }
+            // count_range vs naive filter-count on ten random ranges.
+            for _ in 0..10 {
+                let lo = rng.random_range(0..=len);
+                let hi = rng.random_range(lo..=len);
+                assert_eq!(
+                    a.count_range(lo, hi),
+                    (lo..hi).filter(|&i| ra[i]).count(),
+                    "len={len} range={lo}..{hi}"
+                );
+            }
+            // or_with vs naive per-bit union.
+            a.or_with(&b);
+            for i in 0..len {
+                assert_eq!(a.get(i), ra[i] || rb[i], "len={len} bit {i}");
+            }
+        }
     }
 }

@@ -124,22 +124,26 @@ pub struct TargetView<'a> {
     pub round: u32,
     /// Configured attacked-set size `attacked` (the budget in targets).
     pub k: usize,
-    /// Indices of correct processes (fixed for the trial).
-    pub correct: &'a [usize],
+    /// Number of correct processes. Under the fixed role layout the
+    /// correct processes are exactly ids `0..n_correct` (fixed for the
+    /// trial), so a count replaces the old 8-bytes-per-member index list —
+    /// part of the struct-of-arrays shrink that lets n = 10^6 trials stay
+    /// cache-resident.
+    pub n_correct: usize,
     /// Which processes currently hold `M`, indexed by process id.
     pub has_m: &'a BitSet,
 }
 
 /// A pluggable adversary. One instance lives per trial inside `SimState`.
-pub trait AdversaryStrategy: core::fmt::Debug + Send {
+pub trait AdversaryStrategy: core::fmt::Debug + Send + Sync {
     /// Stable strategy name (mirrors [`AdversaryKind::name`]).
     fn name(&self) -> &'static str;
 
     /// Called at the top of every round. Returning `true` replaces the
-    /// attacked set with the *indices into `view.correct`* written to
-    /// `out`; returning `false` leaves targets unchanged (and must leave
-    /// `out` untouched semantics-wise — the model ignores it). All
-    /// randomness must come from `rng`, drawn in a fixed order.
+    /// attacked set with the *correct process ids* (in `0..view.n_correct`)
+    /// written to `out`; returning `false` leaves targets unchanged (and
+    /// must leave `out` untouched semantics-wise — the model ignores it).
+    /// All randomness must come from `rng`, drawn in a fixed order.
     fn retarget(&mut self, view: &TargetView<'_>, rng: &mut SmallRng, out: &mut Vec<usize>)
         -> bool;
 
@@ -188,12 +192,12 @@ impl AdversaryStrategy for TargetChasing {
         if self.every == 0 || !view.round.is_multiple_of(self.every) {
             return false;
         }
-        // Partition the correct indices: without-M first. Both sides keep
+        // Partition the correct ids: without-M first. Both sides keep
         // their ascending order so the RNG-consuming sample below is the
         // only nondeterminism.
         out.clear();
-        let without: Vec<usize> = (0..view.correct.len())
-            .filter(|&ci| !view.has_m.get(view.correct[ci]))
+        let without: Vec<usize> = (0..view.n_correct)
+            .filter(|&ci| !view.has_m.get(ci))
             .collect();
         if without.len() >= view.k {
             // Uniform k-subset of the frontier.
@@ -203,10 +207,10 @@ impl AdversaryStrategy for TargetChasing {
         } else {
             // Chase everything uninfected, fill the rest from the holders.
             out.extend(without.iter().copied());
-            let holders: Vec<usize> = (0..view.correct.len())
-                .filter(|&ci| view.has_m.get(view.correct[ci]))
+            let holders: Vec<usize> = (0..view.n_correct)
+                .filter(|&ci| view.has_m.get(ci))
                 .collect();
-            let need = view.k.min(view.correct.len()) - out.len();
+            let need = view.k.min(view.n_correct) - out.len();
             let mut picks = Vec::new();
             sample_targets_any(holders.len(), need, rng, &mut picks);
             out.extend(picks.into_iter().map(|p| holders[p]));
@@ -323,12 +327,11 @@ mod tests {
         // 12 attacked × x/2 per channel → 768 per channel on the one victim.
         assert_eq!(s.rates(&cfg), (768.0, 768.0));
         let mut rng = SmallRng::seed_from_u64(1);
-        let correct: Vec<usize> = (0..108).collect();
         let has_m = BitSet::new(120);
         let view = TargetView {
             round: 1,
             k: 12,
-            correct: &correct,
+            n_correct: 108,
             has_m: &has_m,
         };
         let mut out = Vec::new();
@@ -349,7 +352,6 @@ mod tests {
     fn chase_prefers_uninfected_targets() {
         let mut s = AdversaryKind::TargetChasing { every: 1 }.strategy();
         let mut rng = SmallRng::seed_from_u64(7);
-        let correct: Vec<usize> = (0..20).collect();
         let mut has_m = BitSet::new(20);
         // 17 of 20 already hold M; only 3 are frontier.
         for i in 0..17 {
@@ -358,7 +360,7 @@ mod tests {
         let view = TargetView {
             round: 1,
             k: 5,
-            correct: &correct,
+            n_correct: 20,
             has_m: &has_m,
         };
         let mut out = Vec::new();
@@ -374,14 +376,13 @@ mod tests {
     fn chase_cadence_is_respected() {
         let mut s = AdversaryKind::TargetChasing { every: 3 }.strategy();
         let mut rng = SmallRng::seed_from_u64(7);
-        let correct: Vec<usize> = (0..10).collect();
         let has_m = BitSet::new(10);
         let mut out = Vec::new();
         for round in 1..=6 {
             let view = TargetView {
                 round,
                 k: 2,
-                correct: &correct,
+                n_correct: 10,
                 has_m: &has_m,
             };
             let fired = s.retarget(&view, &mut rng, &mut out);

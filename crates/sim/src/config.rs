@@ -186,6 +186,18 @@ impl SimConfig {
         self.n - self.crashed - self.malicious
     }
 
+    /// `count` as a fraction of the correct population, with the
+    /// all-crashed/all-malicious degenerate case pinned to `0.0` instead of
+    /// letting a `0/0 = NaN` propagate into experiment tables.
+    pub fn fraction_of_correct(&self, count: usize) -> f64 {
+        let correct = self.correct();
+        if correct == 0 {
+            0.0
+        } else {
+            count as f64 / correct as f64
+        }
+    }
+
     /// Number of attacked correct processes.
     pub fn attacked(&self) -> usize {
         self.attack.map(|a| a.attacked).unwrap_or(0)

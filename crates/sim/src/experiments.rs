@@ -197,6 +197,32 @@ pub fn fixed_strength_sweep(
     run_sweep(&points, trials, seed, 0)
 }
 
+/// Extension: Drum propagation time at very large `n`, with and without
+/// a flood of fixed per-victim strength (the Figure 7 setting α = 0.1,
+/// `x` fabricated messages per attacked process per round).
+///
+/// Unlike the paper figures, the trial count shrinks as `n` grows — one
+/// 10⁶-member trial costs ~100× a 10⁴ one — so each entry of `points` is
+/// an `(n, trials)` pair evaluated as its own flat job set. Returns rows
+/// with `x = n` and `results = [no-attack baseline, flood]`; the
+/// baseline keeps the paper's 10% malicious non-cooperators so the two
+/// columns differ only in fabricated traffic.
+pub fn ext_scale_sweep(points: &[(usize, usize)], alpha: f64, x: f64, seed: u64) -> Vec<SweepRow> {
+    points
+        .iter()
+        .map(|&(n, trials)| {
+            let configs = vec![
+                attack_baseline(ProtocolVariant::Drum, n),
+                SimConfig::attack_alpha(ProtocolVariant::Drum, n, alpha, x),
+            ];
+            SweepRow {
+                x: n as f64,
+                results: run_many(&configs, trials, seed, 0),
+            }
+        })
+        .collect()
+}
+
 /// Figure 12(a): Drum with and without random ports, vs. attack rate `x`.
 /// Returns rows whose `results` hold `[with_random_ports, without]`.
 pub fn fig12a_random_ports(n: usize, xs: &[f64], trials: usize, seed: u64) -> Vec<SweepRow> {
@@ -319,6 +345,22 @@ mod tests {
             spread > focused,
             "spread attack ({spread}) should hurt Drum more than focused ({focused})"
         );
+    }
+
+    #[test]
+    fn ext_scale_rows_track_points_and_grow_with_n() {
+        let rows = ext_scale_sweep(&[(40, TRIALS), (160, TRIALS / 2)], 0.1, 72.0, 7);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.results.len(), 2, "baseline + flood at n={}", row.x);
+            for r in &row.results {
+                assert_eq!(r.failures, 0, "n={} failed to disseminate", row.x);
+            }
+            // The flood can only slow Drum down, never speed it up by much.
+            assert!(row.results[1].mean_rounds() >= row.results[0].mean_rounds() - 1.0);
+        }
+        // Rounds-to-99% grows with n (log-n growth at full scale).
+        assert!(rows[1].results[0].mean_rounds() > rows[0].results[0].mean_rounds() - 0.5);
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub mod sampling;
 pub use adversary::{AdversaryKind, AdversaryStrategy};
 pub use config::{AttackConfig, Role, SimConfig, SimConfigError};
 pub use model::SimState;
-pub use runner::{run_experiment, run_trial, run_trial_traced, ExperimentResult, TrialOutcome};
+pub use runner::{
+    auto_shards, run_experiment, run_trial, run_trial_traced, run_trial_traced_mode,
+    ExperimentResult, StepMode, TrialOutcome,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -36,6 +36,51 @@ use drum_pool::Pool;
 use crate::config::SimConfig;
 use crate::model::SimState;
 
+/// Which stepper a trial runs on.
+///
+/// The two steppers draw from different (both deterministic) random
+/// streams, so they produce statistically equivalent but not bitwise-equal
+/// trials. Within `Sharded`, results are byte-identical for **any** shard
+/// count and any `DRUM_POOL_THREADS` — the stream is keyed per process,
+/// never per shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepMode {
+    /// The seed serial stepper: one RNG stream, one thread. The oracle
+    /// implementation, selected by `DRUM_SIM_SHARDS=1`.
+    Serial,
+    /// The intra-trial parallel stepper ([`SimState::step_sharded`]).
+    Sharded {
+        /// Number of contiguous process-range shards per round.
+        shards: usize,
+    },
+}
+
+/// Default shard count for an `n`-member trial: one shard per 64 Ki
+/// members, capped at 16. A pure function of `n` (never of the machine),
+/// so default-mode results are reproducible everywhere; small trials get
+/// one shard and skip the merge machinery entirely.
+pub fn auto_shards(n: usize) -> usize {
+    n.div_ceil(65_536).clamp(1, 16)
+}
+
+impl StepMode {
+    /// Resolves the stepper for an `n`-member trial from `DRUM_SIM_SHARDS`:
+    /// `1` selects the serial oracle, an explicit `k >= 2` forces `k`
+    /// shards, and unset/`0`/garbage selects [`auto_shards`].
+    pub fn for_n(n: usize) -> StepMode {
+        match std::env::var("DRUM_SIM_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(1) => StepMode::Serial,
+            Some(k) if k >= 2 => StepMode::Sharded { shards: k },
+            _ => StepMode::Sharded {
+                shards: auto_shards(n),
+            },
+        }
+    }
+}
+
 /// Outcome of a single simulated trial.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrialOutcome {
@@ -57,7 +102,9 @@ pub struct TrialOutcome {
 }
 
 /// Runs one trial of `cfg` with the given `seed`, recording per-round
-/// fractions for the first `cdf_rounds` rounds.
+/// fractions for the first `cdf_rounds` rounds, on the stepper selected
+/// by [`StepMode::for_n`] (sharded by default, serial under
+/// `DRUM_SIM_SHARDS=1`).
 pub fn run_trial(cfg: &SimConfig, seed: u64, cdf_rounds: usize) -> TrialOutcome {
     run_trial_traced(cfg, seed, cdf_rounds, drum_trace::Tracer::disabled())
 }
@@ -73,9 +120,40 @@ pub fn run_trial_traced(
     cdf_rounds: usize,
     tracer: drum_trace::Tracer,
 ) -> TrialOutcome {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    run_trial_traced_mode(cfg, seed, cdf_rounds, tracer, StepMode::for_n(cfg.n))
+}
+
+/// Like [`run_trial_traced`], with an explicit stepper choice — the hook
+/// the golden-trace fixtures use to pin the serial oracle and the sharded
+/// stepper independently of the `DRUM_SIM_SHARDS` environment.
+pub fn run_trial_traced_mode(
+    cfg: &SimConfig,
+    seed: u64,
+    cdf_rounds: usize,
+    tracer: drum_trace::Tracer,
+    mode: StepMode,
+) -> TrialOutcome {
     let mut state = SimState::new(cfg.clone());
     state.set_tracer(tracer);
+    run_trial_in(&mut state, seed, cdf_rounds, mode, Pool::global())
+}
+
+/// Trial driver over a caller-owned [`SimState`] — the state's scratch
+/// (and, for [`StepMode::Sharded`], its per-shard partials) is reused
+/// across calls via [`SimState::reset`], so a sweep's worth of trials
+/// allocates its working set once.
+fn run_trial_in(
+    state: &mut SimState,
+    seed: u64,
+    cdf_rounds: usize,
+    mode: StepMode,
+    pool: &Pool,
+) -> TrialOutcome {
+    let cfg = state.config().clone();
+    // Only the serial stepper draws from the trial-wide stream; the
+    // sharded stepper derives per-(round, phase, process) streams from the
+    // seed itself.
+    let mut rng = SmallRng::seed_from_u64(seed);
     let threshold = cfg.threshold;
 
     let n_attacked = cfg.attacked();
@@ -102,13 +180,16 @@ pub fn run_trial_traced(
     };
 
     for round in 1..=cfg.max_rounds {
-        state.step(&mut rng);
+        match mode {
+            StepMode::Serial => state.step(&mut rng),
+            StepMode::Sharded { shards } => state.step_sharded(seed, shards, pool),
+        }
         outcome.rounds_executed = round;
         let with_m = state.correct_with_m();
         if (round as usize) <= cdf_rounds {
             outcome
                 .fraction_per_round
-                .push(with_m as f64 / n_correct as f64);
+                .push(cfg.fraction_of_correct(with_m));
         }
         if outcome.rounds_to_threshold.is_none() && with_m >= need_total {
             outcome.rounds_to_threshold = Some(round);
@@ -134,7 +215,7 @@ pub fn run_trial_traced(
         .fraction_per_round
         .last()
         .copied()
-        .unwrap_or(state.correct_with_m() as f64 / n_correct as f64);
+        .unwrap_or_else(|| cfg.fraction_of_correct(state.correct_with_m()));
     while outcome.fraction_per_round.len() < cdf_rounds {
         outcome
             .fraction_per_round
@@ -217,11 +298,29 @@ pub fn run_many_on(
     let chunks_per_cfg = trials.div_ceil(chunk);
     let partials: Vec<Partial> = pool.map(cfgs.len() * chunks_per_cfg, |job| {
         let cfg = &cfgs[job / chunks_per_cfg];
+        let mode = StepMode::for_n(cfg.n);
         let lo = (job % chunks_per_cfg) * chunk;
         let hi = (lo + chunk).min(trials);
         let mut part = Partial::new(cdf_rounds);
+        // One SimState per chunk, rewound between trials so scratch
+        // capacity (tallies, bitsets, per-shard partials) is reused —
+        // [`SimState::reset`] pins this to fresh-state equivalence.
+        let mut state: Option<SimState> = None;
         for i in lo..hi {
-            part.absorb(&run_trial(cfg, base_seed + i as u64, cdf_rounds));
+            let state = match &mut state {
+                Some(s) => {
+                    s.reset();
+                    s
+                }
+                None => state.insert(SimState::new(cfg.clone())),
+            };
+            part.absorb(&run_trial_in(
+                state,
+                base_seed + i as u64,
+                cdf_rounds,
+                mode,
+                pool,
+            ));
         }
         part
     });
@@ -461,6 +560,33 @@ mod tests {
     fn zero_trials_rejected() {
         let cfg = SimConfig::baseline(ProtocolVariant::Drum, 50);
         run_experiment(&cfg, 0, 0, 5);
+    }
+
+    #[test]
+    fn auto_shards_is_a_pure_function_of_n() {
+        assert_eq!(auto_shards(1), 1);
+        assert_eq!(auto_shards(120), 1);
+        assert_eq!(auto_shards(65_536), 1);
+        assert_eq!(auto_shards(65_537), 2);
+        assert_eq!(auto_shards(1_000_000), 16);
+        assert_eq!(auto_shards(100_000_000), 16);
+    }
+
+    #[test]
+    fn explicit_modes_are_deterministic_and_shard_count_independent() {
+        let cfg = SimConfig::paper_attack(ProtocolVariant::Drum, 130, 64.0);
+        let t = |mode| run_trial_traced_mode(&cfg, 17, 12, drum_trace::Tracer::disabled(), mode);
+        assert_eq!(t(StepMode::Serial), t(StepMode::Serial));
+        let sharded = t(StepMode::Sharded { shards: 1 });
+        assert_eq!(sharded, t(StepMode::Sharded { shards: 1 }));
+        // The shard count never shows through the outcome.
+        for shards in [2, 5, 16] {
+            assert_eq!(sharded, t(StepMode::Sharded { shards }));
+        }
+        // Both steppers converge on this easy scenario (different streams,
+        // same distribution).
+        assert!(t(StepMode::Serial).rounds_to_threshold.is_some());
+        assert!(sharded.rounds_to_threshold.is_some());
     }
 
     #[test]

@@ -51,6 +51,16 @@ cargo run --release --offline -q -p drum-bench --bin hotpath -- \
 rm -f "$BENCH_OUT"
 phase_end "smoke"
 
+# The sharded-stepper scale figure end to end at Smoke sizing: exercises
+# the intra-trial shard/merge path plus the figure plumbing without the
+# full figure sweep (which stays on the non-quick path below).
+phase_begin "drum-lab figures --only ext_scale (smoke)"
+SCALE_OUT="$(mktemp -d)"
+cargo run --release --offline -q -p drum-lab -- figures \
+    --quick --only ext_scale --out "$SCALE_OUT"
+rm -rf "$SCALE_OUT"
+phase_end "ext_scale"
+
 if [ "$QUICK" -eq 1 ]; then
     echo "==> verify --quick: all green (total $((SECONDS))s)"
     exit 0
