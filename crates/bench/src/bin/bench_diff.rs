@@ -36,6 +36,8 @@ const EXACT_UNITS: &[&str] = &[
     "idle/job",
     "split",
     "merge-ops",
+    "dgrams/msg",
+    "hmacs/msg",
 ];
 
 /// Slack for decimal round-tripping of the stored f64s; exact metrics

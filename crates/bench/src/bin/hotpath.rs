@@ -68,6 +68,17 @@
 //! wall-clock cannot resolve a scheduling win that the modeled metrics
 //! measure exactly.
 //!
+//! The sustained-throughput work (DESIGN.md §19) adds three gates in the
+//! same exact-count style: `frame_pack_fanout` (datagrams per data
+//! message, seed = one datagram each vs MTU-packed frames) and
+//! `mac_per_msg_stream` (HMACs per data message on receive, seed = one
+//! verify each vs one frame tag per frame) are pure functions of the
+//! message sizes and `FRAME_BUDGET`, gated at ≥8× for a 64-message
+//! burst; `buffer_purge_steady` reports the flat-map vs age-bucketed
+//! ring wall clock ungated while hard-asserting that a warmed-up
+//! steady-state buffer round performs zero heap allocations and that
+//! the `max_age = 0` purge does no iteration work.
+//!
 //! The sharded intra-trial stepper (DESIGN.md §18) gets the same
 //! treatment at its design scale of n = 10^6: `sim_round_sharded_1m`
 //! reports the serial-vs-sharded wall clock per round ungated (it tracks
@@ -98,7 +109,7 @@ use drum_sim::config::{Role, SimConfig};
 use drum_sim::model::{shard_range, SimState};
 use drum_sim::runner::{auto_shards, chunk_size, run_many_on, run_trial};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Counting global allocator backing the sharded stepper's
 /// zero-allocation-per-round assertion. Every heap operation that obtains
@@ -810,6 +821,278 @@ fn bench_mac_verify_flood(_samples: usize) -> Comparison {
     }
 }
 
+/// Data-plane messages in flight to one partner in the frame benches —
+/// the ISSUE's sustained-stream regime. Fixed so the modeled pack and
+/// HMAC ratios are exact constants on every machine.
+const STREAM_MSGS: usize = 64;
+
+/// Builds the 64-messages-in-flight stream: one `PushData` per data
+/// message (the unpacked path's wire shape), 32-byte payloads, all bound
+/// for the same partner.
+fn stream_outs(key: &drum_crypto::keys::SecretKey) -> Vec<GossipMessage> {
+    (0..STREAM_MSGS as u64)
+        .map(|seq| GossipMessage::PushData {
+            from: ProcessId(1),
+            messages: vec![DataMessage::sign_new(
+                key,
+                MessageId::new(ProcessId(1), seq),
+                Bytes::from(vec![0x5Au8; 32]),
+            )],
+        })
+        .collect()
+}
+
+/// MTU packing and per-message authentication under a 64-message burst to
+/// one partner — the sustained multi-message hot path (DESIGN.md §19).
+///
+/// * `frame_pack_fanout` — datagrams per data-plane message: seed = one
+///   datagram per message (the unpacked wire path, preserved in-tree
+///   behind `DRUM_NET_NO_PACK=1`); current = greedy MTU fill through the
+///   real [`drum_net::FrameBuilder`]. Exact: the frame count is a pure
+///   function of the message sizes and `FRAME_BUDGET`.
+/// * `mac_per_msg_stream` — HMAC computations per data message on the
+///   receive path: seed = one verify per message; current = one frame-tag
+///   verify per frame (the inner messages ride pre-verified behind it),
+///   counted by the `BatchVerifier`'s own `full_verifies`, like
+///   `mac_verify_flood_512`. Both arms accept every message — the
+///   pack-equivalence test pins that — so the comparison is purely
+///   HMACs/message: exact, machine-independent, and gated.
+fn bench_frame_stream(_samples: usize) -> Vec<Comparison> {
+    use drum_crypto::batch::BatchVerifier;
+    use drum_net::codec::{decode_frame, frame_signed_body, FrameBuilder, MAX_WIRE_LEN};
+
+    let store = KeyStore::new(7);
+    let key = store.register(1);
+    let auth_key = key.hmac_key();
+    let outs = stream_outs(&key);
+
+    // Current wire: greedy MTU fill, one signed frame per flush.
+    let mut builder = FrameBuilder::new();
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+    let mut wire = BytesMut::with_capacity(MAX_WIRE_LEN);
+    let mut packed = 0usize;
+    let flush =
+        |builder: &mut FrameBuilder, wire: &mut BytesMut, frames: &mut Vec<Vec<u8>>| -> usize {
+            let nonce = frames.len() as u64;
+            let n = builder.finish_into(
+                ProcessId(1),
+                nonce,
+                |body| auth::sign_frame_with(&auth_key, 1, nonce, body),
+                wire,
+            );
+            frames.push(wire[..].to_vec());
+            n
+        };
+    for msg in &outs {
+        if !builder.push(msg) {
+            packed += flush(&mut builder, &mut wire, &mut frames);
+            assert!(
+                builder.push(msg),
+                "an empty builder must accept any data message"
+            );
+        }
+    }
+    packed += flush(&mut builder, &mut wire, &mut frames);
+    assert_eq!(packed, STREAM_MSGS, "every message must be framed");
+
+    // Receive path: one frame-tag verify per frame via the round-scoped
+    // BatchVerifier; the inner data messages skip per-message MACs.
+    let mut bv = BatchVerifier::new();
+    bv.begin_round();
+    let mut inner = 0usize;
+    for f in &frames {
+        let frame = decode_frame(f).expect("self-built frame");
+        let body = frame_signed_body(f).expect("framed datagram");
+        bv.verify_frame(&store, 1, frame.nonce, body, &frame.auth)
+            .expect("authentic frame");
+        inner += frame.messages.len();
+    }
+    assert_eq!(inner, STREAM_MSGS, "frames must carry every message");
+    let frame_hmacs = bv.full_verifies();
+
+    // Seed arm: one datagram and one per-message HMAC per data message.
+    let mut seed_hmacs = 0u64;
+    for (seq, msg) in outs.iter().enumerate() {
+        let GossipMessage::PushData { messages, .. } = msg else {
+            unreachable!("stream_outs builds PushData only")
+        };
+        for m in messages {
+            auth::verify(&store, 1, seq as u64, &m.payload, &m.auth).expect("authentic message");
+            seed_hmacs += 1;
+        }
+    }
+
+    vec![
+        Comparison {
+            name: "frame_pack_fanout",
+            seed_per_op: outs.len() as f64 / STREAM_MSGS as f64,
+            current_per_op: frames.len() as f64 / STREAM_MSGS as f64,
+            floor: 8.0,
+            unit: "dgrams/msg",
+        },
+        Comparison {
+            name: "mac_per_msg_stream",
+            seed_per_op: seed_hmacs as f64 / STREAM_MSGS as f64,
+            current_per_op: frame_hmacs as f64 / STREAM_MSGS as f64,
+            floor: 8.0,
+            unit: "hmacs/msg",
+        },
+    ]
+}
+
+/// Steady-state buffer-round parameters: arrivals per round, retention
+/// age (§8.2's 10 rounds), seen window, and per-partner selection cap
+/// (§8.2's 80). Fixed so both arms do identical protocol work.
+const BUF_PER_ROUND: usize = 64;
+const BUF_MAX_AGE: u64 = 10;
+const BUF_SEEN_WINDOW: u64 = 40;
+const BUF_SELECT: usize = 80;
+
+/// One steady-state buffer round — insert the round's arrivals, purge,
+/// age the survivors, select a partner's missing set — the seed layout vs
+/// the age-bucketed ring (DESIGN.md §19).
+///
+/// The seed arm is the seed revision's layout, frozen in structure: a
+/// flat `HashMap` store whose purge is a full `retain` scan over every
+/// buffered message and whose selection allocates a fresh result vector
+/// per partner. The wall-clock ratio is reported ungated (floor 0) — it
+/// tracks the host allocator and hash throughput — while the hard gates
+/// are exact: a warmed-up ring round must perform ZERO heap allocations
+/// (this binary's counting allocator; recycled buckets, reused index
+/// capacity, reused selection scratch), and the `max_age = 0` path must
+/// do no purge iteration work at all.
+fn bench_buffer_purge(_samples: usize) -> Comparison {
+    use drum_core::buffer::MessageBuffer;
+    use drum_core::ids::Round;
+    use std::collections::HashMap;
+
+    const WARM: u64 = 60; // past the seen window: the ring is steady
+    const MEASURED: u64 = 40;
+    let total = WARM + MEASURED + 2;
+
+    // Unique pre-built messages: payload allocation happens here, outside
+    // the measured rounds; inserting a clone only bumps a refcount.
+    let msgs: Vec<DataMessage> = (0..total * BUF_PER_ROUND as u64)
+        .map(|seq| DataMessage {
+            id: MessageId::new(ProcessId(1), seq),
+            hops: 0,
+            payload: Bytes::from(vec![0x5Au8; 32]),
+            auth: auth::AuthTag::zero(),
+        })
+        .collect();
+    let round_msgs = |r: u64| &msgs[(r as usize * BUF_PER_ROUND)..(r as usize + 1) * BUF_PER_ROUND];
+    let their = Digest::new();
+
+    // Seed arm: flat map, full-scan purge, fresh selection vector.
+    let seed_per_op = {
+        let mut map: HashMap<MessageId, (u64, DataMessage)> = HashMap::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let run_round =
+            |map: &mut HashMap<MessageId, (u64, DataMessage)>, rng: &mut SmallRng, r: u64| {
+                for m in round_msgs(r) {
+                    map.insert(m.id, (r, m.clone()));
+                }
+                map.retain(|_, (inserted, _)| r.saturating_sub(*inserted) < BUF_MAX_AGE);
+                for (_, m) in map.values_mut() {
+                    m.hops = m.hops.saturating_add(1);
+                }
+                // The same reservoir selection the ring performs, into a
+                // fresh vector (the seed's per-partner allocation).
+                let mut out: Vec<DataMessage> = Vec::new();
+                let mut candidates = 0usize;
+                for (_, m) in map.values() {
+                    if their.contains(m.id) {
+                        continue;
+                    }
+                    if candidates < BUF_SELECT {
+                        out.push(m.clone());
+                    } else {
+                        let j = rng.random_range(0..=candidates);
+                        if j < BUF_SELECT {
+                            out[j] = m.clone();
+                        }
+                    }
+                    candidates += 1;
+                }
+                std::hint::black_box(out.len());
+            };
+        for r in 0..WARM {
+            run_round(&mut map, &mut rng, r);
+        }
+        let start = Instant::now();
+        for r in WARM..WARM + MEASURED {
+            run_round(&mut map, &mut rng, r);
+        }
+        start.elapsed().as_secs_f64() * 1e9 / MEASURED as f64
+    };
+
+    // Current arm: the age-bucketed ring with a windowed seen digest.
+    let current_per_op = {
+        let mut buf = MessageBuffer::with_seen_window(BUF_MAX_AGE, BUF_SEEN_WINDOW);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut scratch: Vec<DataMessage> = Vec::new();
+        let run_round = |buf: &mut MessageBuffer,
+                         rng: &mut SmallRng,
+                         scratch: &mut Vec<DataMessage>,
+                         r: u64| {
+            for m in round_msgs(r) {
+                buf.insert(m.clone(), Round(r));
+            }
+            buf.purge(Round(r));
+            buf.increment_hops();
+            buf.select_missing_into(&their, BUF_SELECT, rng, scratch);
+            std::hint::black_box(scratch.len());
+        };
+        for r in 0..WARM {
+            run_round(&mut buf, &mut rng, &mut scratch, r);
+        }
+
+        // Hard gate: a warmed-up steady-state round allocates nothing.
+        let before = alloc_count::total();
+        for r in WARM..WARM + 2 {
+            run_round(&mut buf, &mut rng, &mut scratch, r);
+        }
+        let allocs = alloc_count::total() - before;
+        println!("  buffer_purge_steady: {allocs} heap allocations across 2 warmed-up rounds");
+        assert_eq!(
+            allocs, 0,
+            "steady-state buffer round allocated {allocs} times; \
+             ring buckets, index and selection scratch must be grow-once"
+        );
+
+        let start = Instant::now();
+        for r in WARM + 2..WARM + 2 + MEASURED {
+            run_round(&mut buf, &mut rng, &mut scratch, r);
+        }
+        start.elapsed().as_secs_f64() * 1e9 / MEASURED as f64
+    };
+
+    // The max_age = 0 ("never purge") fast path must early-return, not
+    // scan-and-keep: zero messages visited no matter the buffer size.
+    {
+        let mut never = MessageBuffer::new(0);
+        for (i, m) in msgs.iter().take(1_000).enumerate() {
+            never.insert(m.clone(), Round(i as u64));
+        }
+        for r in 0..64u64 {
+            assert_eq!(never.purge(Round(1_000_000 + r)), 0);
+        }
+        assert_eq!(
+            never.purge_work(),
+            0,
+            "max_age = 0 purge did iteration work"
+        );
+    }
+
+    Comparison {
+        name: "buffer_purge_steady",
+        seed_per_op,
+        current_per_op,
+        floor: 0.0,
+        unit: "ns/round",
+    }
+}
+
 /// Workers for the sweep-scheduling comparison. Fixed (not
 /// `available_parallelism`) so the modeled spans are identical on every
 /// machine.
@@ -1122,6 +1405,19 @@ fn main() {
     }
     if want("mac_verify_flood_512") {
         results.push(bench_mac_verify_flood(samples));
+    }
+    if ["frame_pack_fanout", "mac_per_msg_stream"]
+        .iter()
+        .any(|n| want(n))
+    {
+        results.extend(
+            bench_frame_stream(samples)
+                .into_iter()
+                .filter(|c| want(c.name)),
+        );
+    }
+    if want("buffer_purge_steady") {
+        results.push(bench_buffer_purge(samples));
     }
     if ["sweep_span_8w", "sweep_idle_per_job_8w", "sweep_wall_clock"]
         .iter()

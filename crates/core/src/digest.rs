@@ -79,6 +79,43 @@ impl Digest {
             .unwrap_or(false)
     }
 
+    /// Removes one id. Returns `true` if it was present.
+    ///
+    /// Removal from the middle of an interval splits it in two, so a digest
+    /// under point removals stays canonical (sorted, disjoint, non-adjacent)
+    /// and round-trips through [`Digest::from_intervals`] unchanged. This is
+    /// what lets a round-windowed "seen" set evict expired ids without
+    /// rebuilding the whole digest.
+    pub fn remove(&mut self, id: MessageId) -> bool {
+        let Some(intervals) = self.ranges.get_mut(&id.source) else {
+            return false;
+        };
+        let seq = id.seq;
+        let pos = intervals.partition_point(|&(lo, _)| lo <= seq);
+        if pos == 0 {
+            return false;
+        }
+        let (lo, hi) = intervals[pos - 1];
+        if seq < lo || seq > hi {
+            return false;
+        }
+        match (seq == lo, seq == hi) {
+            (true, true) => {
+                intervals.remove(pos - 1);
+            }
+            (true, false) => intervals[pos - 1].0 = seq + 1,
+            (false, true) => intervals[pos - 1].1 = seq - 1,
+            (false, false) => {
+                intervals[pos - 1].1 = seq - 1;
+                intervals.insert(pos, (seq + 1, hi));
+            }
+        }
+        if intervals.is_empty() {
+            self.ranges.remove(&id.source);
+        }
+        true
+    }
+
     /// Total number of ids in the digest.
     pub fn len(&self) -> usize {
         self.ranges
@@ -338,6 +375,44 @@ mod tests {
             hi: 3,
         };
         assert!(e.to_string().contains("p1"));
+    }
+
+    #[test]
+    fn remove_shrinks_splits_and_drops_intervals() {
+        let mut d: Digest = [id(1, 0), id(1, 1), id(1, 2), id(1, 3), id(2, 7)]
+            .into_iter()
+            .collect();
+        // Absent ids are a no-op.
+        assert!(!d.remove(id(1, 9)));
+        assert!(!d.remove(id(3, 0)));
+        // Middle removal splits one interval into two.
+        assert!(d.remove(id(1, 2)));
+        assert!(!d.contains(id(1, 2)));
+        assert_eq!(d.interval_count(), 3);
+        // Edge removals shrink.
+        assert!(d.remove(id(1, 0)));
+        assert!(d.remove(id(1, 3)));
+        assert!(d.contains(id(1, 1)));
+        // Singleton removal drops the source entirely.
+        assert!(d.remove(id(2, 7)));
+        assert!(!d.sources().any(|s| s == ProcessId(2)));
+        assert!(d.remove(id(1, 1)));
+        assert!(d.is_empty());
+        // Removal never leaves non-canonical intervals behind: round-trip.
+        let mut d2: Digest = (0..10).map(|q| id(1, q)).collect();
+        d2.remove(id(1, 4));
+        let raw: Vec<(ProcessId, Vec<(u64, u64)>)> =
+            d2.intervals().map(|(s, v)| (s, v.to_vec())).collect();
+        assert_eq!(Digest::from_intervals(raw).unwrap(), d2);
+    }
+
+    #[test]
+    fn remove_then_insert_round_trips() {
+        let mut d: Digest = (0..8).map(|q| id(1, q)).collect();
+        assert!(d.remove(id(1, 3)));
+        assert!(d.insert(id(1, 3)));
+        assert_eq!(d.interval_count(), 1);
+        assert_eq!(d.len(), 8);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
 
+use drum_crypto::auth::{AuthError, AuthTag};
 use drum_crypto::batch::BatchVerifier;
 use drum_crypto::hmac::HmacKey;
 use drum_crypto::keys::{KeyStore, SecretKey};
@@ -161,6 +162,9 @@ pub struct Engine {
     offered_to: HashSet<ProcessId>,
     /// Newly delivered messages awaiting collection by the application.
     delivered: Vec<DataMessage>,
+    /// Reusable scratch for pull/push reply selection; grows once to
+    /// `max_msgs_per_exchange` and is then recycled every exchange.
+    scratch: Vec<DataMessage>,
     /// Per-round statistics.
     stats: RoundStats,
     /// Monotonic seal-nonce counter.
@@ -224,6 +228,7 @@ impl Engine {
             rng: SmallRng::seed_from_u64(seed),
             offered_to: HashSet::new(),
             delivered: Vec::new(),
+            scratch: Vec::new(),
             stats: RoundStats::default(),
             nonce: 0,
             fixed_pull_reply_port: crate::WELL_KNOWN_PULL_REPLY_PORT,
@@ -359,6 +364,52 @@ impl Engine {
         (self.round.as_u64() << 20) | (self.nonce & 0xFFFFF)
     }
 
+    /// Allocates a nonce for an outbound gossip frame. Frames share the
+    /// sealed-port nonce counter, so every authenticated artifact this
+    /// process emits in a round carries a distinct nonce.
+    pub fn frame_nonce(&mut self) -> u64 {
+        self.next_nonce()
+    }
+
+    /// Signs a frame body with this process's own key in the frame HMAC
+    /// domain (see `drum_crypto::auth::sign_frame_with`). The transport
+    /// calls this once per packed datagram, amortizing authentication
+    /// across every data message inside.
+    pub fn sign_frame(&self, nonce: u64, body: &[u8]) -> AuthTag {
+        drum_crypto::auth::sign_frame_with(&self.my_auth_key, self.me().as_u64(), nonce, body)
+    }
+
+    /// Verifies a received frame's tag against `from`'s registered key.
+    ///
+    /// On the batched path the verdict is cached per round and per
+    /// `(sender, nonce, tag)` in the frame domain, so identical flood
+    /// fan-in of a captured frame pays one HMAC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AuthError`] for unknown senders and forged tags;
+    /// callers must drop the whole frame on any error.
+    pub fn verify_frame(
+        &mut self,
+        from: ProcessId,
+        nonce: u64,
+        body: &[u8],
+        tag: &AuthTag,
+    ) -> Result<(), AuthError> {
+        match self.verify_cache.as_mut() {
+            Some(cache) => {
+                let verdict = cache.verify_frame(&self.key_store, from.as_u64(), nonce, body, tag);
+                let (full, hits) = cache.take_counters();
+                self.c_mac_full.add(full);
+                self.c_mac_hits.add(hits);
+                verdict
+            }
+            None => {
+                drum_crypto::auth::verify_frame(&self.key_store, from.as_u64(), nonce, body, tag)
+            }
+        }
+    }
+
     /// Seals `port` for `to` if random ports are enabled (and the peer key
     /// is known); otherwise returns a plaintext port reference.
     fn port_ref_for(&mut self, to: ProcessId, port: u16) -> (PortRef, u64) {
@@ -483,6 +534,31 @@ impl Engine {
         oracle: &mut O,
         out: &mut Vec<Outbound>,
     ) {
+        self.dispatch(incoming, oracle, out, false);
+    }
+
+    /// Like [`Engine::handle_into`], but for messages unpacked from an
+    /// already-authenticated gossip frame: per-message source MACs are
+    /// skipped because a valid frame tag proves an honest member built the
+    /// frame, and honest members only pack messages they already verified
+    /// on receipt (or signed themselves). Budgets, de-duplication,
+    /// statistics and delivery are identical to the normal path.
+    pub fn handle_into_preverified<O: PortOracle>(
+        &mut self,
+        incoming: GossipMessage,
+        oracle: &mut O,
+        out: &mut Vec<Outbound>,
+    ) {
+        self.dispatch(incoming, oracle, out, true);
+    }
+
+    fn dispatch<O: PortOracle>(
+        &mut self,
+        incoming: GossipMessage,
+        oracle: &mut O,
+        out: &mut Vec<Outbound>,
+        pre_verified: bool,
+    ) {
         let kind = incoming.kind();
         let channel = Channel::for_kind(kind);
         if !self.budget.try_accept(channel) {
@@ -523,17 +599,18 @@ impl Engine {
                 let Some(port) = self.resolve_port(&reply_port) else {
                     return;
                 };
-                let messages = self.buffer.select_missing(
+                self.buffer.select_missing_into(
                     &digest,
                     self.config.max_msgs_per_exchange,
                     &mut self.rng,
+                    &mut self.scratch,
                 );
                 out.push(Outbound {
                     to: from,
                     port: SendPort::Port(port),
                     msg: GossipMessage::PullReply {
                         from: self.me(),
-                        messages,
+                        messages: self.scratch.clone(),
                     },
                 });
             }
@@ -583,12 +660,13 @@ impl Engine {
                 let Some(port) = self.resolve_port(&data_port) else {
                     return;
                 };
-                let messages = self.buffer.select_missing(
+                self.buffer.select_missing_into(
                     &digest,
                     self.config.max_msgs_per_exchange,
                     &mut self.rng,
+                    &mut self.scratch,
                 );
-                if messages.is_empty() {
+                if self.scratch.is_empty() {
                     return;
                 }
                 out.push(Outbound {
@@ -596,13 +674,13 @@ impl Engine {
                     port: SendPort::Port(port),
                     msg: GossipMessage::PushData {
                         from: self.me(),
-                        messages,
+                        messages: self.scratch.clone(),
                     },
                 });
             }
             GossipMessage::PullReply { messages, .. }
             | GossipMessage::PushData { messages, .. } => {
-                self.receive_data(messages);
+                self.receive_data(messages, pre_verified);
             }
         }
     }
@@ -615,18 +693,25 @@ impl Engine {
     /// Verdicts are applied in arrival order, so `RoundStats`, delivery
     /// order and trace events are byte-identical to the per-datagram
     /// fallback; only the HMAC count differs.
-    fn receive_data(&mut self, messages: Vec<DataMessage>) {
+    fn receive_data(&mut self, messages: Vec<DataMessage>, pre_verified: bool) {
         for msg in messages {
-            // Sanity checks (§4): source must authenticate.
-            let verdict = match self.verify_cache.as_mut() {
-                Some(cache) => cache.verify(
-                    &self.key_store,
-                    msg.id.source.as_u64(),
-                    msg.id.seq,
-                    &msg.payload,
-                    &msg.auth,
-                ),
-                None => msg.verify(&self.key_store),
+            // Sanity checks (§4): source must authenticate. Messages
+            // unpacked from an authenticated frame arrive pre-verified —
+            // the frame tag already vouches for them (MABS-style
+            // amortization), so no per-message HMAC runs.
+            let verdict = if pre_verified {
+                Ok(())
+            } else {
+                match self.verify_cache.as_mut() {
+                    Some(cache) => cache.verify(
+                        &self.key_store,
+                        msg.id.source.as_u64(),
+                        msg.id.seq,
+                        &msg.payload,
+                        &msg.auth,
+                    ),
+                    None => msg.verify(&self.key_store),
+                }
             };
             if verdict.is_err() {
                 self.stats.dropped_auth += 1;
@@ -1161,6 +1246,105 @@ mod tests {
         );
         assert_eq!(c_full.get(), 2);
         assert_eq!(c_hits.get(), 38);
+    }
+
+    #[test]
+    fn frame_sign_verify_round_trip_between_engines() {
+        let (mut engines, _) = setup(2, ProtocolVariant::Drum);
+        let mut oracle = CountingPortOracle::default();
+        engines[0].begin_round(&mut oracle);
+        engines[1].begin_round(&mut oracle);
+        let nonce = engines[0].frame_nonce();
+        let body = b"packed frame body";
+        let tag = engines[0].sign_frame(nonce, body);
+        assert!(engines[1]
+            .verify_frame(ProcessId(0), nonce, body, &tag)
+            .is_ok());
+        // Tampered body, wrong nonce and wrong sender all fail.
+        assert!(engines[1]
+            .verify_frame(ProcessId(0), nonce, b"tampered", &tag)
+            .is_err());
+        assert!(engines[1]
+            .verify_frame(ProcessId(0), nonce + 1, body, &tag)
+            .is_err());
+        assert!(engines[1]
+            .verify_frame(ProcessId(1), nonce, body, &tag)
+            .is_err());
+        // Both verification modes agree.
+        engines[1].set_batch_verify(false);
+        assert!(engines[1]
+            .verify_frame(ProcessId(0), nonce, body, &tag)
+            .is_ok());
+        assert!(engines[1]
+            .verify_frame(ProcessId(0), nonce, b"tampered", &tag)
+            .is_err());
+    }
+
+    #[test]
+    fn repeated_frame_fan_in_pays_one_hmac() {
+        let (mut engines, _) = setup(2, ProtocolVariant::Drum);
+        engines[1].set_batch_verify(true);
+        let mut oracle = CountingPortOracle::default();
+        engines[0].begin_round(&mut oracle);
+        engines[1].begin_round(&mut oracle);
+        let nonce = engines[0].frame_nonce();
+        let tag = engines[0].sign_frame(nonce, b"body");
+        for _ in 0..16 {
+            assert!(engines[1]
+                .verify_frame(ProcessId(0), nonce, b"body", &tag)
+                .is_ok());
+        }
+        let reg = engines[1].tracer().registry();
+        assert_eq!(reg.counter(names::MAC_FULL_VERIFIES).get(), 1);
+        assert_eq!(reg.counter(names::MAC_BATCH_HITS).get(), 15);
+    }
+
+    #[test]
+    fn preverified_data_skips_per_message_macs() {
+        let (mut engines, _) = setup(2, ProtocolVariant::Drum);
+        engines[1].set_batch_verify(true);
+        let id = engines[0].publish(Bytes::from_static(b"m"));
+        let real = engines[0].buffer().get(id).unwrap().clone();
+        let mut oracle = CountingPortOracle::default();
+        engines[1].begin_round(&mut oracle);
+        let mut out = Vec::new();
+        engines[1].handle_into_preverified(
+            GossipMessage::PushData {
+                from: ProcessId(0),
+                messages: vec![real; 8],
+            },
+            &mut oracle,
+            &mut out,
+        );
+        // Delivered once, zero per-message HMAC work.
+        assert_eq!(engines[1].stats().delivered, 1);
+        assert!(engines[1].buffer().seen(id));
+        let reg = engines[1].tracer().registry();
+        assert_eq!(reg.counter(names::MAC_FULL_VERIFIES).get(), 0);
+        assert_eq!(reg.counter(names::MAC_BATCH_HITS).get(), 0);
+    }
+
+    #[test]
+    fn preverified_data_still_pays_budget() {
+        let (mut engines, _) = setup(2, ProtocolVariant::Drum);
+        let id = engines[0].publish(Bytes::from_static(b"m"));
+        let real = engines[0].buffer().get(id).unwrap().clone();
+        let mut oracle = CountingPortOracle::default();
+        engines[1].begin_round(&mut oracle);
+        let mut out = Vec::new();
+        // Drum F=4: the push-data channel accepts max(F/2, 1) = 2.
+        for _ in 0..10 {
+            engines[1].handle_into_preverified(
+                GossipMessage::PushData {
+                    from: ProcessId(0),
+                    messages: vec![real.clone()],
+                },
+                &mut oracle,
+                &mut out,
+            );
+        }
+        assert_eq!(engines[1].stats().accepted_of(MessageKind::PushData), 2);
+        assert_eq!(engines[1].stats().dropped_of(MessageKind::PushData), 8);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod digest;
 pub mod engine;
 pub mod ids;
 pub mod message;
+pub mod stream;
 pub mod view;
 
 pub use bitset::BitSet;
@@ -78,6 +79,7 @@ pub use digest::{Digest, DigestError};
 pub use engine::{Engine, Outbound, PortOracle, PortPurpose, RoundStats, SendPort};
 pub use ids::{MessageId, ProcessId, Round};
 pub use message::{DataMessage, GossipMessage, MessageKind, PortRef};
+pub use stream::{StreamConfig, StreamScheduler, StreamStats};
 pub use view::{Membership, RoundViews};
 
 /// Default well-known port offset for pull-requests (relative to a

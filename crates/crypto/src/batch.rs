@@ -33,12 +33,22 @@
 
 use std::collections::HashMap;
 
-use crate::auth::{verify_with, AuthError, AuthTag, AUTH_TAG_LEN};
+use crate::auth::{verify_frame_with, verify_with, AuthError, AuthTag, AUTH_TAG_LEN};
 use crate::keys::KeyStore;
+
+/// Which HMAC domain a cached verdict was computed under. Message and frame
+/// tags are domain-separated on the wire (see [`crate::auth`]), so their
+/// verdicts must never answer for each other even when the visible
+/// `(source, seq, tag, payload)` quadruple coincides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Domain {
+    Message,
+    Frame,
+}
 
 /// Cache key: the wire-visible identity of a datagram's authentication
 /// claim. Everything an attacker can replay verbatim hashes to the same key.
-type TripleKey = (u64, u64, [u8; AUTH_TAG_LEN]);
+type TripleKey = (Domain, u64, u64, [u8; AUTH_TAG_LEN]);
 
 /// Verdicts recorded under one triple. The `Vec` disambiguates the
 /// (negligible, but handled) case of distinct payloads under one triple;
@@ -87,6 +97,38 @@ impl BatchVerifier {
         payload: &[u8],
         tag: &AuthTag,
     ) -> Result<(), AuthError> {
+        self.verify_in(Domain::Message, store, source, seq, payload, tag)
+    }
+
+    /// Verifies one *frame* tag (see [`crate::auth::verify_frame`]) with the
+    /// same round-scoped caching as [`verify`](Self::verify). A flooded
+    /// receiver replaying identical captured frames pays one HMAC per unique
+    /// frame per round, no matter how many data messages each frame carries.
+    ///
+    /// # Errors
+    ///
+    /// * [`AuthError::UnknownSource`] — `sender` has no key in `store`.
+    /// * [`AuthError::Forged`] — the tag does not match.
+    pub fn verify_frame(
+        &mut self,
+        store: &KeyStore,
+        sender: u64,
+        nonce: u64,
+        body: &[u8],
+        tag: &AuthTag,
+    ) -> Result<(), AuthError> {
+        self.verify_in(Domain::Frame, store, sender, nonce, body, tag)
+    }
+
+    fn verify_in(
+        &mut self,
+        domain: Domain,
+        store: &KeyStore,
+        source: u64,
+        seq: u64,
+        payload: &[u8],
+        tag: &AuthTag,
+    ) -> Result<(), AuthError> {
         // Cheapest reject first: an unregistered source is a hash probe,
         // not an HMAC. Checking it before the cache also keeps the cache
         // free of entries that a concurrent key-store change could stale.
@@ -95,7 +137,7 @@ impl BatchVerifier {
             Err(e) => return Err(AuthError::UnknownSource(e)),
         };
 
-        let triple = (source, seq, tag.0);
+        let triple = (domain, source, seq, tag.0);
         if let Some(entries) = self.cache.get(&triple) {
             for (seen_payload, verdict) in entries {
                 if seen_payload.as_slice() == payload {
@@ -105,7 +147,10 @@ impl BatchVerifier {
             }
         }
 
-        let verdict = verify_with(&key, source, seq, payload, tag);
+        let verdict = match domain {
+            Domain::Message => verify_with(&key, source, seq, payload, tag),
+            Domain::Frame => verify_frame_with(&key, source, seq, payload, tag),
+        };
         self.full_verifies += 1;
         self.cache
             .entry(triple)
@@ -232,6 +277,36 @@ mod tests {
         bv.verify(&store, 1, 0, b"m", &tag).unwrap();
         assert_eq!(bv.take_counters(), (1, 1));
         assert_eq!(bv.take_counters(), (0, 0));
+    }
+
+    #[test]
+    fn frame_verdicts_cache_per_domain() {
+        use crate::auth::sign_frame_with;
+        let (store, key) = store_with(1);
+        let schedule = key.hmac_key();
+        let frame_tag = sign_frame_with(&schedule, 1, 7, b"body");
+        let mut bv = BatchVerifier::new();
+        // Identical frame fan-in pays one HMAC.
+        for _ in 0..8 {
+            assert!(bv.verify_frame(&store, 1, 7, b"body", &frame_tag).is_ok());
+        }
+        assert_eq!(bv.full_verifies(), 1);
+        assert_eq!(bv.batch_hits(), 7);
+        // The same quadruple replayed into the *message* verifier must not
+        // inherit the frame verdict: it pays its own HMAC and is rejected.
+        assert_eq!(
+            bv.verify(&store, 1, 7, b"body", &frame_tag),
+            Err(AuthError::Forged)
+        );
+        assert_eq!(bv.full_verifies(), 2);
+        // Forged frames are rejected and the rejection is cached too.
+        for _ in 0..3 {
+            assert_eq!(
+                bv.verify_frame(&store, 1, 9, b"body", &AuthTag::zero()),
+                Err(AuthError::Forged)
+            );
+        }
+        assert_eq!(bv.full_verifies(), 3);
     }
 
     /// The equivalence contract: on a hostile mixed batch (valid messages,

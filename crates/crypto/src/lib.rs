@@ -49,7 +49,10 @@ pub mod keys;
 pub mod seal;
 pub mod sha256;
 
-pub use auth::{sign, sign_with, verify, verify_with, AuthError, AuthTag, AUTH_TAG_LEN};
+pub use auth::{
+    sign, sign_frame_with, sign_with, verify, verify_frame, verify_frame_with, verify_with,
+    AuthError, AuthTag, AUTH_TAG_LEN,
+};
 pub use batch::BatchVerifier;
 pub use hmac::HmacKey;
 pub use keys::{KeyStore, SecretKey, UnknownPeerError};

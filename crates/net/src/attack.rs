@@ -192,6 +192,23 @@ pub fn fabricated_pull_reply(seq: u64) -> GossipMessage {
     }
 }
 
+/// A fabricated MTU-packed gossip frame wrapping one bogus pull-reply. It
+/// parses as a frame, but its tag can never verify — the adversary holds
+/// no group key — so receivers drop it whole (one HMAC of wasted work for
+/// arbitrarily many packed messages) and count it in `frames_rejected`.
+pub fn fabricated_frame(seq: u64) -> Vec<u8> {
+    let mut builder = codec::FrameBuilder::new();
+    builder.push(&fabricated_pull_reply(seq));
+    let mut wire = drum_core::bytes::BytesMut::with_capacity(64);
+    builder.finish_into(
+        ProcessId(0xDEAD_0000 + (seq & 0xFFFF)),
+        seq,
+        |_| drum_crypto::auth::AuthTag::zero(),
+        &mut wire,
+    );
+    wire[..].to_vec()
+}
+
 /// Handle to a running attacker thread.
 #[derive(Debug)]
 pub struct AttackerHandle {
@@ -420,6 +437,29 @@ mod tests {
             let bytes = codec::encode(&msg);
             assert_eq!(codec::decode(&bytes).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn fabricated_frame_parses_but_never_authenticates() {
+        use drum_crypto::keys::KeyStore;
+
+        let bytes = fabricated_frame(3);
+        assert!(codec::is_frame(&bytes));
+        let frame = codec::decode_frame(&bytes).unwrap();
+        assert_eq!(frame.messages.len(), 1);
+        // The claimed sender is not a group member, so verification fails
+        // with UnknownSource; even a registered id would yield Forged.
+        let store = KeyStore::new(1);
+        store.register(7);
+        let body = codec::frame_signed_body(&bytes).unwrap();
+        assert!(drum_crypto::verify_frame(
+            &store,
+            frame.sender.as_u64(),
+            frame.nonce,
+            body,
+            &frame.auth
+        )
+        .is_err());
     }
 
     #[test]

@@ -32,6 +32,26 @@ const TAG_PULL_REPLY: u8 = 2;
 const TAG_PUSH_OFFER: u8 = 3;
 const TAG_PUSH_REPLY: u8 = 4;
 const TAG_PUSH_DATA: u8 = 5;
+const TAG_FRAME: u8 = 6;
+
+/// Target size for a packed frame datagram: greedy fill stops here so
+/// frames stay within a typical Ethernet MTU (1500 minus IP/UDP headers).
+/// A single gossip message that alone exceeds the budget still travels in
+/// one frame — messages are never split — so a frame can exceed the budget
+/// only when one message already does.
+pub const FRAME_BUDGET: usize = 1400;
+
+/// Maximum gossip messages packed into one frame.
+pub const MAX_FRAME_MESSAGES: usize = 256;
+
+/// Fixed frame prelude: tag byte, sender id, nonce, message count.
+pub const FRAME_HEADER_LEN: usize = 1 + 8 + 8 + 4;
+
+/// Trailing frame authentication tag.
+pub const FRAME_TAG_LEN: usize = drum_crypto::auth::AUTH_TAG_LEN;
+
+/// Per-packed-message framing overhead (the length prefix).
+pub const FRAME_ITEM_OVERHEAD: usize = 4;
 
 const PORT_NONE: u8 = 0;
 const PORT_PLAIN: u8 = 1;
@@ -359,6 +379,197 @@ pub fn decode(bytes: &[u8]) -> Result<GossipMessage, DecodeError> {
     Ok(msg)
 }
 
+/// A packed, MTU-budgeted gossip frame: several whole [`GossipMessage`]s to
+/// the same partner coalesced into one datagram, authenticated by a single
+/// HMAC from the frame's *sender* (the relaying member) over the whole body.
+///
+/// ```text
+/// [tag=6 u8][sender u64][nonce u64][count u32]
+///   count × ([len u32][encoded GossipMessage])
+/// [frame auth tag, 32 bytes]
+/// ```
+///
+/// The signed region is everything before the trailing tag (see
+/// [`frame_signed_body`]); the tag is computed in the frame HMAC domain
+/// ([`drum_crypto::auth::sign_frame_with`]), so it can never be replayed as
+/// a data-message tag. Messages are carried whole — a frame changes how
+/// bytes travel, never which gossip messages the receiver's engine sees —
+/// and nesting is impossible: the inner decoder rejects the frame tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The relaying member that built and signed the frame.
+    pub sender: ProcessId,
+    /// Sender-chosen nonce, bound into the frame tag.
+    pub nonce: u64,
+    /// The packed gossip messages, in packing order.
+    pub messages: Vec<GossipMessage>,
+    /// The frame HMAC over [`frame_signed_body`].
+    pub auth: AuthTag,
+}
+
+/// Whether a datagram leads with the frame tag (cheap triage; promises
+/// nothing about the rest of the bytes).
+pub fn is_frame(bytes: &[u8]) -> bool {
+    bytes.first() == Some(&TAG_FRAME) && bytes.len() <= MAX_WIRE_LEN
+}
+
+/// The signed region of a frame datagram: everything before the trailing
+/// authentication tag. `None` if the bytes are too short to be a frame.
+pub fn frame_signed_body(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < FRAME_HEADER_LEN + FRAME_TAG_LEN {
+        return None;
+    }
+    Some(&bytes[..bytes.len() - FRAME_TAG_LEN])
+}
+
+/// Decodes a frame datagram. Purely structural — the caller must still
+/// verify [`Frame::auth`] over [`frame_signed_body`] before trusting the
+/// inner messages.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for any malformed input; decoding never
+/// panics regardless of the bytes received.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, DecodeError> {
+    if bytes.len() > MAX_WIRE_LEN {
+        return Err(DecodeError::TooLarge);
+    }
+    if bytes.len() < FRAME_HEADER_LEN + FRAME_TAG_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    if bytes[0] != TAG_FRAME {
+        return Err(DecodeError::BadTag);
+    }
+    let u64_at = |off: usize| u64::from_be_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+    let sender = ProcessId(u64_at(1));
+    let nonce = u64_at(9);
+    let count = u32::from_be_bytes(bytes[17..21].try_into().expect("4 bytes")) as usize;
+    if count > MAX_FRAME_MESSAGES {
+        return Err(DecodeError::TooLarge);
+    }
+    let body_end = bytes.len() - FRAME_TAG_LEN;
+    let mut off = FRAME_HEADER_LEN;
+    let mut messages = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        if body_end - off < FRAME_ITEM_OVERHEAD {
+            return Err(DecodeError::Truncated);
+        }
+        let len = u32::from_be_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+        off += FRAME_ITEM_OVERHEAD;
+        if len > body_end - off {
+            return Err(DecodeError::Truncated);
+        }
+        // Inner messages go through the ordinary decoder, which rejects the
+        // frame tag itself — frames cannot nest.
+        messages.push(decode(&bytes[off..off + len])?);
+        off += len;
+    }
+    if off != body_end {
+        // Trailing garbage inside the signed body: reject.
+        return Err(DecodeError::BadTag);
+    }
+    let mut tag = [0u8; FRAME_TAG_LEN];
+    tag.copy_from_slice(&bytes[body_end..]);
+    Ok(Frame {
+        sender,
+        nonce,
+        messages,
+        auth: AuthTag(tag),
+    })
+}
+
+/// Greedy MTU-budgeted packing of gossip messages into [`Frame`] datagrams.
+///
+/// A sender keeps one builder alive across rounds: [`push`](Self::push)
+/// appends messages while they fit the byte budget, [`finish_into`]
+/// (Self::finish_into) seals the accumulated messages into one signed frame
+/// and resets the builder. All internal buffers grow once and are reused,
+/// so steady-state packing allocates nothing.
+#[derive(Debug, Default)]
+pub struct FrameBuilder {
+    /// Length-prefixed encoded messages accumulated for the open frame.
+    items: BytesMut,
+    /// Scratch for encoding one candidate message.
+    scratch: BytesMut,
+    count: usize,
+}
+
+impl FrameBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Messages accumulated in the open frame.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the open frame holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Encoded size of the frame [`finish_into`](Self::finish_into) would
+    /// currently produce.
+    pub fn wire_len(&self) -> usize {
+        FRAME_HEADER_LEN + self.items.len() + FRAME_TAG_LEN
+    }
+
+    /// Tries to append `msg` to the open frame.
+    ///
+    /// Returns `false` — leaving the frame unchanged — when the frame is at
+    /// [`MAX_FRAME_MESSAGES`], or when adding the message would push a
+    /// *non-empty* frame over [`FRAME_BUDGET`] (or any frame over
+    /// [`MAX_WIRE_LEN`]). The caller then finishes the open frame and
+    /// retries. A message that alone exceeds the budget is accepted into an
+    /// empty frame: messages are never split.
+    pub fn push(&mut self, msg: &GossipMessage) -> bool {
+        if self.count >= MAX_FRAME_MESSAGES {
+            return false;
+        }
+        encode_into(msg, &mut self.scratch);
+        let added = FRAME_ITEM_OVERHEAD + self.scratch.len();
+        let would_be = self.wire_len() + added;
+        if would_be > MAX_WIRE_LEN || (self.count > 0 && would_be > FRAME_BUDGET) {
+            return false;
+        }
+        self.items.put_u32(self.scratch.len() as u32);
+        self.items.put_slice(&self.scratch[..]);
+        self.count += 1;
+        true
+    }
+
+    /// Seals the open frame into `out` (cleared first) and resets the
+    /// builder for the next frame. `sign` receives the signed body (all
+    /// frame bytes before the trailing tag) and must return the frame tag —
+    /// typically `|body| engine.sign_frame(nonce, body)`. Returns how many
+    /// messages the frame carries.
+    pub fn finish_into<F>(
+        &mut self,
+        sender: ProcessId,
+        nonce: u64,
+        sign: F,
+        out: &mut BytesMut,
+    ) -> usize
+    where
+        F: FnOnce(&[u8]) -> AuthTag,
+    {
+        out.clear();
+        out.put_u8(TAG_FRAME);
+        out.put_u64(sender.as_u64());
+        out.put_u64(nonce);
+        out.put_u32(self.count as u32);
+        out.put_slice(&self.items[..]);
+        let tag = sign(&out[..]);
+        out.put_slice(&tag.0);
+        let packed = self.count;
+        self.items.clear();
+        self.count = 0;
+        packed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +745,168 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(DecodeError::Truncated.to_string().contains("truncated"));
+    }
+
+    fn sign_test_frame(body: &[u8]) -> AuthTag {
+        let key = SecretKey::from_bytes([5u8; 32]);
+        drum_crypto::auth::sign_frame_with(&key.hmac_key(), 2, 77, body)
+    }
+
+    fn build_frame(messages: &[GossipMessage]) -> (Bytes, usize) {
+        let mut fb = FrameBuilder::new();
+        let mut frames = 0;
+        let mut out = BytesMut::new();
+        let mut last = Bytes::new();
+        for m in messages {
+            if !fb.push(m) {
+                fb.finish_into(ProcessId(2), 77, sign_test_frame, &mut out);
+                frames += 1;
+                last = Bytes::copy_from_slice(&out[..]);
+                assert!(fb.push(m), "message must fit an empty frame");
+            }
+        }
+        if !fb.is_empty() {
+            fb.finish_into(ProcessId(2), 77, sign_test_frame, &mut out);
+            frames += 1;
+            last = Bytes::copy_from_slice(&out[..]);
+        }
+        (last, frames)
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let msgs = vec![
+            GossipMessage::PullReply {
+                from: ProcessId(2),
+                messages: vec![sample_data(0), sample_data(1)],
+            },
+            GossipMessage::PushData {
+                from: ProcessId(2),
+                messages: vec![sample_data(7)],
+            },
+        ];
+        let (bytes, frames) = build_frame(&msgs);
+        assert_eq!(frames, 1, "two small messages share one frame");
+        let frame = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.sender, ProcessId(2));
+        assert_eq!(frame.nonce, 77);
+        assert_eq!(frame.messages, msgs);
+        // The tag verifies over the signed body.
+        let key = SecretKey::from_bytes([5u8; 32]);
+        assert!(drum_crypto::auth::verify_frame_with(
+            &key.hmac_key(),
+            2,
+            77,
+            frame_signed_body(&bytes).unwrap(),
+            &frame.auth,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn frame_greedy_fill_respects_budget() {
+        // Enough small messages to overflow one budget's worth.
+        let msgs: Vec<GossipMessage> = (0..64)
+            .map(|q| GossipMessage::PushData {
+                from: ProcessId(2),
+                messages: vec![sample_data(q)],
+            })
+            .collect();
+        let one = encode(&msgs[0]).len() + FRAME_ITEM_OVERHEAD;
+        let per_frame = (FRAME_BUDGET - FRAME_HEADER_LEN - FRAME_TAG_LEN) / one;
+        let (_, frames) = build_frame(&msgs);
+        assert_eq!(frames, 64usize.div_ceil(per_frame));
+        assert!(frames < 64, "packing must beat one datagram per message");
+
+        // Every full frame stays within the budget.
+        let mut fb = FrameBuilder::new();
+        for m in &msgs {
+            if !fb.push(m) {
+                assert!(fb.wire_len() <= FRAME_BUDGET);
+                let mut out = BytesMut::new();
+                fb.finish_into(ProcessId(2), 77, sign_test_frame, &mut out);
+                assert!(out.len() <= FRAME_BUDGET);
+                assert!(fb.push(m));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_message_gets_its_own_frame() {
+        // One message bigger than the budget: accepted alone, never split.
+        let big = GossipMessage::PullReply {
+            from: ProcessId(2),
+            messages: (0..40).map(sample_data).collect(),
+        };
+        assert!(encode(&big).len() > FRAME_BUDGET);
+        let mut fb = FrameBuilder::new();
+        assert!(fb.push(&big));
+        // ...but nothing more fits once over budget.
+        assert!(!fb.push(&GossipMessage::PushData {
+            from: ProcessId(2),
+            messages: vec![sample_data(0)],
+        }));
+        let mut out = BytesMut::new();
+        assert_eq!(
+            fb.finish_into(ProcessId(2), 1, sign_test_frame, &mut out),
+            1
+        );
+        let frame = decode_frame(&out.freeze()).unwrap();
+        assert_eq!(frame.messages, vec![big]);
+    }
+
+    #[test]
+    fn frame_truncated_and_hostile_inputs_rejected() {
+        let (bytes, _) = build_frame(&[GossipMessage::PushData {
+            from: ProcessId(2),
+            messages: vec![sample_data(0)],
+        }]);
+        for len in 0..bytes.len() {
+            assert!(
+                decode_frame(&bytes[..len]).is_err(),
+                "frame prefix of len {len} accepted"
+            );
+        }
+        // Trailing garbage shifts the tag window: the item walk no longer
+        // lands exactly on the signed-body end.
+        let mut padded = bytes.to_vec();
+        padded.push(0);
+        assert!(decode_frame(&padded).is_err());
+        // Wrong leading tag.
+        let mut wrong = bytes.to_vec();
+        wrong[0] = TAG_PUSH_DATA;
+        assert_eq!(decode_frame(&wrong), Err(DecodeError::BadTag));
+        // Oversized count and oversized datagram.
+        let mut out = BytesMut::new();
+        out.put_u8(TAG_FRAME);
+        out.put_u64(2);
+        out.put_u64(0);
+        out.put_u32(u32::MAX);
+        out.put_slice(&[0u8; FRAME_TAG_LEN]);
+        assert_eq!(decode_frame(&out.freeze()), Err(DecodeError::TooLarge));
+        assert_eq!(
+            decode_frame(&vec![TAG_FRAME; MAX_WIRE_LEN + 1]),
+            Err(DecodeError::TooLarge)
+        );
+        // The ordinary decoder refuses frames (so frames cannot nest), and
+        // peek_kind does not classify them as any gossip kind.
+        assert_eq!(decode(&bytes), Err(DecodeError::BadTag));
+        assert_eq!(peek_kind(&bytes), None);
+        assert!(is_frame(&bytes));
+        assert!(!is_frame(b""));
+        assert!(!is_frame(&[TAG_PUSH_DATA]));
+    }
+
+    #[test]
+    fn frame_with_corrupt_inner_message_rejected() {
+        let (bytes, _) = build_frame(&[GossipMessage::PushData {
+            from: ProcessId(2),
+            messages: vec![sample_data(0)],
+        }]);
+        let mut corrupt = bytes.to_vec();
+        // First inner byte (right after header + item length prefix).
+        corrupt[FRAME_HEADER_LEN + FRAME_ITEM_OVERHEAD] = 200;
+        assert!(decode_frame(&corrupt).is_err());
     }
 
     #[test]

@@ -140,6 +140,11 @@ pub struct Cluster {
     handles: Vec<NodeHandle>,
     shards: Vec<ShardHandle>,
     attacker: Option<AttackerHandle>,
+    /// Flood aim retained from startup so the attack can be toggled
+    /// mid-run ([`Cluster::set_attack`]); §8 runs start it once and leave
+    /// it, soak runs flip it on and off.
+    attack_targets: Vec<WellKnownAddrs>,
+    attack_reply_ports: Vec<std::net::SocketAddr>,
     /// Malicious members' sockets: held open so their ports exist (and
     /// silently drop everything), mirroring non-cooperating group members.
     _malicious_sockets: Vec<WellKnownSockets>,
@@ -238,39 +243,70 @@ impl Cluster {
             }
         }
 
-        let attacker = if config.attacked > 0 && config.x_per_round > 0.0 {
-            let targets: Vec<WellKnownAddrs> = (0..config.attacked as u64)
-                .filter_map(|i| book.addrs_of(ProcessId(i)))
-                .collect();
-            let mut attacker_config = AttackerConfig::new(
-                config.x_per_round,
-                config.net.round,
-                config.net.gossip.variant,
-            );
-            attacker_config.tracer = config.net.tracer.clone();
-            attacker_config.strategy = config.adversary.clone();
-            if ablation_mode {
-                // §9: against well-known reply ports the adversary splits
-                // its pull budget between the request and reply ports.
-                attacker_config.reply_port_targets = ablation_addrs
-                    .iter()
-                    .take(config.attacked)
-                    .map(|a| a.pull_reply)
-                    .collect();
-            }
-            Some(spawn_attacker(targets, attacker_config)?)
+        let attack_targets: Vec<WellKnownAddrs> = (0..config.attacked as u64)
+            .filter_map(|i| book.addrs_of(ProcessId(i)))
+            .collect();
+        // §9: against well-known reply ports the adversary splits its
+        // pull budget between the request and reply ports.
+        let attack_reply_ports: Vec<std::net::SocketAddr> = if ablation_mode {
+            ablation_addrs
+                .iter()
+                .take(config.attacked)
+                .map(|a| a.pull_reply)
+                .collect()
         } else {
-            None
+            Vec::new()
         };
 
-        Ok(Cluster {
+        let mut cluster = Cluster {
             handles,
             shards,
-            attacker,
+            attacker: None,
+            attack_targets,
+            attack_reply_ports,
             _malicious_sockets: malicious_sockets,
             epoch: Instant::now(),
             config,
-        })
+        };
+        let x = cluster.config.x_per_round;
+        cluster.set_attack(x)?;
+        Ok(cluster)
+    }
+
+    /// Starts (`x_per_round > 0`) or stops (`x_per_round <= 0`) the
+    /// fabricated-message flood against the targets fixed at startup,
+    /// replacing any attacker already running. Soak runs use this to
+    /// toggle the flood mid-experiment; it is a no-op when the scenario
+    /// configured no attacked processes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from spawning the attacker.
+    pub fn set_attack(&mut self, x_per_round: f64) -> std::io::Result<()> {
+        if let Some(a) = self.attacker.take() {
+            a.shutdown();
+        }
+        if x_per_round <= 0.0 || self.attack_targets.is_empty() {
+            return Ok(());
+        }
+        let mut attacker_config = AttackerConfig::new(
+            x_per_round,
+            self.config.net.round,
+            self.config.net.gossip.variant,
+        );
+        attacker_config.tracer = self.config.net.tracer.clone();
+        attacker_config.strategy = self.config.adversary.clone();
+        attacker_config.reply_port_targets = self.attack_reply_ports.clone();
+        self.attacker = Some(spawn_attacker(
+            self.attack_targets.clone(),
+            attacker_config,
+        )?);
+        Ok(())
+    }
+
+    /// Whether a flood is currently running.
+    pub fn attack_running(&self) -> bool {
+        self.attacker.is_some()
     }
 
     /// Cluster start instant (latency epoch).
@@ -469,6 +505,206 @@ pub fn throughput_experiment(
         receivers,
         duration_secs,
         published: total_messages,
+    })
+}
+
+/// One phase of a soak run (calm → flood → recovery).
+#[derive(Debug, Clone)]
+pub struct SoakPhase {
+    /// Phase label: `"calm"`, `"flood"` or `"recovery"`.
+    pub name: &'static str,
+    /// Wall-clock length of the phase in seconds.
+    pub duration_secs: f64,
+    /// Messages published by the source during the phase.
+    pub published: u64,
+    /// Deliveries observed across all receivers during the phase.
+    pub delivered: u64,
+    /// Mean per-receiver delivery rate during the phase (msgs/s).
+    pub throughput: f64,
+}
+
+/// Aggregate results of [`soak_experiment`]: sustained multi-message load
+/// with the fabricated-message flood toggled on and off mid-run.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Calm / flood / recovery phases in run order.
+    pub phases: Vec<SoakPhase>,
+    /// Delivery-latency CDF over the whole run: `(quantile, ms)`.
+    pub latency_cdf_ms: Vec<(f64, f64)>,
+    /// Total messages published by the source.
+    pub published: u64,
+    /// Deliveries observed across all receivers. The engine dedups
+    /// redundant gossip copies, so this is unique per `(receiver,
+    /// message)`; `published × (correct − 1)` is full coverage.
+    pub delivered: u64,
+    /// Highest per-process message-buffer high-water mark (payload bytes
+    /// plus per-entry overhead). Bounded buffers keep this flat as the
+    /// run gets longer.
+    pub buffer_bytes_peak: u64,
+    /// Stream-scheduler submissions queued past the pacing window —
+    /// backpressure accounting, never silent drops — summed over
+    /// processes.
+    pub backpressure: u64,
+    /// MTU-packed frames sent, summed over processes.
+    pub frames_sent: u64,
+    /// Data messages carried inside those frames.
+    pub framed_msgs: u64,
+    /// Received frames rejected for bad authentication.
+    pub frames_rejected: u64,
+    /// Wall-clock duration of the publish window in seconds.
+    pub duration_secs: f64,
+}
+
+impl SoakReport {
+    /// Mean messages per sent frame (0 when no frames were sent, e.g.
+    /// under `DRUM_NET_NO_PACK=1`).
+    pub fn mean_msgs_per_frame(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            self.framed_msgs as f64 / self.frames_sent as f64
+        }
+    }
+
+    /// Fraction of the full `published × receivers` coverage delivered.
+    pub fn delivery_fraction(&self, receivers: u64) -> f64 {
+        let expected = self.published * receivers;
+        if expected == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / expected as f64
+        }
+    }
+}
+
+/// Runs the sustained-load soak behind `ext_soak`: the source publishes a
+/// paced stream for `duration`, the flood switches ON for the middle
+/// third of the run and OFF again for the final third, and every
+/// receiver's delivery latency and throughput are tracked per phase.
+///
+/// `config.x_per_round` is ignored (the flood strength during the middle
+/// phase is `flood_x`); everything else — group size, attacked count,
+/// stream pacing via `config.net.stream` — comes from the scenario.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn soak_experiment(
+    mut config: ClusterConfig,
+    duration: Duration,
+    rate_per_sec: f64,
+    payload_len: usize,
+    flood_x: f64,
+    drain: Duration,
+) -> std::io::Result<SoakReport> {
+    // The flood is toggled mid-run, not at startup.
+    config.x_per_round = 0.0;
+    let mut cluster = Cluster::start(config.clone())?;
+    let epoch = cluster.epoch();
+    let interval = Duration::from_secs_f64(1.0 / rate_per_sec);
+    let correct = config.correct();
+    let phase_len = duration / 3;
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut published = [0u64; 3];
+    let mut delivered = [0u64; 3];
+
+    let start = Instant::now();
+    let deadline = start + duration;
+    let phase_of = |now: Instant| -> usize {
+        let t = now.saturating_duration_since(start);
+        if t < phase_len {
+            0
+        } else if t < phase_len * 2 {
+            1
+        } else {
+            2
+        }
+    };
+
+    let drain_deliveries =
+        |cluster: &Cluster, delivered: &mut [u64; 3], latencies: &mut Vec<f64>| {
+            let phase = phase_of(Instant::now());
+            for h in cluster.handles()[1..].iter() {
+                for d in h.take_delivered() {
+                    let now_micros = epoch.elapsed().as_micros() as u64;
+                    if let Some((_seq, sent_micros)) = decode_payload(&d.message.payload) {
+                        delivered[phase] += 1;
+                        latencies.push((now_micros.saturating_sub(sent_micros)) as f64 / 1000.0);
+                    }
+                }
+            }
+        };
+
+    let mut next_send = start;
+    let mut seq = 0u64;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let phase = phase_of(now);
+        // Figure 7 toggle: flood for the middle third only.
+        if (phase == 1) != cluster.attack_running() {
+            cluster.set_attack(if phase == 1 { flood_x } else { 0.0 })?;
+        }
+        if now >= next_send {
+            cluster.publish_from_source(seq, payload_len);
+            seq += 1;
+            published[phase] += 1;
+            next_send += interval;
+        }
+        drain_deliveries(&cluster, &mut delivered, &mut latencies);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    cluster.set_attack(0.0)?;
+    let duration_secs = start.elapsed().as_secs_f64();
+
+    let drain_deadline = Instant::now() + drain;
+    while Instant::now() < drain_deadline {
+        drain_deliveries(&cluster, &mut delivered, &mut latencies);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drain_deliveries(&cluster, &mut delivered, &mut latencies);
+
+    let stats = cluster.shutdown();
+    let receivers = (correct - 1).max(1) as f64;
+    let phase_secs = phase_len.as_secs_f64();
+    let phases = ["calm", "flood", "recovery"]
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| SoakPhase {
+            name,
+            duration_secs: phase_secs,
+            published: published[i],
+            delivered: delivered[i],
+            throughput: if phase_secs > 0.0 {
+                delivered[i] as f64 / receivers / phase_secs
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    let latency_cdf_ms = if latencies.is_empty() {
+        Vec::new()
+    } else {
+        [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99]
+            .into_iter()
+            .map(|q| (q, quantile_in_place(&mut latencies, q)))
+            .collect()
+    };
+
+    Ok(SoakReport {
+        phases,
+        latency_cdf_ms,
+        published: published.iter().sum(),
+        delivered: delivered.iter().sum(),
+        buffer_bytes_peak: stats.iter().map(|s| s.buffer_bytes_peak).max().unwrap_or(0),
+        backpressure: stats.iter().map(|s| s.stream_backpressure).sum(),
+        frames_sent: stats.iter().map(|s| s.frames_sent).sum(),
+        framed_msgs: stats.iter().map(|s| s.framed_msgs).sum(),
+        frames_rejected: stats.iter().map(|s| s.frames_rejected).sum(),
+        duration_secs,
     })
 }
 
@@ -695,6 +931,59 @@ mod tests {
             throughput_experiment(config, 15, 50.0, 50, Duration::from_millis(1500)).unwrap();
         let total: u64 = report.receivers.iter().map(|r| r.received).sum();
         assert!(total > 0, "attack silenced the sharded cluster");
+    }
+
+    #[test]
+    fn soak_toggles_flood_and_reports_phases() {
+        let mut config = small_config(ProtocolVariant::Drum, 2, 0.0);
+        // Pace the source stream so the scheduler (and its backpressure
+        // accounting) is actually on the path.
+        config.net.stream = drum_core::stream::StreamConfig::paced(4);
+        let report = soak_experiment(
+            config,
+            Duration::from_millis(1200),
+            100.0,
+            50,
+            64.0,
+            Duration::from_millis(1500),
+        )
+        .unwrap();
+        assert_eq!(report.phases.len(), 3);
+        assert!(report.published > 0);
+        for p in &report.phases {
+            assert!(p.published > 0, "phase {} published nothing", p.name);
+        }
+        assert!(report.delivered > 0, "soak delivered nothing");
+        assert!(!report.latency_cdf_ms.is_empty());
+        assert!(report.buffer_bytes_peak > 0, "buffer peak never observed");
+        // Frames only flow when packing is on (random ports, no opt-out).
+        if std::env::var_os("DRUM_NET_NO_PACK").is_none() {
+            assert!(report.frames_sent > 0, "packing sent no frames");
+            assert!(report.framed_msgs >= report.frames_sent);
+            assert!(report.mean_msgs_per_frame() >= 1.0);
+        } else {
+            assert_eq!(report.frames_sent, 0);
+        }
+    }
+
+    #[test]
+    fn cluster_attack_toggle_is_idempotent_and_guarded() {
+        // No attacked processes: set_attack is a no-op.
+        let mut cluster = Cluster::start(small_config(ProtocolVariant::Drum, 0, 0.0)).unwrap();
+        cluster.set_attack(64.0).unwrap();
+        assert!(!cluster.attack_running());
+        cluster.shutdown();
+
+        // Attacked processes: toggles on, replaces, and off.
+        let mut cluster = Cluster::start(small_config(ProtocolVariant::Drum, 2, 0.0)).unwrap();
+        assert!(!cluster.attack_running());
+        cluster.set_attack(32.0).unwrap();
+        assert!(cluster.attack_running());
+        cluster.set_attack(64.0).unwrap();
+        assert!(cluster.attack_running());
+        cluster.set_attack(0.0).unwrap();
+        assert!(!cluster.attack_running());
+        cluster.shutdown();
     }
 
     #[test]

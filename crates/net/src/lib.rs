@@ -64,10 +64,15 @@ pub mod sys;
 pub mod transport;
 
 pub use attack::{spawn_attacker, AttackerConfig, AttackerHandle, FloodStrategy};
-pub use codec::{decode, encode, peek_kind, DecodeError};
+pub use codec::{
+    decode, decode_frame, encode, frame_signed_body, is_frame, peek_kind, DecodeError, Frame,
+    FrameBuilder, FRAME_BUDGET, FRAME_HEADER_LEN, FRAME_ITEM_OVERHEAD, FRAME_TAG_LEN,
+    MAX_FRAME_MESSAGES,
+};
 pub use experiment::{
-    paper_cluster_config, propagation_experiment, resolve_shards, throughput_experiment, Cluster,
-    ClusterConfig, NodeHandle, PropagationReport, ReceiverReport, ThroughputReport,
+    paper_cluster_config, propagation_experiment, resolve_shards, soak_experiment,
+    throughput_experiment, Cluster, ClusterConfig, NodeHandle, PropagationReport, ReceiverReport,
+    SoakPhase, SoakReport, ThroughputReport,
 };
 pub use runtime::{
     os_random_seed, spawn_process, ChannelClass, Delivery, NetConfig, NetStats, NodeCore,
@@ -84,7 +89,7 @@ mod proptests {
     use drum_core::message::{DataMessage, GossipMessage, PortRef};
     use drum_crypto::auth::AuthTag;
     use drum_testkit::prop::{check, Config, Gen};
-    use drum_testkit::prop_assert_eq;
+    use drum_testkit::{prop_assert, prop_assert_eq};
 
     fn arb_digest(g: &mut Gen) -> Digest {
         g.vec_with(0..64, |g| (g.u64_in(0..16), g.u64_in(0..128)))
@@ -200,5 +205,104 @@ mod proptests {
             let _ = decode(&bytes);
             Ok(())
         });
+    }
+
+    #[test]
+    fn decode_frame_never_panics_on_garbage() {
+        use crate::codec::decode_frame;
+        check(
+            "decode_frame_never_panics_on_garbage",
+            Config::default(),
+            |g| {
+                // Arbitrary bytes, and arbitrary bytes forced to look like a
+                // frame (lead tag byte 6) so the parser's interior is
+                // actually exercised rather than rejected at the first byte.
+                let mut bytes = g.bytes(0..2048);
+                let _ = decode_frame(&bytes);
+                if !bytes.is_empty() {
+                    bytes[0] = 6;
+                }
+                let _ = decode_frame(&bytes);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn frame_pack_unpack_round_trips() {
+        use crate::codec::{decode_frame, frame_signed_body, FrameBuilder};
+        use drum_core::bytes::BytesMut;
+        use drum_crypto::keys::SecretKey;
+
+        check("frame_pack_unpack_round_trips", Config::default(), |g| {
+            let key = SecretKey::from_bytes(arb_key(g)).hmac_key();
+            let sender = ProcessId(g.u64_in(0..64));
+            let nonce = g.u64();
+            let msgs = g.vec_with(1..12, arb_message);
+            let mut builder = FrameBuilder::new();
+            let mut wire = BytesMut::with_capacity(16);
+            let mut cursor = 0usize;
+            // Greedy fill may split the list over several frames; every
+            // frame must decode back to exactly the packed prefix, carry a
+            // verifiable tag, and preserve message order.
+            while cursor < msgs.len() {
+                let mut packed = 0usize;
+                while cursor + packed < msgs.len() && builder.push(&msgs[cursor + packed]) {
+                    packed += 1;
+                }
+                prop_assert!(packed > 0, "an empty builder must accept any message");
+                let n = builder.finish_into(
+                    sender,
+                    nonce,
+                    |body| drum_crypto::sign_frame_with(&key, sender.as_u64(), nonce, body),
+                    &mut wire,
+                );
+                prop_assert_eq!(n, packed);
+                let frame = decode_frame(&wire[..]).unwrap();
+                prop_assert_eq!(frame.sender, sender);
+                prop_assert_eq!(frame.nonce, nonce);
+                prop_assert_eq!(&frame.messages[..], &msgs[cursor..cursor + packed]);
+                let body = frame_signed_body(&wire[..]).unwrap();
+                prop_assert!(drum_crypto::verify_frame_with(
+                    &key,
+                    sender.as_u64(),
+                    nonce,
+                    body,
+                    &frame.auth
+                )
+                .is_ok());
+                cursor += packed;
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn decode_frame_never_panics_on_mutations() {
+        use crate::codec::{decode_frame, FrameBuilder};
+        use drum_core::bytes::BytesMut;
+        use drum_crypto::auth::AuthTag;
+
+        check(
+            "decode_frame_never_panics_on_mutations",
+            Config::default(),
+            |g| {
+                let msgs = g.vec_with(1..6, arb_message);
+                let mut builder = FrameBuilder::new();
+                for m in &msgs {
+                    let _ = builder.push(m);
+                }
+                let mut wire = BytesMut::with_capacity(16);
+                builder.finish_into(ProcessId(1), 7, |_| AuthTag::zero(), &mut wire);
+                let mut bytes = wire[..].to_vec();
+                let i = g.index(bytes.len());
+                bytes[i] = g.u8();
+                let _ = decode_frame(&bytes);
+                // Truncations of a valid frame never panic either.
+                let cut = g.index(bytes.len());
+                let _ = decode_frame(&bytes[..cut]);
+                Ok(())
+            },
+        );
     }
 }

@@ -34,6 +34,7 @@ use drum_core::config::GossipConfig;
 use drum_core::engine::{Engine, Outbound, PortPurpose, SendPort};
 use drum_core::ids::ProcessId;
 use drum_core::message::{DataMessage, GossipMessage, MessageKind};
+use drum_core::stream::{StreamConfig, StreamScheduler};
 use drum_core::view::Membership;
 use drum_crypto::keys::{KeyStore, SecretKey};
 use drum_trace::{names, trace_event, Counter, Tracer};
@@ -67,6 +68,13 @@ pub struct NetConfig {
     /// wall-clock timestamps; the registry counters aggregate across all
     /// processes sharing the tracer. Disabled by default.
     pub tracer: Tracer,
+    /// Application stream pacing (see [`drum_core::stream`]): how many
+    /// queued publishes are released into the gossip layer per round, and
+    /// how deep the pending queue may grow before submissions count as
+    /// backpressure. The default ([`StreamConfig::unlimited`]) releases
+    /// everything immediately — byte-identical to the pre-scheduler
+    /// behavior.
+    pub stream: StreamConfig,
 }
 
 impl NetConfig {
@@ -80,7 +88,14 @@ impl NetConfig {
             poll: Duration::from_millis(1),
             loss: 0.0,
             tracer: Tracer::disabled(),
+            stream: StreamConfig::unlimited(),
         }
+    }
+
+    /// Returns a copy with the given application stream pacing.
+    pub fn with_stream(mut self, stream: StreamConfig) -> Self {
+        self.stream = stream;
+        self
     }
 
     /// Returns a copy with the given tracer attached.
@@ -154,6 +169,22 @@ pub struct NetStats {
     /// Datagrams moved by batched (`recvmmsg`) receive calls; zero on the
     /// fallback path.
     pub batch_recv_datagrams: u64,
+    /// MTU-packed gossip frames sent; zero with `DRUM_NET_NO_PACK=1` or
+    /// when random ports are disabled. Each frame is one datagram (so it
+    /// is also counted in `sent`).
+    pub frames_sent: u64,
+    /// Data-plane messages carried inside sent frames. Divide by
+    /// `frames_sent` for the mean pack ratio.
+    pub framed_msgs: u64,
+    /// Received frames dropped because their frame tag failed
+    /// authentication (unknown sender or forged tag).
+    pub frames_rejected: u64,
+    /// High-water mark of message-buffer memory (payload bytes plus
+    /// per-entry bookkeeping), sampled at each round end.
+    pub buffer_bytes_peak: u64,
+    /// Stream-scheduler submissions that found the pending window full
+    /// and were queued with backpressure (never silently dropped).
+    pub stream_backpressure: u64,
 }
 
 /// Handle to a running process.
@@ -449,8 +480,19 @@ pub struct NodeCore {
     // once and amortized over the node lifetime.
     wire: BytesMut,
     outs: Vec<Outbound>,
-    drained: Vec<(PortPurpose, GossipMessage)>,
+    drained: Vec<(PortPurpose, GossipMessage, bool)>,
     started: bool,
+    /// Whether data-plane replies are coalesced into MTU-packed frames.
+    /// True when random ports are on and `DRUM_NET_NO_PACK` is unset; the
+    /// receive path accepts both framed and bare datagrams regardless.
+    pack: bool,
+    /// Reusable frame packer and its wire buffer (packed path only).
+    framer: codec::FrameBuilder,
+    frame_wire: BytesMut,
+    /// Scratch list of distinct frame destinations seen in one flush.
+    frame_addrs: Vec<std::net::SocketAddr>,
+    /// Application stream pacing between `publish()` and the engine.
+    stream: StreamScheduler,
     c_sent: Counter,
     c_received: Counter,
     c_bound: Counter,
@@ -461,6 +503,11 @@ pub struct NodeCore {
     c_batch_fill: Counter,
     c_rounds_late: Counter,
     c_alloc_failed: Counter,
+    c_frames_sent: Counter,
+    c_msgs_per_frame: Counter,
+    c_frames_rejected: Counter,
+    c_buf_peak: Counter,
+    c_backpressure: Counter,
 }
 
 impl NodeCore {
@@ -508,6 +555,8 @@ impl NodeCore {
             variant = config.gossip.variant.to_string(),
             random_ports = config.gossip.random_ports
         );
+        let pack = config.gossip.random_ports && std::env::var_os("DRUM_NET_NO_PACK").is_none();
+        let stream = StreamScheduler::new(config.stream);
         NodeCore {
             me,
             engine,
@@ -528,6 +577,11 @@ impl NodeCore {
             outs: Vec::new(),
             drained: Vec::new(),
             started: false,
+            pack,
+            framer: codec::FrameBuilder::new(),
+            frame_wire: BytesMut::with_capacity(codec::MAX_WIRE_LEN),
+            frame_addrs: Vec::new(),
+            stream,
             c_sent: reg.counter(names::MESSAGES_SENT),
             c_received: reg.counter(names::MESSAGES_RECEIVED),
             c_bound: reg.counter(names::DROPPED_BY_BOUND),
@@ -538,6 +592,11 @@ impl NodeCore {
             c_batch_fill: reg.counter(names::BATCH_FILL),
             c_rounds_late: reg.counter(names::NET_ROUNDS_LATE),
             c_alloc_failed: reg.counter(names::NET_ALLOC_FAILED),
+            c_frames_sent: reg.counter(names::FRAMES_SENT),
+            c_msgs_per_frame: reg.counter(names::MSGS_PER_FRAME),
+            c_frames_rejected: reg.counter(names::FRAMES_REJECTED),
+            c_buf_peak: reg.counter(names::BUFFER_BYTES_PEAK),
+            c_backpressure: reg.counter(names::STREAM_BACKPRESSURE),
         }
     }
 
@@ -639,8 +698,14 @@ impl NodeCore {
     /// FCFS reader would behave.
     pub fn start_round(&mut self, send_socket: &UdpSocket, tx: &mut BatchTx) {
         while let Ok(payload) = self.publish_rx.try_recv() {
-            self.engine.publish(payload);
+            // Windowed streams queue (and count backpressure) rather than
+            // silently dropping; the unlimited default admits everything.
+            self.stream.submit(payload);
         }
+        let Self { stream, engine, .. } = self;
+        stream.release_round(|payload| {
+            engine.publish(payload);
+        });
         let round_outs = self.engine.begin_round(&mut self.pool);
         self.outs.extend(round_outs);
         self.send_out(send_socket, tx);
@@ -738,33 +803,80 @@ impl NodeCore {
     /// purpose; matches are processed immediately (the adversary cannot
     /// contend on concealed ports, and immediate processing gives the
     /// model's same-round pull-replies).
+    ///
+    /// Pool sockets accept both bare gossip datagrams and MTU-packed
+    /// frames regardless of this node's own packing mode, so mixed
+    /// clusters (and the `DRUM_NET_NO_PACK=1` ablation) interoperate. A
+    /// frame is one datagram for `received`; its tag is verified against
+    /// the claimed sender's key and the inner messages then skip
+    /// per-message source MACs (the frame sender is proven honest, and
+    /// honest members only pack messages they already verified).
     fn drain_pool(&mut self, rx: &mut BatchRx, scratch: &mut [u8]) {
         let Self {
             pool,
             stats,
             drained,
+            engine,
             ..
         } = self;
-        pool.drain(rx, scratch, |purpose, bytes| match codec::decode(bytes) {
-            Ok(msg) => {
+        pool.drain(rx, scratch, |purpose, bytes| {
+            if codec::is_frame(bytes) {
+                let frame = match codec::decode_frame(bytes) {
+                    Ok(frame) => frame,
+                    Err(_) => {
+                        stats.decode_errors += 1;
+                        return;
+                    }
+                };
+                let body = codec::frame_signed_body(bytes).unwrap_or(&[]);
+                if engine
+                    .verify_frame(frame.sender, frame.nonce, body, &frame.auth)
+                    .is_err()
+                {
+                    stats.frames_rejected += 1;
+                    return;
+                }
                 stats.received += 1;
-                drained.push((purpose, msg));
+                for msg in frame.messages {
+                    drained.push((purpose, msg, true));
+                }
+            } else {
+                match codec::decode(bytes) {
+                    Ok(msg) => {
+                        stats.received += 1;
+                        drained.push((purpose, msg, false));
+                    }
+                    Err(_) => stats.decode_errors += 1,
+                }
             }
-            Err(_) => stats.decode_errors += 1,
         });
-        for (purpose, msg) in self.drained.drain(..) {
+        for (purpose, msg, pre_verified) in self.drained.drain(..) {
             let matches = matches!(
                 (purpose, msg.kind()),
                 (PortPurpose::PullReply, MessageKind::PullReply)
                     | (PortPurpose::PushReply, MessageKind::PushReply)
                     | (PortPurpose::PushData, MessageKind::PushData)
             );
-            if matches {
-                self.engine.handle_into(msg, &mut self.pool, &mut self.outs);
-            } else {
+            if !matches {
                 self.stats.port_mismatches += 1;
+            } else if pre_verified {
+                self.engine
+                    .handle_into_preverified(msg, &mut self.pool, &mut self.outs);
+            } else {
+                self.engine.handle_into(msg, &mut self.pool, &mut self.outs);
             }
         }
+    }
+
+    /// Whether an outbound message rides inside an MTU-packed frame on the
+    /// packed path: data-plane replies (pull-replies and push-data) headed
+    /// for a resolved random port. Control messages and anything aimed at
+    /// a well-known port stay bare.
+    fn packable(out: &Outbound) -> bool {
+        matches!(
+            out.msg,
+            GossipMessage::PullReply { .. } | GossipMessage::PushData { .. }
+        ) && matches!(out.port, SendPort::Port(p) if p != 0)
     }
 
     /// Drains `self.outs`, encoding into the reusable wire scratch. The
@@ -775,10 +887,18 @@ impl NodeCore {
     /// Datagrams leave through `tx`: one sendmmsg per batch on the batched
     /// path (repeats share the arena bytes), one send_to each on the
     /// fallback.
+    ///
+    /// On the packed path, data-plane replies to the same destination are
+    /// coalesced into MTU-budgeted frames afterwards (see
+    /// [`NodeCore::send_frames`]); each frame costs one datagram and one
+    /// HMAC no matter how many messages it carries.
     fn send_out(&mut self, send_socket: &UdpSocket, tx: &mut BatchTx) {
         let loss = self.config.loss;
         let mut encoded: Option<usize> = None;
         for i in 0..self.outs.len() {
+            if self.pack && Self::packable(&self.outs[i]) {
+                continue; // coalesced into frames below
+            }
             if loss > 0.0 && self.rng.random_bool(loss) {
                 continue; // emulated link loss
             }
@@ -806,8 +926,99 @@ impl NodeCore {
             }
             tx.push(send_socket, addr, &self.wire[..], repeat);
         }
+        if self.pack {
+            self.send_frames(send_socket, tx);
+        }
         self.stats.sent += tx.finish(send_socket);
         self.outs.clear();
+    }
+
+    /// Greedily fills MTU-budgeted frames with this flush's packable
+    /// messages, grouped by destination in first-seen order, and sends
+    /// each frame as one signed datagram. A message too large for the
+    /// budget rides alone in an oversized solo frame; one that exceeds
+    /// even the wire cap falls back to a bare datagram (receivers accept
+    /// both forms on pool ports).
+    fn send_frames(&mut self, send_socket: &UdpSocket, tx: &mut BatchTx) {
+        self.frame_addrs.clear();
+        for i in 0..self.outs.len() {
+            if !Self::packable(&self.outs[i]) {
+                continue;
+            }
+            let SendPort::Port(p) = self.outs[i].port else {
+                continue;
+            };
+            let addr = AddressBook::loopback(p);
+            if !self.frame_addrs.contains(&addr) {
+                self.frame_addrs.push(addr);
+            }
+        }
+        let addrs = core::mem::take(&mut self.frame_addrs);
+        for &addr in &addrs {
+            for i in 0..self.outs.len() {
+                if !Self::packable(&self.outs[i]) {
+                    continue;
+                }
+                let SendPort::Port(p) = self.outs[i].port else {
+                    continue;
+                };
+                if AddressBook::loopback(p) != addr {
+                    continue;
+                }
+                if !self.framer.push(&self.outs[i].msg) {
+                    if !self.framer.is_empty() {
+                        self.flush_frame(addr, send_socket, tx);
+                    }
+                    if !self.framer.push(&self.outs[i].msg) {
+                        // Exceeds even an oversized solo frame: send bare.
+                        self.send_bare(i, addr, send_socket, tx);
+                    }
+                }
+            }
+            if !self.framer.is_empty() {
+                self.flush_frame(addr, send_socket, tx);
+            }
+        }
+        self.frame_addrs = addrs;
+    }
+
+    /// Signs and transmits the frame under construction as one datagram.
+    fn flush_frame(
+        &mut self,
+        addr: std::net::SocketAddr,
+        send_socket: &UdpSocket,
+        tx: &mut BatchTx,
+    ) {
+        let nonce = self.engine.frame_nonce();
+        let engine = &self.engine;
+        let packed = self.framer.finish_into(
+            self.me,
+            nonce,
+            |body| engine.sign_frame(nonce, body),
+            &mut self.frame_wire,
+        );
+        if self.config.loss > 0.0 && self.rng.random_bool(self.config.loss) {
+            return; // emulated link loss, drawn per frame datagram
+        }
+        tx.push(send_socket, addr, &self.frame_wire[..], false);
+        self.stats.frames_sent += 1;
+        self.stats.framed_msgs += packed as u64;
+    }
+
+    /// Unframed fallback for a single packable message (frame overhead
+    /// would push it past the wire cap).
+    fn send_bare(
+        &mut self,
+        i: usize,
+        addr: std::net::SocketAddr,
+        send_socket: &UdpSocket,
+        tx: &mut BatchTx,
+    ) {
+        if self.config.loss > 0.0 && self.rng.random_bool(self.config.loss) {
+            return;
+        }
+        codec::encode_into(&self.outs[i].msg, &mut self.wire);
+        tx.push(send_socket, addr, &self.wire[..], false);
     }
 
     fn deliver(&mut self) {
@@ -866,6 +1077,20 @@ impl NodeCore {
             .add(self.stats.batch_recv_datagrams - self.prev.batch_recv_datagrams);
         self.c_alloc_failed
             .add(self.stats.alloc_failed - self.prev.alloc_failed);
+        self.stats.buffer_bytes_peak = self.engine.buffer().bytes_peak() as u64;
+        self.stats.stream_backpressure = self.stream.stats().backpressure;
+        self.c_frames_sent
+            .add(self.stats.frames_sent - self.prev.frames_sent);
+        self.c_msgs_per_frame
+            .add(self.stats.framed_msgs - self.prev.framed_msgs);
+        self.c_frames_rejected
+            .add(self.stats.frames_rejected - self.prev.frames_rejected);
+        // Peaks are monotone per node, so per-round deltas sum to the peak
+        // and cluster-wide aggregation stays meaningful.
+        self.c_buf_peak
+            .add(self.stats.buffer_bytes_peak - self.prev.buffer_bytes_peak);
+        self.c_backpressure
+            .add(self.stats.stream_backpressure - self.prev.stream_backpressure);
         trace_event!(
             self.tracer,
             "net",
@@ -875,6 +1100,7 @@ impl NodeCore {
             round = self.engine.round().as_u64(),
             sent = self.stats.sent - self.prev.sent,
             received = self.stats.received - self.prev.received,
+            frames = self.stats.frames_sent - self.prev.frames_sent,
             budget_drops = round_drops,
             decode_errors = self.stats.decode_errors - self.prev.decode_errors,
             port_mismatches = self.stats.port_mismatches - self.prev.port_mismatches,

@@ -63,6 +63,23 @@ pub mod names {
     /// Verdicts served from the round-scoped batch-verification cache
     /// instead of recomputing the HMAC (see `drum_crypto::batch`).
     pub const MAC_BATCH_HITS: &str = "crypto.mac_batch_hits";
+    /// MTU-packed gossip frames sent (each is one datagram carrying one
+    /// or more data-plane messages to the same destination).
+    pub const FRAMES_SENT: &str = "net.frames_sent";
+    /// Data-plane messages carried inside sent frames. Divide by
+    /// `net.frames_sent` for the mean pack ratio; it approaches 1 when
+    /// traffic is sparse and climbs under sustained multi-message load.
+    pub const MSGS_PER_FRAME: &str = "net.msgs_per_frame";
+    /// Received frames rejected because their frame tag failed
+    /// authentication (fabricated or tampered frames).
+    pub const FRAMES_REJECTED: &str = "net.frames_rejected";
+    /// High-water mark of message-buffer memory (payload bytes plus
+    /// per-entry overhead), summed over processes. Bounded buffers keep
+    /// this flat under sustained load; see `ext_soak`.
+    pub const BUFFER_BYTES_PEAK: &str = "buffer.bytes_peak";
+    /// Stream-scheduler submissions that exceeded the configured window
+    /// and were queued with backpressure instead of silently dropped.
+    pub const STREAM_BACKPRESSURE: &str = "stream.backpressure";
     /// Jobs executed to completion by a `drum_pool::Pool`.
     pub const POOL_JOBS: &str = "pool.jobs";
     /// Pool jobs run by a thread other than their batch's submitter —

@@ -88,6 +88,10 @@ fn main() -> std::io::Result<()> {
         names::SYSCALLS_RECV,
         names::SYSCALLS_SEND,
         names::BATCH_FILL,
+        names::FRAMES_SENT,
+        names::MSGS_PER_FRAME,
+        names::BUFFER_BYTES_PEAK,
+        names::STREAM_BACKPRESSURE,
     ] {
         println!("  {name:<20} {}", reg.counter(name).get());
     }

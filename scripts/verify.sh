@@ -61,6 +61,16 @@ cargo run --release --offline -q -p drum-lab -- figures \
 rm -rf "$SCALE_OUT"
 phase_end "ext_scale"
 
+# The sustained-throughput soak at Smoke sizing (~2s of cluster time):
+# paced stream, flood toggled mid-run, MTU-packed frames, buffer
+# high-water and backpressure accounting — the §19 plumbing end to end.
+phase_begin "drum-lab figures --only ext_soak (smoke)"
+SOAK_OUT="$(mktemp -d)"
+cargo run --release --offline -q -p drum-lab -- figures \
+    --quick --only ext_soak --out "$SOAK_OUT"
+rm -rf "$SOAK_OUT"
+phase_end "ext_soak"
+
 if [ "$QUICK" -eq 1 ]; then
     echo "==> verify --quick: all green (total $((SECONDS))s)"
     exit 0
