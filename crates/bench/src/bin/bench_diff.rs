@@ -38,6 +38,7 @@ const EXACT_UNITS: &[&str] = &[
     "merge-ops",
     "dgrams/msg",
     "hmacs/msg",
+    "compress-calls/block",
 ];
 
 /// Slack for decimal round-tripping of the stored f64s; exact metrics

@@ -41,6 +41,12 @@
 //!   unique `(source, seq, tag)` triple per round via the round-scoped
 //!   `drum_crypto::batch::BatchVerifier`. Exact and machine-independent,
 //!   like the syscall gates.
+//! * `mac_multiway_flood_512` — SHA-256 compressions per 64-byte block of
+//!   MAC work across a 512-unique-datagram flood: seed = the one-block-
+//!   at-a-time kernel shape; current = the 8-lane multi-buffer kernel
+//!   behind [`drum_crypto::multiway`] (DESIGN.md §20). Exact and
+//!   machine-independent where the 8-lane path exists; skipped elsewhere
+//!   and under `DRUM_CRYPTO_NO_SIMD=1`, like the syscall gates.
 //! * `shard_dispatch_256e` — the multiplexed runtime's wakeup economics
 //!   (DESIGN.md §16), gated on **epoll wakeups per engine**: 256 engine
 //!   sockets all readable at once. Seed = one epoll instance per engine
@@ -821,6 +827,109 @@ fn bench_mac_verify_flood(_samples: usize) -> Comparison {
     }
 }
 
+/// Datagrams in the multiway-kernel flood. Every one is unique so no
+/// replay caching applies and both arms compute all 512 HMACs; only the
+/// kernel batching differs.
+const MWAY_FLOOD: usize = 512;
+
+/// SHA-256 compressions per 64-byte block of MAC work under a unique-
+/// datagram verification flood — the quantity the 8-lane multi-buffer
+/// kernel divides by its lane width (DESIGN.md §20).
+///
+/// Each datagram carries a 16-byte payload, so its domain-tagged MAC
+/// message is 45 bytes: one padded inner tail block plus one outer block
+/// per HMAC (the ipad/opad midstates are precomputed in the key
+/// schedule), 1024 blocks across the flood in both arms. The scalar arm
+/// pays one kernel call per block (1.0 calls/block, the seed shape); the
+/// multiway arm retires eight blocks per call (0.125). Both counts come
+/// from the engine's own [`drum_crypto::multiway::LaneStats`], so the
+/// gated ratio is exact and machine-independent wherever the 8-lane path
+/// exists; like the syscall benches it is skipped where it doesn't
+/// (including under `DRUM_CRYPTO_NO_SIMD=1`). The lane arm is the forced
+/// [`drum_crypto::MultiMac::lanes`] engine: it pins the kernel mechanism
+/// even on SHA-NI hosts, where product dispatch (`simd_preferred`)
+/// deliberately stays on the faster single-block unit and the printed
+/// wall clock will favour the scalar arm. Wall clock is informational
+/// either way; lane fill is hard-asserted at ≥ 7/8.
+fn bench_mac_multiway_flood(samples: usize) -> Option<Comparison> {
+    use drum_crypto::multiway::{simd_available, simd_enabled, simd_preferred, MultiMac};
+
+    if !simd_available() || !simd_enabled() {
+        println!(
+            "  (skipping mac_multiway_flood_512: 8-lane SHA-256 path unavailable or disabled)"
+        );
+        return None;
+    }
+
+    let store = KeyStore::new(7);
+    let keys: Vec<_> = (0..8u64).map(|s| store.register(s)).collect();
+    let hmac_keys: Vec<_> = keys.iter().map(|k| k.hmac_key()).collect();
+    let payloads: Vec<Vec<u8>> = (0..MWAY_FLOOD).map(|i| vec![i as u8; 16]).collect();
+    let jobs: Vec<_> = (0..MWAY_FLOOD)
+        .map(|i| auth::msg_job(&hmac_keys[i % 8], (i % 8) as u64, i as u64, &payloads[i]))
+        .collect();
+    // 45-byte MAC messages: one inner tail block + one outer block each.
+    let blocks = (2 * MWAY_FLOOD) as f64;
+
+    let mut scalar = MultiMac::scalar();
+    let scalar_tags: Vec<[u8; 32]> = scalar.mac_many(&jobs).to_vec();
+    let scalar_stats = scalar.take_stats();
+    let scalar_ns = measure_ns(samples, || {
+        std::hint::black_box(scalar.mac_many(&jobs).len());
+    }) / MWAY_FLOOD as f64;
+
+    let mut simd = MultiMac::lanes();
+    let simd_tags: Vec<[u8; 32]> = simd.mac_many(&jobs).to_vec();
+    let simd_stats = simd.take_stats();
+    let simd_ns = measure_ns(samples, || {
+        std::hint::black_box(simd.mac_many(&jobs).len());
+    }) / MWAY_FLOOD as f64;
+
+    // The ablation invariant the equivalence tests pin cluster-wide, held
+    // here at the kernel boundary: identical tags, identical lane totals.
+    assert_eq!(
+        scalar_tags, simd_tags,
+        "multiway lane transposition changed a MAC tag"
+    );
+    for (i, tags) in scalar_tags.iter().enumerate() {
+        assert_eq!(
+            *tags,
+            auth::sign(&keys[i % 8], (i % 8) as u64, i as u64, &payloads[i]).0,
+            "multiway MAC diverged from the one-at-a-time signer"
+        );
+    }
+    assert_eq!(scalar_stats.lanes_filled as f64, blocks);
+    assert_eq!(simd_stats.lanes_filled as f64, blocks);
+    assert!(
+        simd_stats.fill_ratio() >= 7.0 / 8.0,
+        "uniform 512-datagram flood must fill ≥ 7/8 of SIMD lanes, got {:.3}",
+        simd_stats.fill_ratio()
+    );
+    println!(
+        "  mac_multiway_flood_512: lane fill {:.3}, wall {:.1} -> {:.1} ns/MAC \
+         (dispatch prefers {})",
+        simd_stats.fill_ratio(),
+        scalar_ns,
+        simd_ns,
+        if simd_preferred() {
+            "the 8-lane kernel"
+        } else {
+            "single-block hardware"
+        }
+    );
+
+    Some(Comparison {
+        name: "mac_multiway_flood_512",
+        seed_per_op: scalar_stats.compress_calls as f64 / blocks,
+        current_per_op: simd_stats.compress_calls as f64 / blocks,
+        // Expected exactly LANES = 8x; the floor guards the mechanism
+        // (blocks actually coalesce into multi-lane calls), not the
+        // exact lane width.
+        floor: 4.0,
+        unit: "compress-calls/block",
+    })
+}
+
 /// Data-plane messages in flight to one partner in the frame benches —
 /// the ISSUE's sustained-stream regime. Fixed so the modeled pack and
 /// HMAC ratios are exact constants on every machine.
@@ -1405,6 +1514,9 @@ fn main() {
     }
     if want("mac_verify_flood_512") {
         results.push(bench_mac_verify_flood(samples));
+    }
+    if want("mac_multiway_flood_512") {
+        results.extend(bench_mac_multiway_flood(samples));
     }
     if ["frame_pack_fanout", "mac_per_msg_stream"]
         .iter()

@@ -23,9 +23,10 @@ use rand::SeedableRng;
 use std::collections::HashSet;
 
 use drum_crypto::auth::{AuthError, AuthTag};
-use drum_crypto::batch::BatchVerifier;
+use drum_crypto::batch::{BatchVerifier, MacCounters, VerifyRequest};
 use drum_crypto::hmac::HmacKey;
 use drum_crypto::keys::{KeyStore, SecretKey};
+use drum_crypto::multiway::{LaneStats, MacJob, MultiMac};
 use drum_crypto::seal;
 use drum_trace::{names, trace_event, Counter, Timestamp, Tracer};
 
@@ -185,6 +186,15 @@ pub struct Engine {
     /// takes the registry lock.
     c_mac_full: Counter,
     c_mac_hits: Counter,
+    /// Multiway engine for outbound frame signing
+    /// ([`Engine::sign_frames_many`]): all of a round's frame tags run
+    /// through the 8-lane kernel in one batch.
+    signer: MultiMac,
+    /// Cumulative multiway-kernel utilization — verification (harvested
+    /// from the batch verifier) plus frame signing — exposed through
+    /// [`Engine::lane_stats`] so the transport emits per-round deltas
+    /// without re-reading any source twice.
+    mac_lane: LaneStats,
 }
 
 impl core::fmt::Debug for Engine {
@@ -242,6 +252,8 @@ impl Engine {
             },
             c_mac_full,
             c_mac_hits,
+            signer: MultiMac::new(),
+            mac_lane: LaneStats::default(),
         }
     }
 
@@ -396,18 +408,97 @@ impl Engine {
         body: &[u8],
         tag: &AuthTag,
     ) -> Result<(), AuthError> {
-        match self.verify_cache.as_mut() {
+        let (verdict, counters) = match self.verify_cache.as_mut() {
             Some(cache) => {
                 let verdict = cache.verify_frame(&self.key_store, from.as_u64(), nonce, body, tag);
-                let (full, hits) = cache.take_counters();
-                self.c_mac_full.add(full);
-                self.c_mac_hits.add(hits);
-                verdict
+                (verdict, Some(cache.take_counters()))
+            }
+            None => (
+                drum_crypto::auth::verify_frame(&self.key_store, from.as_u64(), nonce, body, tag),
+                None,
+            ),
+        };
+        if let Some(counters) = counters {
+            self.harvest_mac_counters(counters);
+        }
+        verdict
+    }
+
+    /// Verifies a whole drain's worth of frame tags in one multiway pass,
+    /// appending per-frame verdicts to `verdicts` in order. Each element of
+    /// `frames` is `(sender, nonce, signed body, tag)`. Decision- and
+    /// counter-identical to calling [`Engine::verify_frame`] per frame in
+    /// order; on the batched path the unique frames accumulate into 8-wide
+    /// kernel lanes instead of paying one HMAC at a time.
+    pub fn verify_frames_many(
+        &mut self,
+        frames: &[(ProcessId, u64, &[u8], AuthTag)],
+        verdicts: &mut Vec<Result<(), AuthError>>,
+    ) {
+        let counters = match self.verify_cache.as_mut() {
+            Some(cache) => {
+                let reqs: Vec<VerifyRequest<'_>> = frames
+                    .iter()
+                    .map(|(from, nonce, body, tag)| VerifyRequest {
+                        frame: true,
+                        source: from.as_u64(),
+                        seq: *nonce,
+                        payload: body,
+                        tag: *tag,
+                    })
+                    .collect();
+                cache.verify_many(&self.key_store, &reqs, verdicts);
+                Some(cache.take_counters())
             }
             None => {
-                drum_crypto::auth::verify_frame(&self.key_store, from.as_u64(), nonce, body, tag)
+                verdicts.clear();
+                verdicts.extend(frames.iter().map(|(from, nonce, body, tag)| {
+                    drum_crypto::auth::verify_frame(
+                        &self.key_store,
+                        from.as_u64(),
+                        *nonce,
+                        body,
+                        tag,
+                    )
+                }));
+                None
             }
+        };
+        if let Some(counters) = counters {
+            self.harvest_mac_counters(counters);
         }
+    }
+
+    /// Signs many frame bodies with this process's key in one multiway
+    /// pass, appending the tags to `out` in job order. Each element of
+    /// `jobs` is `(nonce, body)`. Tags are bit-identical to calling
+    /// [`Engine::sign_frame`] per body.
+    pub fn sign_frames_many(&mut self, jobs: &[(u64, &[u8])], out: &mut Vec<AuthTag>) {
+        let me = self.membership.me().as_u64();
+        let mac_jobs: Vec<MacJob<'_>> = jobs
+            .iter()
+            .map(|(nonce, body)| drum_crypto::auth::frame_job(&self.my_auth_key, me, *nonce, body))
+            .collect();
+        drum_crypto::auth::sign_many(&mut self.signer, &mac_jobs, out);
+        self.mac_lane.merge(self.signer.take_stats());
+    }
+
+    /// Folds one counter harvest into the registry handles and the
+    /// cumulative lane totals.
+    fn harvest_mac_counters(&mut self, counters: MacCounters) {
+        self.c_mac_full.add(counters.full_verifies);
+        self.c_mac_hits.add(counters.batch_hits);
+        self.mac_lane.merge(LaneStats {
+            compress_calls: counters.compress_calls,
+            lanes_filled: counters.lanes_filled,
+        });
+    }
+
+    /// Cumulative multiway-kernel counters — batched verification plus
+    /// frame signing — since engine creation. Monotone, so per-round deltas
+    /// are well defined for registry emission.
+    pub fn lane_stats(&self) -> LaneStats {
+        self.mac_lane
     }
 
     /// Seals `port` for `to` if random ports are enabled (and the peer key
@@ -694,24 +785,40 @@ impl Engine {
     /// order and trace events are byte-identical to the per-datagram
     /// fallback; only the HMAC count differs.
     fn receive_data(&mut self, messages: Vec<DataMessage>, pre_verified: bool) {
-        for msg in messages {
+        // Batched path: resolve every verdict for this delivery in one
+        // multiway pass up front, so unique claims share 8-wide kernel
+        // lanes. Stats, trace events and delivery then apply in arrival
+        // order below, exactly as the sequential path would.
+        let verdicts: Option<Vec<Result<(), AuthError>>> =
+            match (self.verify_cache.as_mut(), pre_verified) {
+                (Some(cache), false) => {
+                    let reqs: Vec<VerifyRequest<'_>> = messages
+                        .iter()
+                        .map(|msg| VerifyRequest {
+                            frame: false,
+                            source: msg.id.source.as_u64(),
+                            seq: msg.id.seq,
+                            payload: &msg.payload,
+                            tag: msg.auth,
+                        })
+                        .collect();
+                    let mut out = Vec::with_capacity(reqs.len());
+                    cache.verify_many(&self.key_store, &reqs, &mut out);
+                    Some(out)
+                }
+                _ => None,
+            };
+        for (i, msg) in messages.into_iter().enumerate() {
             // Sanity checks (§4): source must authenticate. Messages
             // unpacked from an authenticated frame arrive pre-verified —
             // the frame tag already vouches for them (MABS-style
             // amortization), so no per-message HMAC runs.
             let verdict = if pre_verified {
                 Ok(())
+            } else if let Some(verdicts) = &verdicts {
+                verdicts[i]
             } else {
-                match self.verify_cache.as_mut() {
-                    Some(cache) => cache.verify(
-                        &self.key_store,
-                        msg.id.source.as_u64(),
-                        msg.id.seq,
-                        &msg.payload,
-                        &msg.auth,
-                    ),
-                    None => msg.verify(&self.key_store),
-                }
+                msg.verify(&self.key_store)
             };
             if verdict.is_err() {
                 self.stats.dropped_auth += 1;
@@ -743,10 +850,9 @@ impl Engine {
         }
         // Export the verifier's counters into the registry. Zero on the
         // fallback path, mirroring `net.batch_fill`'s mode signal.
-        if let Some(cache) = self.verify_cache.as_mut() {
-            let (full, hits) = cache.take_counters();
-            self.c_mac_full.add(full);
-            self.c_mac_hits.add(hits);
+        let counters = self.verify_cache.as_mut().map(BatchVerifier::take_counters);
+        if let Some(counters) = counters {
+            self.harvest_mac_counters(counters);
         }
     }
 

@@ -10,9 +10,16 @@
 
 use crate::hmac::{verify_tag, HmacKey};
 use crate::keys::{KeyStore, SecretKey, UnknownPeerError};
+use crate::multiway::{MacJob, MultiMac};
 
 /// Length in bytes of an authentication tag.
 pub const AUTH_TAG_LEN: usize = 32;
+
+/// Domain-separation prefix for data-message tags.
+const MSG_DOMAIN: &[u8] = b"drum.msg.auth";
+
+/// Domain-separation prefix for frame tags.
+const FRAME_DOMAIN: &[u8] = b"drum.frame.auth";
 
 /// An unforgeable tag binding a payload to its source and sequence number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -22,6 +29,18 @@ impl AuthTag {
     /// A tag of all zeros; convenient for tests of the rejection path.
     pub fn zero() -> Self {
         AuthTag([0u8; AUTH_TAG_LEN])
+    }
+
+    /// Constant-time equality, for verify paths comparing an expected tag
+    /// against an attacker-supplied one.
+    ///
+    /// The derived `PartialEq` short-circuits at the first differing byte,
+    /// which would (theoretically, in this simulated setting) leak how much
+    /// of a forged tag's prefix is correct. Every verdict in this module —
+    /// scalar and multiway — goes through this helper or the equivalent
+    /// [`verify_tag`] instead.
+    pub fn ct_eq(&self, other: &AuthTag) -> bool {
+        verify_tag(&self.0, &other.0)
     }
 }
 
@@ -57,7 +76,7 @@ impl std::error::Error for AuthError {
 /// received message, so it must be as close to raw HMAC cost as possible.
 fn tag_of(key: &HmacKey, source: u64, seq: u64, payload: &[u8]) -> [u8; AUTH_TAG_LEN] {
     key.mac_parts(&[
-        b"drum.msg.auth",
+        MSG_DOMAIN,
         &source.to_be_bytes(),
         &seq.to_be_bytes(),
         payload,
@@ -70,11 +89,72 @@ fn tag_of(key: &HmacKey, source: u64, seq: u64, payload: &[u8]) -> [u8; AUTH_TAG
 /// HMACs under the same per-member key over an attacker-visible triple.
 fn frame_tag_of(key: &HmacKey, sender: u64, nonce: u64, body: &[u8]) -> [u8; AUTH_TAG_LEN] {
     key.mac_parts(&[
-        b"drum.frame.auth",
+        FRAME_DOMAIN,
         &sender.to_be_bytes(),
         &nonce.to_be_bytes(),
         body,
     ])
+}
+
+/// Builds the multiway job computing the same tag as [`sign_with`] /
+/// [`verify_with`] for a `(source, seq, payload)` triple.
+pub fn msg_job<'a>(key: &'a HmacKey, source: u64, seq: u64, payload: &'a [u8]) -> MacJob<'a> {
+    MacJob {
+        key,
+        domain: MSG_DOMAIN,
+        a: source,
+        b: seq,
+        payload,
+    }
+}
+
+/// Builds the multiway job computing the same tag as [`sign_frame_with`] /
+/// [`verify_frame_with`] for a `(sender, nonce, body)` triple.
+pub fn frame_job<'a>(key: &'a HmacKey, sender: u64, nonce: u64, body: &'a [u8]) -> MacJob<'a> {
+    MacJob {
+        key,
+        domain: FRAME_DOMAIN,
+        a: sender,
+        b: nonce,
+        payload: body,
+    }
+}
+
+/// Signs every job through the multiway kernel, appending the tags to `out`
+/// in job order. Bit-identical to calling [`sign_with`] /
+/// [`sign_frame_with`] per job.
+pub fn sign_many(mm: &mut MultiMac, jobs: &[MacJob<'_>], out: &mut Vec<AuthTag>) {
+    out.clear();
+    out.extend(mm.mac_many(jobs).iter().map(|d| AuthTag(*d)));
+}
+
+/// Verifies `tags[i]` against the expected tag of `jobs[i]` for every job,
+/// appending per-job verdicts to `verdicts` in job order. Comparison is
+/// constant-time per tag ([`AuthTag::ct_eq`]).
+///
+/// # Panics
+///
+/// Panics if `jobs` and `tags` differ in length.
+pub fn verify_many(
+    mm: &mut MultiMac,
+    jobs: &[MacJob<'_>],
+    tags: &[AuthTag],
+    verdicts: &mut Vec<Result<(), AuthError>>,
+) {
+    assert_eq!(jobs.len(), tags.len());
+    verdicts.clear();
+    verdicts.extend(
+        mm.mac_many(jobs)
+            .iter()
+            .zip(tags.iter())
+            .map(|(expected, tag)| {
+                if AuthTag(*expected).ct_eq(tag) {
+                    Ok(())
+                } else {
+                    Err(AuthError::Forged)
+                }
+            }),
+    );
 }
 
 /// Computes the authentication tag for a `(source, seq, payload)` triple
@@ -301,6 +381,65 @@ mod tests {
             verify(&store, 1, 0, b"m", &AuthTag::zero()),
             Err(AuthError::Forged)
         );
+    }
+
+    #[test]
+    fn ct_eq_agrees_with_derived_eq() {
+        let (_, key) = store_with(1);
+        let tag = sign(&key, 1, 0, b"m");
+        assert!(tag.ct_eq(&tag));
+        // Flip each byte position in turn: ct_eq must reject no matter
+        // where the difference sits (prefix, middle, last byte).
+        for i in 0..AUTH_TAG_LEN {
+            let mut other = tag;
+            other.0[i] ^= 0x80;
+            assert!(!tag.ct_eq(&other), "flip at {i}");
+            assert_ne!(tag, other);
+        }
+        assert!(!tag.ct_eq(&AuthTag::zero()));
+    }
+
+    #[test]
+    fn sign_many_matches_scalar_sign() {
+        let (_, key) = store_with(1);
+        let schedule = key.hmac_key();
+        let payloads: Vec<Vec<u8>> = (0..13u8).map(|i| vec![i; i as usize * 3]).collect();
+        let jobs: Vec<_> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if i % 2 == 0 {
+                    msg_job(&schedule, 1, i as u64, p)
+                } else {
+                    frame_job(&schedule, 1, i as u64, p)
+                }
+            })
+            .collect();
+        let mut mm = crate::multiway::MultiMac::lanes();
+        let mut tags = Vec::new();
+        sign_many(&mut mm, &jobs, &mut tags);
+        for (i, (tag, p)) in tags.iter().zip(payloads.iter()).enumerate() {
+            let want = if i % 2 == 0 {
+                sign_with(&schedule, 1, i as u64, p)
+            } else {
+                sign_frame_with(&schedule, 1, i as u64, p)
+            };
+            assert_eq!(*tag, want, "job {i}");
+        }
+
+        // verify_many accepts the genuine tags and pinpoints a forgery.
+        let mut verdicts = Vec::new();
+        verify_many(&mut mm, &jobs, &tags, &mut verdicts);
+        assert!(verdicts.iter().all(|v| v.is_ok()));
+        tags[7].0[0] ^= 1;
+        verify_many(&mut mm, &jobs, &tags, &mut verdicts);
+        for (i, v) in verdicts.iter().enumerate() {
+            if i == 7 {
+                assert_eq!(*v, Err(AuthError::Forged));
+            } else {
+                assert!(v.is_ok());
+            }
+        }
     }
 
     #[test]

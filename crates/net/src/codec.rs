@@ -568,6 +568,21 @@ impl FrameBuilder {
         self.count = 0;
         packed
     }
+
+    /// Seals the open frame into `out` with an all-zero tag, for callers
+    /// that stage several frames and sign them in one multiway pass
+    /// afterwards: the signed body is everything before the trailing
+    /// [`FRAME_TAG_LEN`] bytes, which the caller overwrites with the real
+    /// tag before transmission. Resets the builder exactly like
+    /// [`finish_into`](Self::finish_into) and returns the message count.
+    pub fn finish_unsigned_into(
+        &mut self,
+        sender: ProcessId,
+        nonce: u64,
+        out: &mut BytesMut,
+    ) -> usize {
+        self.finish_into(sender, nonce, |_| AuthTag::zero(), out)
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ use drum_core::ids::ProcessId;
 use drum_core::message::{DataMessage, GossipMessage, MessageKind};
 use drum_core::stream::{StreamConfig, StreamScheduler};
 use drum_core::view::Membership;
+use drum_crypto::auth::{AuthError, AuthTag};
 use drum_crypto::keys::{KeyStore, SecretKey};
 use drum_trace::{names, trace_event, Counter, Tracer};
 
@@ -185,6 +186,14 @@ pub struct NetStats {
     /// Stream-scheduler submissions that found the pending window full
     /// and were queued with backpressure (never silently dropped).
     pub stream_backpressure: u64,
+    /// SHA-256 kernel invocations behind this node's MAC work (multiway
+    /// verification plus frame signing): an 8-wide call counts once, as
+    /// does a single-block call. With the 8-lane kernel active this runs
+    /// near `lanes_filled / 8`; forced scalar it equals `lanes_filled`.
+    pub compress_calls: u64,
+    /// Total kernel lanes those invocations advanced — i.e. blocks hashed.
+    /// Identical across `DRUM_CRYPTO_NO_SIMD` modes on a fixed seed.
+    pub lanes_filled: u64,
 }
 
 /// Handle to a running process.
@@ -480,7 +489,18 @@ pub struct NodeCore {
     // once and amortized over the node lifetime.
     wire: BytesMut,
     outs: Vec<Outbound>,
-    drained: Vec<(PortPurpose, GossipMessage, bool)>,
+    /// One drain's decoded messages awaiting dispatch. The third element
+    /// ties a message to the received frame it was unpacked from (an index
+    /// into the drain's staged frames) — `None` for bare datagrams, which
+    /// pay their own per-message verification.
+    drained: Vec<(PortPurpose, GossipMessage, Option<u32>)>,
+    /// Received frames staged for the one batched tag verification per
+    /// drain; signed bodies live in `rx_frame_arena`.
+    rx_frames: Vec<RxFrame>,
+    rx_frame_arena: Vec<u8>,
+    /// Per-frame verdicts of the staged verification, index-aligned with
+    /// `rx_frames`.
+    frame_verdicts: Vec<Result<(), AuthError>>,
     started: bool,
     /// Whether data-plane replies are coalesced into MTU-packed frames.
     /// True when random ports are on and `DRUM_NET_NO_PACK` is unset; the
@@ -491,6 +511,12 @@ pub struct NodeCore {
     frame_wire: BytesMut,
     /// Scratch list of distinct frame destinations seen in one flush.
     frame_addrs: Vec<std::net::SocketAddr>,
+    /// Outbound frames of one flush staged for the single multiway signing
+    /// pass: full wire images (trailing tag zeroed) in `frame_arena`.
+    out_frames: Vec<OutFrame>,
+    frame_arena: Vec<u8>,
+    /// Reusable tag buffer for the signing pass.
+    frame_tags: Vec<AuthTag>,
     /// Application stream pacing between `publish()` and the engine.
     stream: StreamScheduler,
     c_sent: Counter,
@@ -508,6 +534,30 @@ pub struct NodeCore {
     c_frames_rejected: Counter,
     c_buf_peak: Counter,
     c_backpressure: Counter,
+    c_compress_calls: Counter,
+    c_lanes_filled: Counter,
+}
+
+/// A received frame staged for the per-drain batched tag verification.
+#[derive(Debug)]
+struct RxFrame {
+    sender: ProcessId,
+    nonce: u64,
+    tag: AuthTag,
+    /// Span of the signed body within `NodeCore::rx_frame_arena`.
+    start: usize,
+    len: usize,
+}
+
+/// An outbound frame staged for the per-flush batched signing pass.
+#[derive(Debug)]
+struct OutFrame {
+    addr: std::net::SocketAddr,
+    nonce: u64,
+    /// Span of the full wire image (tag bytes zeroed) within
+    /// `NodeCore::frame_arena`.
+    start: usize,
+    len: usize,
 }
 
 impl NodeCore {
@@ -531,6 +581,10 @@ impl NodeCore {
         } = spec;
         let membership = Membership::new(me, members);
         let mut engine = Engine::new(config.gossip.clone(), membership, key_store, my_key, seed);
+        // The engine resolves its own registry handles (the batched-MAC
+        // verdict counters) from its tracer, so it needs the cluster's
+        // tracer, not the disabled default it was constructed with.
+        engine.set_tracer(config.tracer.clone());
         if let Some(ab) = &ablation {
             // Figure 12(a) ablation: fixed reply ports that the engine will
             // advertise instead of fresh random ones.
@@ -576,11 +630,17 @@ impl NodeCore {
             wire: BytesMut::with_capacity(codec::MAX_WIRE_LEN),
             outs: Vec::new(),
             drained: Vec::new(),
+            rx_frames: Vec::new(),
+            rx_frame_arena: Vec::new(),
+            frame_verdicts: Vec::new(),
             started: false,
             pack,
             framer: codec::FrameBuilder::new(),
             frame_wire: BytesMut::with_capacity(codec::MAX_WIRE_LEN),
             frame_addrs: Vec::new(),
+            out_frames: Vec::new(),
+            frame_arena: Vec::new(),
+            frame_tags: Vec::new(),
             stream,
             c_sent: reg.counter(names::MESSAGES_SENT),
             c_received: reg.counter(names::MESSAGES_RECEIVED),
@@ -597,6 +657,8 @@ impl NodeCore {
             c_frames_rejected: reg.counter(names::FRAMES_REJECTED),
             c_buf_peak: reg.counter(names::BUFFER_BYTES_PEAK),
             c_backpressure: reg.counter(names::STREAM_BACKPRESSURE),
+            c_compress_calls: reg.counter(names::CRYPTO_COMPRESS_CALLS),
+            c_lanes_filled: reg.counter(names::CRYPTO_LANES_FILLED),
         }
     }
 
@@ -816,7 +878,8 @@ impl NodeCore {
             pool,
             stats,
             drained,
-            engine,
+            rx_frames,
+            rx_frame_arena,
             ..
         } = self;
         pool.drain(rx, scratch, |purpose, bytes| {
@@ -828,29 +891,62 @@ impl NodeCore {
                         return;
                     }
                 };
+                // Stage the frame: all of a drain's frame tags are checked
+                // in one multiway HMAC pass below instead of one full
+                // SHA-256 round-trip per frame.
                 let body = codec::frame_signed_body(bytes).unwrap_or(&[]);
-                if engine
-                    .verify_frame(frame.sender, frame.nonce, body, &frame.auth)
-                    .is_err()
-                {
-                    stats.frames_rejected += 1;
-                    return;
-                }
-                stats.received += 1;
+                let fidx = rx_frames.len() as u32;
+                let start = rx_frame_arena.len();
+                rx_frame_arena.extend_from_slice(body);
+                rx_frames.push(RxFrame {
+                    sender: frame.sender,
+                    nonce: frame.nonce,
+                    tag: frame.auth,
+                    start,
+                    len: body.len(),
+                });
                 for msg in frame.messages {
-                    drained.push((purpose, msg, true));
+                    drained.push((purpose, msg, Some(fidx)));
                 }
             } else {
                 match codec::decode(bytes) {
                     Ok(msg) => {
                         stats.received += 1;
-                        drained.push((purpose, msg, false));
+                        drained.push((purpose, msg, None));
                     }
                     Err(_) => stats.decode_errors += 1,
                 }
             }
         });
-        for (purpose, msg, pre_verified) in self.drained.drain(..) {
+        if !self.rx_frames.is_empty() {
+            let jobs: Vec<(ProcessId, u64, &[u8], AuthTag)> = self
+                .rx_frames
+                .iter()
+                .map(|f| {
+                    (
+                        f.sender,
+                        f.nonce,
+                        &self.rx_frame_arena[f.start..f.start + f.len],
+                        f.tag,
+                    )
+                })
+                .collect();
+            self.engine
+                .verify_frames_many(&jobs, &mut self.frame_verdicts);
+            for verdict in &self.frame_verdicts {
+                if verdict.is_ok() {
+                    self.stats.received += 1;
+                } else {
+                    self.stats.frames_rejected += 1;
+                }
+            }
+        }
+        for (purpose, msg, src) in self.drained.drain(..) {
+            if let Some(fidx) = src {
+                if self.frame_verdicts[fidx as usize].is_err() {
+                    continue; // whole frame rejected above
+                }
+            }
             let matches = matches!(
                 (purpose, msg.kind()),
                 (PortPurpose::PullReply, MessageKind::PullReply)
@@ -859,13 +955,15 @@ impl NodeCore {
             );
             if !matches {
                 self.stats.port_mismatches += 1;
-            } else if pre_verified {
+            } else if src.is_some() {
                 self.engine
                     .handle_into_preverified(msg, &mut self.pool, &mut self.outs);
             } else {
                 self.engine.handle_into(msg, &mut self.pool, &mut self.outs);
             }
         }
+        self.rx_frames.clear();
+        self.rx_frame_arena.clear();
     }
 
     /// Whether an outbound message rides inside an MTU-packed frame on the
@@ -928,6 +1026,7 @@ impl NodeCore {
         }
         if self.pack {
             self.send_frames(send_socket, tx);
+            self.ship_frames(send_socket, tx);
         }
         self.stats.sent += tx.finish(send_socket);
         self.outs.clear();
@@ -967,7 +1066,7 @@ impl NodeCore {
                 }
                 if !self.framer.push(&self.outs[i].msg) {
                     if !self.framer.is_empty() {
-                        self.flush_frame(addr, send_socket, tx);
+                        self.flush_frame(addr);
                     }
                     if !self.framer.push(&self.outs[i].msg) {
                         // Exceeds even an oversized solo frame: send bare.
@@ -976,33 +1075,73 @@ impl NodeCore {
                 }
             }
             if !self.framer.is_empty() {
-                self.flush_frame(addr, send_socket, tx);
+                self.flush_frame(addr);
             }
         }
         self.frame_addrs = addrs;
     }
 
-    /// Signs and transmits the frame under construction as one datagram.
-    fn flush_frame(
-        &mut self,
-        addr: std::net::SocketAddr,
-        send_socket: &UdpSocket,
-        tx: &mut BatchTx,
-    ) {
+    /// Seals the frame under construction with a zeroed tag and stages it
+    /// for the one multiway signing pass per flush (see
+    /// [`NodeCore::ship_frames`]). The nonce allocation and the emulated
+    /// loss draw both stay here, per frame in flush order, so the nonce
+    /// and RNG sequences match the unbatched path exactly; a lost frame
+    /// simply never reaches the signer.
+    fn flush_frame(&mut self, addr: std::net::SocketAddr) {
         let nonce = self.engine.frame_nonce();
-        let engine = &self.engine;
-        let packed = self.framer.finish_into(
-            self.me,
-            nonce,
-            |body| engine.sign_frame(nonce, body),
-            &mut self.frame_wire,
-        );
+        let packed = self
+            .framer
+            .finish_unsigned_into(self.me, nonce, &mut self.frame_wire);
         if self.config.loss > 0.0 && self.rng.random_bool(self.config.loss) {
             return; // emulated link loss, drawn per frame datagram
         }
-        tx.push(send_socket, addr, &self.frame_wire[..], false);
+        let start = self.frame_arena.len();
+        self.frame_arena.extend_from_slice(&self.frame_wire[..]);
+        self.out_frames.push(OutFrame {
+            addr,
+            nonce,
+            start,
+            len: self.frame_wire.len(),
+        });
         self.stats.frames_sent += 1;
         self.stats.framed_msgs += packed as u64;
+    }
+
+    /// Signs every frame staged by [`NodeCore::flush_frame`] in one
+    /// multiway HMAC pass — all partners' frames of a flush fill SIMD
+    /// lanes together — patches the tags over the zeroed trailing bytes,
+    /// and transmits the finished datagrams in flush order.
+    fn ship_frames(&mut self, send_socket: &UdpSocket, tx: &mut BatchTx) {
+        if self.out_frames.is_empty() {
+            return;
+        }
+        let jobs: Vec<(u64, &[u8])> = self
+            .out_frames
+            .iter()
+            .map(|f| {
+                (
+                    f.nonce,
+                    &self.frame_arena[f.start..f.start + f.len - codec::FRAME_TAG_LEN],
+                )
+            })
+            .collect();
+        let mut tags = core::mem::take(&mut self.frame_tags);
+        self.engine.sign_frames_many(&jobs, &mut tags);
+        for (f, tag) in self.out_frames.iter().zip(&tags) {
+            let at = f.start + f.len - codec::FRAME_TAG_LEN;
+            self.frame_arena[at..f.start + f.len].copy_from_slice(&tag.0);
+        }
+        for f in &self.out_frames {
+            tx.push(
+                send_socket,
+                f.addr,
+                &self.frame_arena[f.start..f.start + f.len],
+                false,
+            );
+        }
+        self.frame_tags = tags;
+        self.out_frames.clear();
+        self.frame_arena.clear();
     }
 
     /// Unframed fallback for a single packable message (frame overhead
@@ -1091,6 +1230,13 @@ impl NodeCore {
             .add(self.stats.buffer_bytes_peak - self.prev.buffer_bytes_peak);
         self.c_backpressure
             .add(self.stats.stream_backpressure - self.prev.stream_backpressure);
+        let lanes = self.engine.lane_stats();
+        self.stats.compress_calls = lanes.compress_calls;
+        self.stats.lanes_filled = lanes.lanes_filled;
+        self.c_compress_calls
+            .add(self.stats.compress_calls - self.prev.compress_calls);
+        self.c_lanes_filled
+            .add(self.stats.lanes_filled - self.prev.lanes_filled);
         trace_event!(
             self.tracer,
             "net",

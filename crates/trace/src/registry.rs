@@ -63,6 +63,15 @@ pub mod names {
     /// Verdicts served from the round-scoped batch-verification cache
     /// instead of recomputing the HMAC (see `drum_crypto::batch`).
     pub const MAC_BATCH_HITS: &str = "crypto.mac_batch_hits";
+    /// SHA-256 kernel invocations behind the MAC work that actually ran
+    /// (multiway verification plus frame signing): an 8-wide multi-buffer
+    /// call counts once, as does a single-block call. The ratio to
+    /// `crypto.lanes_filled` is the multiway batching win.
+    pub const CRYPTO_COMPRESS_CALLS: &str = "crypto.compress_calls";
+    /// Total kernel lanes those invocations advanced — i.e. 64-byte blocks
+    /// hashed. Fixed-seed runs report identical values with and without
+    /// `DRUM_CRYPTO_NO_SIMD=1`; only `crypto.compress_calls` moves.
+    pub const CRYPTO_LANES_FILLED: &str = "crypto.lanes_filled";
     /// MTU-packed gossip frames sent (each is one datagram carrying one
     /// or more data-plane messages to the same destination).
     pub const FRAMES_SENT: &str = "net.frames_sent";

@@ -90,6 +90,10 @@ fn main() -> std::io::Result<()> {
         names::BATCH_FILL,
         names::FRAMES_SENT,
         names::MSGS_PER_FRAME,
+        names::MAC_FULL_VERIFIES,
+        names::MAC_BATCH_HITS,
+        names::CRYPTO_COMPRESS_CALLS,
+        names::CRYPTO_LANES_FILLED,
         names::BUFFER_BYTES_PEAK,
         names::STREAM_BACKPRESSURE,
     ] {

@@ -37,17 +37,26 @@ phase_begin "cargo test -q --offline"
 cargo test -q --offline
 phase_end "test"
 
+# The crypto suite again with the 8-lane SHA-256 kernel ablated away:
+# every multiway MAC must stay bit- and counter-identical on the forced
+# single-block path (§20). Cheap (sub-second) and on the quick path so a
+# lane-kernel divergence can't hide behind a SIMD-only dev machine.
+phase_begin "cargo test -p drum-crypto (DRUM_CRYPTO_NO_SIMD=1)"
+DRUM_CRYPTO_NO_SIMD=1 cargo test -q --offline -p drum-crypto
+phase_end "no-simd"
+
 # One adaptive-adversary scenario end to end (the eclipse strategy against
-# Drum, §17) and the batched-authentication bench with its exact
-# machine-independent gate — cheap enough to keep on the quick path.
-phase_begin "adaptive-adversary + batched-auth smoke"
+# Drum, §17) and the exact machine-independent crypto gates: batched
+# verification (HMACs/datagram) and the multiway kernel
+# (compress-calls/block) — cheap enough to keep on the quick path.
+phase_begin "adaptive-adversary + batched-auth + multiway smoke"
 cargo run --release --offline -q -p drum-lab -- simulate \
     --protocol drum --n 80 --adversary eclipse --x 64 --trials 20
 # --out to a throwaway path: the default would overwrite the checked-in
-# full-mode BENCH_hotpath.json with a one-bench quick run.
+# full-mode BENCH_hotpath.json with a two-bench quick run.
 BENCH_OUT="$(mktemp)"
 cargo run --release --offline -q -p drum-bench --bin hotpath -- \
-    --quick --only mac_verify_flood_512 --out "$BENCH_OUT"
+    --quick --only mac_verify_flood_512,mac_multiway_flood_512 --out "$BENCH_OUT"
 rm -f "$BENCH_OUT"
 phase_end "smoke"
 
